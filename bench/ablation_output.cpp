@@ -1,0 +1,14 @@
+// Extension: output-data (result collection) transfer, *-IO rules
+//
+// Reproduction/extension harness: prints each panel as a table plus an
+// ASCII chart, writes CSV under results/, evaluates shape expectations.
+#include <cstdio>
+
+#include "exp/registry.hpp"
+
+int main() {
+  const rtdls::exp::Scale scale = rtdls::exp::Scale::from_env();
+  const int warnings = rtdls::exp::report_figure(rtdls::exp::ablation_output(scale));
+  if (warnings != 0) std::printf("%d shape check(s) below expectation at this scale\n", warnings);
+  return 0;
+}

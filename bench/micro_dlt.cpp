@@ -1,0 +1,89 @@
+// google-benchmark microbenches for the closed-form DLT hot paths: the
+// admission test calls these once per (task, candidate n) on every arrival,
+// so their cost bounds the scheduler's per-arrival latency.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "dlt/het_model.hpp"
+#include "dlt/homogeneous.hpp"
+#include "dlt/multiround.hpp"
+#include "dlt/nmin.hpp"
+#include "dlt/user_split.hpp"
+
+namespace {
+
+using namespace rtdls;
+
+cluster::ClusterParams paper_params() {
+  return {.node_count = 16, .cms = 1.0, .cps = 100.0};
+}
+
+std::vector<cluster::Time> staggered(std::size_t n) {
+  std::vector<cluster::Time> available(n);
+  for (std::size_t i = 0; i < n; ++i) available[i] = 137.0 * static_cast<double>(i);
+  return available;
+}
+
+void BM_HomogeneousExecutionTime(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dlt::homogeneous_execution_time(paper_params(), 200.0, n));
+  }
+}
+BENCHMARK(BM_HomogeneousExecutionTime)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_HomogeneousPartition(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dlt::homogeneous_partition(paper_params(), n));
+  }
+}
+BENCHMARK(BM_HomogeneousPartition)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_HetPartition(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto available = staggered(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dlt::build_het_partition(paper_params(), 200.0, available));
+  }
+}
+BENCHMARK(BM_HetPartition)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_MinimumNodes(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dlt::minimum_nodes(paper_params(), 200.0, 3000.0, 250.0));
+  }
+}
+BENCHMARK(BM_MinimumNodes);
+
+void BM_Theorem4Bounds(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const dlt::HetPartition part =
+      dlt::build_het_partition(paper_params(), 200.0, staggered(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dlt::theorem4_completion_bounds(paper_params(), 200.0, part));
+  }
+}
+BENCHMARK(BM_Theorem4Bounds)->Arg(16);
+
+void BM_UserSplitSchedule(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto available = staggered(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dlt::build_user_split_schedule(paper_params(), 200.0, available));
+  }
+}
+BENCHMARK(BM_UserSplitSchedule)->Arg(16);
+
+void BM_MultiRoundSchedule(benchmark::State& state) {
+  const auto rounds = static_cast<std::size_t>(state.range(0));
+  const auto available = staggered(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dlt::build_multiround_schedule(paper_params(), 200.0, available, rounds));
+  }
+}
+BENCHMARK(BM_MultiRoundSchedule)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace

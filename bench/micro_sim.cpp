@@ -1,0 +1,82 @@
+// google-benchmark microbenches for the simulation machinery: event queue
+// throughput, a full admission test, and whole-simulation runs per second.
+#include <benchmark/benchmark.h>
+
+#include "sched/admission.hpp"
+#include "sched/registry.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+using namespace rtdls;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue<std::uint64_t> queue;
+    for (std::size_t i = 0; i < batch; ++i) {
+      queue.push(static_cast<double>((i * 2654435761u) % batch), sim::EventPriority::kArrival,
+                 i);
+    }
+    while (!queue.empty()) benchmark::DoNotOptimize(queue.pop());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * batch));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(65536);
+
+void BM_AdmissionTest(benchmark::State& state) {
+  const auto queue_length = static_cast<std::size_t>(state.range(0));
+  const cluster::ClusterParams params{.node_count = 16, .cms = 1.0, .cps = 100.0};
+  const sched::Algorithm algorithm = sched::make_algorithm("EDF-DLT");
+  sched::AdmissionController controller(algorithm.policy, algorithm.rule.get());
+
+  std::vector<workload::Task> tasks(queue_length + 1);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    tasks[i].id = i;
+    tasks[i].spec = {0.0, 200.0, 50000.0 + 1000.0 * static_cast<double>(i)};
+  }
+  std::vector<const workload::Task*> waiting;
+  for (std::size_t i = 0; i < queue_length; ++i) waiting.push_back(&tasks[i]);
+  const std::vector<cluster::Time> free_times(16, 0.0);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        controller.test(&tasks.back(), waiting, params, free_times, 0.0));
+  }
+}
+BENCHMARK(BM_AdmissionTest)->Arg(0)->Arg(8)->Arg(64);
+
+void BM_FullSimulation(benchmark::State& state) {
+  const double load = static_cast<double>(state.range(0)) / 10.0;
+  workload::WorkloadParams params;
+  params.cluster = {.node_count = 16, .cms = 1.0, .cps = 100.0};
+  params.system_load = load;
+  params.total_time = 200000.0;
+  params.seed = 1;
+  const auto tasks = workload::generate_workload(params);
+  sim::SimulatorConfig config;
+  config.params = params.cluster;
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate(config, "EDF-DLT", tasks, params.total_time));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * tasks.size()));
+  state.counters["tasks"] = static_cast<double>(tasks.size());
+}
+BENCHMARK(BM_FullSimulation)->Arg(3)->Arg(8)->Arg(10);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  workload::WorkloadParams params;
+  params.cluster = {.node_count = 16, .cms = 1.0, .cps = 100.0};
+  params.system_load = 0.8;
+  params.total_time = 200000.0;
+  params.seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::generate_workload(params));
+  }
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+}  // namespace

@@ -1,0 +1,101 @@
+// Section 5.2 aggregate comparison ("we conducted a total of 330 simulations
+// with different system configurations"):
+//
+//   * fraction of configurations where a User-Split algorithm beats the
+//     corresponding DLT-Based one (paper: 8.22%),
+//   * when DLT wins: average/max/min Task Reject Ratio gain
+//     (paper: 0.121 / 0.224 / 0.003),
+//   * when User-Split wins: the same gains (paper: 0.016 / 0.028 / 0.003).
+//
+// The configuration grid spans the paper's sweeps (policy x DCRatio x Cps x
+// Avgsigma) x the load axis; each (config, load) cell is one "simulation".
+#include <cstdio>
+#include <vector>
+
+#include "exp/report.hpp"
+#include "exp/runner.hpp"
+#include "stats/running_stats.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  using namespace rtdls;
+  const exp::Scale scale = exp::Scale::from_env();
+  util::ThreadPool pool(scale.jobs);
+
+  struct Config {
+    const char* policy;
+    double dc_ratio;
+    double cps;
+    double avg_sigma;
+  };
+  std::vector<Config> grid;
+  for (const char* policy : {"EDF", "FIFO"}) {
+    for (double dc_ratio : {2.0, 3.0, 10.0}) {
+      for (double cps : {10.0, 100.0, 1000.0}) {
+        for (double avg_sigma : {100.0, 200.0}) {
+          grid.push_back({policy, dc_ratio, cps, avg_sigma});
+        }
+      }
+    }
+  }
+
+  std::printf("=== Section 5.2 aggregate: DLT-Based vs User-Split across %zu configs ===\n",
+              grid.size());
+  std::printf("grid: {EDF,FIFO} x DCRatio {2,3,10} x Cps {10,100,1000} x Avgsigma {100,200}\n");
+  std::printf("x 10 loads each -> %zu simulations per algorithm\n\n", grid.size() * 10);
+
+  stats::RunningStats dlt_wins_gain;
+  stats::RunningStats user_wins_gain;
+  std::size_t cells = 0;
+  std::size_t user_better = 0;
+
+  for (const Config& config : grid) {
+    exp::SweepSpec spec;
+    spec.id = "usersplit_summary";
+    spec.title = "cell";
+    spec.cluster = {.node_count = 16, .cms = 1.0, .cps = config.cps};
+    spec.avg_sigma = config.avg_sigma;
+    spec.dc_ratio = config.dc_ratio;
+    spec.loads = exp::SweepSpec::paper_loads();
+    spec.algorithms = {std::string(config.policy) + "-DLT",
+                       std::string(config.policy) + "-UserSplit"};
+    spec.apply(scale);
+    const exp::SweepResult result = exp::run_sweep(spec, &pool);
+
+    for (std::size_t l = 0; l < spec.loads.size(); ++l) {
+      const double dlt = result.curves[0].reject_ratio[l].mean;
+      const double user = result.curves[1].reject_ratio[l].mean;
+      ++cells;
+      if (user < dlt) {
+        ++user_better;
+        user_wins_gain.add(dlt - user);
+      } else if (dlt < user) {
+        dlt_wins_gain.add(user - dlt);
+      }
+    }
+  }
+
+  const double user_fraction = 100.0 * static_cast<double>(user_better) /
+                               static_cast<double>(cells);
+  std::printf("%-46s %10s %10s\n", "", "paper", "measured");
+  std::printf("%-46s %9.2f%% %9.2f%%\n", "User-Split better than DLT (fraction of sims)",
+              8.22, user_fraction);
+  std::printf("%-46s %10.3f %10.3f\n", "DLT wins: average reject-ratio gain", 0.121,
+              dlt_wins_gain.mean());
+  std::printf("%-46s %10.3f %10.3f\n", "DLT wins: maximum gain", 0.224,
+              dlt_wins_gain.count() ? dlt_wins_gain.max() : 0.0);
+  std::printf("%-46s %10.3f %10.3f\n", "DLT wins: minimum gain", 0.003,
+              dlt_wins_gain.count() ? dlt_wins_gain.min() : 0.0);
+  std::printf("%-46s %10.3f %10.3f\n", "User-Split wins: average gain", 0.016,
+              user_wins_gain.mean());
+  std::printf("%-46s %10.3f %10.3f\n", "User-Split wins: maximum gain", 0.028,
+              user_wins_gain.count() ? user_wins_gain.max() : 0.0);
+  std::printf("%-46s %10.3f %10.3f\n", "User-Split wins: minimum gain", 0.003,
+              user_wins_gain.count() ? user_wins_gain.min() : 0.0);
+
+  const bool shape_holds = user_fraction < 50.0 &&
+                           dlt_wins_gain.mean() > user_wins_gain.mean();
+  std::printf("\n[%s] DLT wins the large majority of configurations and by a larger margin\n",
+              shape_holds ? "PASS" : "WARN");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// General heterogeneous partitioning: the paper's Eq. 3-5 kernel works for
+// ANY per-node processing costs, not just the virtual ones its IIT
+// transform constructs. This example partitions a load across a genuinely
+// mixed cluster (e.g. three hardware generations) and contrasts the DLT
+// split with a naive equal split.
+#include <cstdio>
+#include <vector>
+
+#include "dlt/het_model.hpp"
+
+int main() {
+  using namespace rtdls;
+
+  // A mixed rack: four new nodes (fast), four mid-life, four old.
+  std::vector<double> cps_i;
+  for (int i = 0; i < 4; ++i) cps_i.push_back(50.0);   // new: 50 tu per unit
+  for (int i = 0; i < 4; ++i) cps_i.push_back(100.0);  // mid: 100
+  for (int i = 0; i < 4; ++i) cps_i.push_back(220.0);  // old: 220
+  const double cms = 1.0;
+  const double sigma = 600.0;
+
+  const std::vector<double> alpha = dlt::general_het_alpha(cms, cps_i);
+  const double dlt_time = dlt::general_het_execution_time(cms, cps_i, sigma);
+
+  std::printf("load sigma = %.0f over %zu heterogeneous nodes (Cms = %.0f)\n\n", sigma,
+              cps_i.size(), cms);
+  std::printf("%-6s %-10s %-12s %-14s\n", "node", "Cps_i", "alpha_i", "chunk (units)");
+  for (std::size_t i = 0; i < cps_i.size(); ++i) {
+    std::printf("P%-5zu %-10.0f %-12.4f %-14.1f\n", i + 1, cps_i[i], alpha[i],
+                alpha[i] * sigma);
+  }
+
+  // Naive equal split: the slowest node dominates.
+  const double chunk = sigma / static_cast<double>(cps_i.size());
+  double channel = 0.0;
+  double equal_finish = 0.0;
+  for (double cps : cps_i) {
+    channel += chunk * cms;
+    equal_finish = std::max(equal_finish, channel + chunk * cps);
+  }
+
+  std::printf("\nDLT partition execution time:   %10.1f\n", dlt_time);
+  std::printf("equal-split execution time:     %10.1f (%.1fx slower)\n", equal_finish,
+              equal_finish / dlt_time);
+  std::puts("\nThe DLT split loads fast nodes more so all nodes finish together -");
+  std::puts("the same kernel the paper uses on its virtual 'IIT-boosted' nodes.");
+  return 0;
+}

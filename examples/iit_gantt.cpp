@@ -1,0 +1,44 @@
+// Visualizing Inserted Idle Times: run the same short task burst under
+// EDF-OPR-MN (prior work) and EDF-DLT (the paper) with schedule logging on,
+// and print ASCII Gantt charts. The '.' stretches in the OPR-MN chart are
+// the IITs - nodes reserved for a task but idling until its last node
+// frees; the DLT chart has none.
+#include <cstdio>
+
+#include "sim/simulator.hpp"
+#include "workload/generator.hpp"
+
+int main() {
+  using namespace rtdls;
+
+  // A small cluster and a deliberately bursty arrival pattern so tasks
+  // overlap and staggered availability arises.
+  workload::WorkloadParams params;
+  params.cluster = {.node_count = 8, .cms = 1.0, .cps = 100.0};
+  params.system_load = 1.2;
+  params.avg_sigma = 120.0;
+  params.dc_ratio = 2.0;
+  params.total_time = 20000.0;
+  params.seed = 6;
+  const auto tasks = workload::generate_workload(params);
+  std::printf("burst of %zu tasks on %zu nodes, window [0, %.0f)\n\n", tasks.size(),
+              params.cluster.node_count, params.total_time);
+
+  for (const char* name : {"EDF-OPR-MN", "EDF-DLT"}) {
+    sim::ScheduleLog log;
+    sim::SimulatorConfig config;
+    config.params = params.cluster;
+    config.schedule_log = &log;
+    const sim::SimMetrics metrics = sim::simulate(config, name, tasks, params.total_time);
+
+    std::printf("--- %s: accepted %zu/%zu, inserted idle %.0f node-tu ---\n", name,
+                metrics.accepted, metrics.arrivals, log.total_inserted_idle());
+    std::fputs(log.render_gantt(0.0, params.total_time, params.cluster.node_count).c_str(),
+               stdout);
+    std::puts("");
+  }
+
+  std::puts("EDF-OPR-MN holds early-freed nodes idle ('.') until a task's last node");
+  std::puts("frees; EDF-DLT starts each node the moment it is available.");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Result collection (output-data) walkthrough: many real divisible
+// workloads return non-trivial results (histograms, skimmed events,
+// reconstructed tracks). The paper's model drops output transfer as
+// negligible; this example shows what happens when it is not, and how the
+// *-IO rules keep the real-time guarantee.
+//
+//   ./result_collection [--delta 0.2] [--load 0.7] [--simtime 300000]
+#include <cstdio>
+#include <string>
+
+#include "dlt/output_model.hpp"
+#include "sim/simulator.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "workload/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rtdls;
+  // The first run below intentionally violates the completion estimates (it
+  // ignores result traffic at admission); silence the per-task error spam
+  // and let the miss counters tell the story.
+  util::Logger::instance().set_level(util::LogLevel::kOff);
+
+  util::CliParser cli;
+  cli.add_option({"delta", "output/input data ratio", "0.2", false});
+  cli.add_option({"load", "system load", "0.7", false});
+  cli.add_option({"simtime", "simulated time units", "300000", false});
+  cli.add_option({"help", "show usage", "", true});
+  if (!cli.parse(argc, argv) || cli.get_flag("help")) {
+    std::fputs(cli.usage("result_collection").c_str(), stderr);
+    return cli.get_flag("help") ? 0 : 1;
+  }
+  const double delta = cli.get_double("delta", 0.2);
+
+  workload::WorkloadParams params;
+  params.cluster = {.node_count = 16, .cms = 1.0, .cps = 100.0};
+  params.system_load = cli.get_double("load", 0.7);
+  params.total_time = cli.get_double("simtime", 300000.0);
+  params.seed = 99;
+  const auto tasks = workload::generate_workload(params);
+
+  std::printf("result volume: delta = %.2f (%.0f%% of the input comes back)\n", delta,
+              delta * 100.0);
+  std::printf("result channel budget for an average task: %.1f time units\n\n",
+              dlt::output_channel_time(params.cluster, params.avg_sigma, delta));
+
+  // Case 1: ignore results at admission (paper's model), but the cluster
+  // actually pays for them -> accepted tasks MISS deadlines.
+  sim::SimulatorConfig naive;
+  naive.params = params.cluster;
+  naive.output_ratio = delta;
+  const sim::SimMetrics ignored = sim::simulate(naive, "EDF-DLT", tasks, params.total_time);
+
+  // Case 2: budget results into every deadline with the matching *-IO rule.
+  const std::string io_name = "EDF-DLT-IO" + std::to_string(static_cast<int>(delta * 100));
+  const sim::SimMetrics budgeted = sim::simulate(naive, io_name, tasks, params.total_time);
+
+  std::printf("%-26s %-10s %-12s %-16s\n", "admission policy", "accepted", "reject_ratio",
+              "deadline misses");
+  std::printf("%-26s %-10zu %-12.4f %-16zu  <- guarantee broken\n", "EDF-DLT (results ignored)",
+              ignored.accepted, ignored.reject_ratio(), ignored.deadline_misses);
+  std::printf("%-26s %-10zu %-12.4f %-16zu  <- guarantee restored\n", io_name.c_str(),
+              budgeted.accepted, budgeted.reject_ratio(), budgeted.deadline_misses);
+
+  std::puts("\nBudgeting the result phase costs some admissions (higher reject ratio)");
+  std::puts("but restores the hard guarantee: zero deadline misses among accepted tasks.");
+  return budgeted.deadline_misses == 0 ? 0 : 1;
+}

@@ -1,0 +1,96 @@
+#include "cluster/calendar.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rtdls::cluster {
+
+namespace {
+// Reservations may abut within this tolerance without counting as overlap
+// (plans produce exact completion times that become the next start).
+constexpr Time kEps = 1e-9;
+}  // namespace
+
+NodeCalendar::NodeCalendar(std::size_t nodes) : busy_(nodes) {
+  if (nodes == 0) throw std::invalid_argument("NodeCalendar: need >= 1 node");
+}
+
+void NodeCalendar::reserve(NodeId id, Time start, Time end) {
+  if (end < start) throw std::invalid_argument("NodeCalendar::reserve: end before start");
+  auto& intervals = busy_.at(id);
+  const auto insert_at = std::upper_bound(
+      intervals.begin(), intervals.end(), start,
+      [](Time t, const Interval& interval) { return t < interval.start; });
+  // Check the neighbours for overlap.
+  if (insert_at != intervals.begin()) {
+    const Interval& before = *(insert_at - 1);
+    if (before.end > start + kEps) {
+      throw std::logic_error("NodeCalendar::reserve: overlaps earlier reservation");
+    }
+  }
+  if (insert_at != intervals.end() && insert_at->start + kEps < end) {
+    throw std::logic_error("NodeCalendar::reserve: overlaps later reservation");
+  }
+  intervals.insert(insert_at, Interval{start, end});
+}
+
+bool NodeCalendar::is_free(NodeId id, Time start, Time end) const {
+  const auto& intervals = busy_.at(id);
+  for (const Interval& interval : intervals) {
+    if (interval.start >= end - kEps) break;  // sorted: nothing later overlaps
+    if (interval.end > start + kEps) return false;
+  }
+  return true;
+}
+
+Time NodeCalendar::earliest_fit(NodeId id, Time from, Time duration) const {
+  const auto& intervals = busy_.at(id);
+  if (duration <= 0.0) return from;  // the empty window fits anywhere
+  Time candidate = from;
+  for (const Interval& interval : intervals) {
+    if (interval.end <= candidate + kEps) continue;        // already past it
+    if (interval.start >= candidate + duration - kEps) break;  // gap fits
+    candidate = interval.end;  // collide: restart after this reservation
+  }
+  return candidate;
+}
+
+Time NodeCalendar::busy_time(NodeId id) const {
+  Time total = 0.0;
+  for (const Interval& interval : busy_.at(id)) total += interval.end - interval.start;
+  return total;
+}
+
+std::vector<Time> NodeCalendar::candidate_times(Time from) const {
+  std::vector<Time> times{from};
+  for (const auto& intervals : busy_) {
+    for (const Interval& interval : intervals) {
+      if (interval.start > from) times.push_back(interval.start);
+      if (interval.end > from) times.push_back(interval.end);
+    }
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end(),
+                          [](Time a, Time b) { return std::abs(a - b) <= kEps; }),
+              times.end());
+  return times;
+}
+
+std::optional<NodeCalendar::Window> NodeCalendar::earliest_window(
+    Time from, std::size_t n, Time duration) const {
+  if (n > size()) return std::nullopt;
+  if (n == 0) return Window{from, {}};
+  for (Time t : candidate_times(from)) {
+    Window window;
+    window.start = t;
+    for (NodeId id = 0; id < size() && window.nodes.size() < n; ++id) {
+      if (is_free(id, t, t + duration)) window.nodes.push_back(id);
+    }
+    if (window.nodes.size() == n) return window;
+  }
+  // Unreachable: the last candidate time lies past every reservation, where
+  // all nodes are free.
+  return std::nullopt;
+}
+
+}  // namespace rtdls::cluster

@@ -1,0 +1,64 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace rtdls::cluster {
+
+Cluster::Cluster(ClusterParams params) : params_(params) {
+  if (!params_.valid()) throw std::invalid_argument("Cluster: invalid parameters");
+  nodes_.reserve(params_.node_count);
+  for (std::size_t i = 0; i < params_.node_count; ++i) {
+    nodes_.emplace_back(static_cast<NodeId>(i));
+  }
+}
+
+AvailabilityView Cluster::availability(Time now) const {
+  AvailabilityView view;
+  view.now = now;
+  view.times.reserve(nodes_.size());
+  for (const Node& node : nodes_) {
+    view.times.push_back(std::max(node.free_at(), now));
+  }
+  std::sort(view.times.begin(), view.times.end());
+  return view;
+}
+
+std::vector<NodeId> Cluster::earliest_free_nodes(Time now, std::size_t n) const {
+  if (n > nodes_.size()) {
+    throw std::invalid_argument("Cluster::earliest_free_nodes: n exceeds cluster size");
+  }
+  std::vector<NodeId> ids(nodes_.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::stable_sort(ids.begin(), ids.end(), [&](NodeId a, NodeId b) {
+    const Time fa = std::max(nodes_[a].free_at(), now);
+    const Time fb = std::max(nodes_[b].free_at(), now);
+    if (fa != fb) return fa < fb;
+    return a < b;
+  });
+  ids.resize(n);
+  return ids;
+}
+
+void Cluster::commit(NodeId id, TaskId task, Time usable_from, Time start, Time end) {
+  nodes_.at(id).commit(task, usable_from, start, end);
+}
+
+void Cluster::release_early(NodeId id, Time at) {
+  nodes_.at(id).release_early(at);
+}
+
+Time Cluster::total_busy_time() const {
+  Time total = 0.0;
+  for (const Node& node : nodes_) total += node.busy_time();
+  return total;
+}
+
+Time Cluster::total_idle_gap_time() const {
+  Time total = 0.0;
+  for (const Node& node : nodes_) total += node.idle_gap_time();
+  return total;
+}
+
+}  // namespace rtdls::cluster

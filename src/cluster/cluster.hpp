@@ -1,0 +1,57 @@
+// The cluster model: N homogeneous processing nodes behind one head node.
+//
+// The scheduler plans against the *sorted vector of node release times*
+// (nodes are interchangeable in the paper's model); the cluster maps an
+// accepted plan onto concrete node ids and keeps per-node accounting.
+#pragma once
+
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "cluster/types.hpp"
+
+namespace rtdls::cluster {
+
+/// Availability snapshot used by planning: release times of all N nodes,
+/// floored at `now` and sorted ascending, so `times[k-1]` is the instant at
+/// which k nodes are simultaneously available (and also the available time
+/// r_k of the k-th earliest node for IIT-utilizing partitioning).
+struct AvailabilityView {
+  Time now = 0.0;
+  std::vector<Time> times;  ///< sorted ascending, size N
+};
+
+/// Mutable cluster state.
+class Cluster {
+ public:
+  explicit Cluster(ClusterParams params);
+
+  const ClusterParams& params() const { return params_; }
+  std::size_t size() const { return nodes_.size(); }
+
+  const Node& node(NodeId id) const { return nodes_.at(id); }
+
+  /// Builds the availability snapshot at time `now`.
+  AvailabilityView availability(Time now) const;
+
+  /// Ids of the `n` earliest-available nodes at `now` (ties broken by id so
+  /// commitments are deterministic). `n` must not exceed size().
+  std::vector<NodeId> earliest_free_nodes(Time now, std::size_t n) const;
+
+  /// Commits node `id` to `task` over [start, end); see Node::commit for
+  /// the `usable_from` IIT-accounting parameter.
+  void commit(NodeId id, TaskId task, Time usable_from, Time start, Time end);
+
+  /// Releases node `id` early at `at` (actual completion before estimate).
+  void release_early(NodeId id, Time at);
+
+  /// Totals across nodes, for utilization / IIT reports.
+  Time total_busy_time() const;
+  Time total_idle_gap_time() const;
+
+ private:
+  ClusterParams params_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace rtdls::cluster

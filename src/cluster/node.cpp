@@ -1,0 +1,28 @@
+#include "cluster/node.hpp"
+
+#include <stdexcept>
+
+namespace rtdls::cluster {
+
+void Node::commit(TaskId task, Time usable_from, Time start, Time end) {
+  if (end < start) throw std::invalid_argument("Node::commit: end before start");
+  if (start + 1e-9 < free_at_) {
+    throw std::logic_error("Node::commit: overlapping commitment");
+  }
+  if (start > usable_from) idle_gap_time_ += start - usable_from;
+  busy_time_ += end - start;
+  free_at_ = end;
+  current_task_ = task;
+  ++commitments_;
+}
+
+void Node::release_early(Time at) {
+  if (at > free_at_) {
+    throw std::logic_error("Node::release_early: later than committed release");
+  }
+  busy_time_ -= free_at_ - at;
+  free_at_ = at;
+  current_task_ = kNoTask;
+}
+
+}  // namespace rtdls::cluster

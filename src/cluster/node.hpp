@@ -1,0 +1,58 @@
+// A single processing node: commitment state plus idle/busy accounting.
+#pragma once
+
+#include "cluster/types.hpp"
+
+namespace rtdls::cluster {
+
+/// Processing node state tracked by the cluster model.
+///
+/// `free_at` is the node's *release time*: the instant it finishes the work
+/// currently committed to it (or 0 / the last release when idle). The
+/// accounting fields let the metrics module report how much Inserted Idle
+/// Time each algorithm actually left on the table.
+class Node {
+ public:
+  explicit Node(NodeId id) : id_(id) {}
+
+  NodeId id() const { return id_; }
+
+  /// Time at which this node is (or becomes) available.
+  Time free_at() const { return free_at_; }
+
+  /// Task currently committed to this node, or kNoTask.
+  TaskId current_task() const { return current_task_; }
+
+  /// Commits the node to `task` over [start, end). `usable_from` is when the
+  /// node could have begun serving this task (its available time r_i in the
+  /// plan, >= free_at); the gap [usable_from, start) is recorded as Inserted
+  /// Idle Time - the waste the paper's new algorithms eliminate (OPR rules
+  /// start at r_n > r_i; IIT-utilizing rules start at r_i, gap 0).
+  /// Busy time [start, end) is added to the utilization accumulator.
+  void commit(TaskId task, Time usable_from, Time start, Time end);
+
+  /// Releases the node (e.g. when an actual completion beats the estimate);
+  /// the node becomes free at `at`, which must not exceed the committed
+  /// release. The unused tail is credited back from busy accounting.
+  void release_early(Time at);
+
+  /// Total time the node spent computing/receiving committed work.
+  Time busy_time() const { return busy_time_; }
+
+  /// Total inserted idle time: gaps where the node was free but waiting for
+  /// a task that had already reserved it (plus scheduling gaps).
+  Time idle_gap_time() const { return idle_gap_time_; }
+
+  /// Number of subtask commitments this node served.
+  std::size_t commitments() const { return commitments_; }
+
+ private:
+  NodeId id_;
+  Time free_at_ = 0.0;
+  TaskId current_task_ = kNoTask;
+  Time busy_time_ = 0.0;
+  Time idle_gap_time_ = 0.0;
+  std::size_t commitments_ = 0;
+};
+
+}  // namespace rtdls::cluster

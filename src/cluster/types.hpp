@@ -1,0 +1,38 @@
+// Shared vocabulary types for the cluster model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace rtdls::cluster {
+
+/// Simulation time. The paper uses abstract "time units"; doubles keep the
+/// closed-form DLT expressions exact enough (all comparisons use absolute
+/// values well below 1e12, giving ~1e-4 ulp slack).
+using Time = double;
+
+/// Identifier of a processing node P1..PN (0-based internally).
+using NodeId = std::uint32_t;
+
+/// Identifier of a task.
+using TaskId = std::uint64_t;
+
+/// Sentinel for "no task".
+inline constexpr TaskId kNoTask = std::numeric_limits<TaskId>::max();
+
+/// Static cluster parameters: the tuple (N, Cms, Cps) from the paper's
+/// system model.
+struct ClusterParams {
+  std::size_t node_count = 16;  ///< N: processing nodes (head node excluded)
+  double cms = 1.0;             ///< Cms: cost of transmitting one unit of load
+  double cps = 100.0;           ///< Cps: cost of processing one unit of load
+
+  /// beta = Cps / (Cms + Cps), Eq. (8). In (0, 1) whenever both costs > 0.
+  double beta() const { return cps / (cms + cps); }
+
+  /// True when the parameters form a valid model.
+  bool valid() const { return node_count > 0 && cms > 0.0 && cps > 0.0; }
+};
+
+}  // namespace rtdls::cluster

@@ -1,0 +1,83 @@
+#include "dlt/het_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dlt/homogeneous.hpp"
+
+namespace rtdls::dlt {
+
+std::vector<double> general_het_alpha(double cms, const std::vector<double>& cps_i) {
+  if (!(cms > 0.0)) throw std::invalid_argument("general_het_alpha: cms must be > 0");
+  if (cps_i.empty()) throw std::invalid_argument("general_het_alpha: need >= 1 node");
+  for (double cps : cps_i) {
+    if (!(cps > 0.0)) throw std::invalid_argument("general_het_alpha: cps_i must be > 0");
+  }
+  const std::size_t n = cps_i.size();
+  // prefix[i] = prod_{j=2..i+1} X_j with X_j = cps_{j-1} / (cms + cps_j).
+  std::vector<double> prefix(n);
+  prefix[0] = 1.0;
+  double denom = 1.0;
+  for (std::size_t i = 1; i < n; ++i) {
+    prefix[i] = prefix[i - 1] * (cps_i[i - 1] / (cms + cps_i[i]));
+    denom += prefix[i];
+  }
+  for (double& p : prefix) p /= denom;
+  return prefix;
+}
+
+double general_het_execution_time(double cms, const std::vector<double>& cps_i,
+                                  double sigma) {
+  if (!(sigma >= 0.0)) {
+    throw std::invalid_argument("general_het_execution_time: sigma must be >= 0");
+  }
+  const std::vector<double> alpha = general_het_alpha(cms, cps_i);
+  return sigma * cms + alpha.back() * sigma * cps_i.back();
+}
+
+HetPartition build_het_partition(const ClusterParams& params, double sigma,
+                                 std::vector<Time> available) {
+  if (!params.valid()) throw std::invalid_argument("het_partition: invalid cluster params");
+  if (!(sigma > 0.0)) throw std::invalid_argument("het_partition: sigma must be > 0");
+  if (available.empty()) throw std::invalid_argument("het_partition: need >= 1 node");
+
+  std::sort(available.begin(), available.end());
+  const std::size_t n = available.size();
+  const Time rn = available.back();
+
+  HetPartition out;
+  out.available = std::move(available);
+  out.homogeneous_time = homogeneous_execution_time(params, sigma, n);
+
+  // Eq. (1): the earlier a node frees, the "faster" its model counterpart.
+  // E + rn - ri >= E > 0, so cps_i is well defined and <= Cps.
+  const double e_no_iit = out.homogeneous_time;
+  out.cps_i.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.cps_i[i] = e_no_iit / (e_no_iit + (rn - out.available[i])) * params.cps;
+  }
+
+  // Eq. (4)-(5): the general heterogeneous kernel on the constructed costs.
+  out.alpha = general_het_alpha(params.cms, out.cps_i);
+
+  // Eq. (6): E_hat = sigma*Cms + alpha_n*sigma*Cps (Cps_n == Cps since
+  // r_n - r_n = 0).
+  out.execution_time = sigma * params.cms + out.alpha.back() * sigma * params.cps;
+  return out;
+}
+
+std::vector<Time> theorem4_completion_bounds(const ClusterParams& params, double sigma,
+                                             const HetPartition& partition) {
+  const std::size_t n = partition.nodes();
+  std::vector<Time> bounds(n);
+  double transmission_prefix = 0.0;  // sum_{j<=i} alpha_j * sigma * Cms
+  for (std::size_t i = 0; i < n; ++i) {
+    transmission_prefix += partition.alpha[i] * sigma * params.cms;
+    bounds[i] = transmission_prefix + partition.alpha[i] * sigma * params.cps +
+                partition.available[i];
+  }
+  return bounds;
+}
+
+}  // namespace rtdls::dlt

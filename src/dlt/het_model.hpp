@@ -1,0 +1,69 @@
+// The paper's first contribution (Section 4.1.1 A/B): casting n homogeneous
+// nodes with *different available times* r_1 <= ... <= r_n into an
+// equivalent heterogeneous model where all nodes are allocated at r_n, and
+// partitioning the load on that model.
+//
+//   Cps_i = E / (E + r_n - r_i) * Cps          (Eq. 1)
+//   Cms_i = Cms                                (Eq. 2)
+//   X_i   = Cps_{i-1} / (Cms + Cps_i)          (i = 2..n)
+//   alpha_i = alpha_1 * prod_{j=2..i} X_j,  sum alpha_i = 1   (Eq. 4, 5)
+//   E_hat(sigma, n) = sigma*Cms + alpha_n*sigma*Cps           (Eq. 6)
+//
+// with E = E(sigma, n) the homogeneous no-IIT execution time. Eq. (9)
+// guarantees E_hat <= E, and Theorem 4 guarantees that executing the
+// resulting fractions on the real homogeneous cluster (node i starting at
+// its own r_i, single sequential distribution channel) completes no later
+// than r_n + E_hat.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dlt/params.hpp"
+
+namespace rtdls::dlt {
+
+/// Optimal single-round DLT fractions for a *general* heterogeneous bus
+/// cluster: n nodes allocated simultaneously, node i with unit processing
+/// cost cps_i, shared sequential channel with unit cost cms (Eq. 3-5 with
+/// arbitrary Cps_i). Returns alpha (sums to 1). This is both the inner
+/// kernel of the paper's IIT transform and a standalone partitioner for
+/// genuinely heterogeneous clusters.
+std::vector<double> general_het_alpha(double cms, const std::vector<double>& cps_i);
+
+/// Execution time of the general heterogeneous partition (Eq. 6 with
+/// arbitrary Cps_i): sigma*cms + alpha_n*sigma*cps_n.
+double general_het_execution_time(double cms, const std::vector<double>& cps_i,
+                                  double sigma);
+
+/// The constructed heterogeneous model plus the DLT partition on it.
+struct HetPartition {
+  std::vector<Time> available;   ///< r_1..r_n, sorted ascending
+  std::vector<double> cps_i;     ///< per-node unit processing cost, Eq. (1)
+  std::vector<double> alpha;     ///< load fractions, Eq. (4)-(5); sums to 1
+  double execution_time = 0.0;   ///< E_hat(sigma, n), Eq. (6)
+  double homogeneous_time = 0.0; ///< E(sigma, n): no-IIT reference (Eq. 9 RHS)
+
+  std::size_t nodes() const { return alpha.size(); }
+
+  /// Estimated completion time r_n + E_hat (Eq. 7).
+  Time estimated_completion() const {
+    return (available.empty() ? 0.0 : available.back()) + execution_time;
+  }
+};
+
+/// Builds the heterogeneous model and its optimal DLT partition for load
+/// `sigma` over nodes with available times `available` (will be sorted).
+/// Preconditions: valid params, sigma > 0, at least one node.
+HetPartition build_het_partition(const ClusterParams& params, double sigma,
+                                 std::vector<Time> available);
+
+/// Upper bound on node i's *actual* completion time in the homogeneous
+/// cluster (proof of Theorem 4):
+///   t_act_i <= sum_{j<=i} alpha_j*sigma*Cms + alpha_i*sigma*Cps + r_i.
+/// Returns the bound for every node. All entries are <= estimated_completion
+/// (the theorem; validated by tests and by the simulator's exec model).
+std::vector<Time> theorem4_completion_bounds(const ClusterParams& params, double sigma,
+                                             const HetPartition& partition);
+
+}  // namespace rtdls::dlt

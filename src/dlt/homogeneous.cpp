@@ -1,0 +1,74 @@
+#include "dlt/homogeneous.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rtdls::dlt {
+
+namespace {
+void check_inputs(const ClusterParams& params, double sigma, std::size_t n) {
+  if (!params.valid()) throw std::invalid_argument("homogeneous: invalid cluster params");
+  if (!(sigma >= 0.0)) throw std::invalid_argument("homogeneous: sigma must be >= 0");
+  if (n == 0) throw std::invalid_argument("homogeneous: n must be >= 1");
+}
+}  // namespace
+
+double homogeneous_execution_time(const ClusterParams& params, double sigma, std::size_t n) {
+  check_inputs(params, sigma, n);
+  const double beta = params.beta();
+  // (1 - beta) / (1 - beta^n), evaluated stably: for beta close to 1 (large
+  // Cps/Cms) use expm1/log1p to avoid catastrophic cancellation in 1-beta^n.
+  const double log_beta = std::log(beta);
+  const double one_minus_beta_n = -std::expm1(static_cast<double>(n) * log_beta);
+  const double one_minus_beta = params.cms / (params.cms + params.cps);
+  return one_minus_beta / one_minus_beta_n * sigma * (params.cms + params.cps);
+}
+
+std::vector<double> homogeneous_partition(const ClusterParams& params, std::size_t n) {
+  check_inputs(params, 1.0, n);
+  const double beta = params.beta();
+  const double log_beta = std::log(beta);
+  const double one_minus_beta_n = -std::expm1(static_cast<double>(n) * log_beta);
+  const double alpha1 = (params.cms / (params.cms + params.cps)) / one_minus_beta_n;
+
+  std::vector<double> alpha(n);
+  double current = alpha1;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    alpha[i] = current;
+    sum += current;
+    current *= beta;
+  }
+  // Normalize away the accumulated floating-point drift so downstream code
+  // can rely on sum(alpha) == 1 to machine precision.
+  for (double& a : alpha) a /= sum;
+  return alpha;
+}
+
+double homogeneous_execution_time_limit(const ClusterParams& params, double sigma) {
+  check_inputs(params, sigma, 1);
+  return sigma * params.cms;
+}
+
+double homogeneous_finish_skew(const ClusterParams& params, double sigma,
+                               const std::vector<double>& alpha) {
+  if (alpha.empty()) throw std::invalid_argument("finish_skew: empty partition");
+  double transmission_end = 0.0;
+  double first_finish = 0.0;
+  double min_finish = 0.0;
+  double max_finish = 0.0;
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    transmission_end += alpha[i] * sigma * params.cms;
+    const double finish = transmission_end + alpha[i] * sigma * params.cps;
+    if (i == 0) {
+      first_finish = min_finish = max_finish = finish;
+    } else {
+      min_finish = std::min(min_finish, finish);
+      max_finish = std::max(max_finish, finish);
+    }
+  }
+  (void)first_finish;
+  return max_finish - min_finish;
+}
+
+}  // namespace rtdls::dlt

@@ -1,0 +1,38 @@
+// Homogeneous-cluster DLT results from the prior work [22] (Lin et al.,
+// RTSS'07) that this paper builds on and compares against:
+//
+//  * the optimal single-round partition when all n nodes start at the same
+//    time (geometric fractions alpha_i ~ beta^{i-1}), and
+//  * the resulting execution time
+//        E(sigma, n) = (1-beta)/(1-beta^n) * sigma * (Cms + Cps),
+//    which the paper reuses both as the OPR-MN baseline cost and as the "E"
+//    input of the heterogeneous model construction (Eq. 1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dlt/params.hpp"
+
+namespace rtdls::dlt {
+
+/// E(sigma, n): execution time of load `sigma` on `n` simultaneously
+/// allocated homogeneous nodes under the optimal DLT partition.
+/// Requires sigma >= 0 and 1 <= n.
+double homogeneous_execution_time(const ClusterParams& params, double sigma, std::size_t n);
+
+/// Optimal homogeneous partition fractions: alpha_i = beta^{i-1} * alpha_1
+/// with alpha_1 = (1-beta)/(1-beta^n). Sum is 1 by construction.
+std::vector<double> homogeneous_partition(const ClusterParams& params, std::size_t n);
+
+/// Limit of E(sigma, n) as n -> infinity: sigma * Cms (pure transmission).
+/// No finite n can beat this; useful for feasibility pre-checks.
+double homogeneous_execution_time_limit(const ClusterParams& params, double sigma);
+
+/// Verifies the DLT optimality invariant for a homogeneous partition: every
+/// node finishes at the same instant. Returns the maximum absolute finish
+/// skew (0 for the optimal partition, up to rounding).
+double homogeneous_finish_skew(const ClusterParams& params, double sigma,
+                               const std::vector<double>& alpha);
+
+}  // namespace rtdls::dlt

@@ -1,0 +1,61 @@
+#include "dlt/multiround.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dlt/het_model.hpp"
+
+namespace rtdls::dlt {
+
+Time MultiRoundSchedule::task_completion() const {
+  Time latest = 0.0;
+  for (Time t : node_completion) latest = std::max(latest, t);
+  return latest;
+}
+
+MultiRoundSchedule build_multiround_schedule(const ClusterParams& params, double sigma,
+                                             std::vector<Time> available,
+                                             std::size_t rounds) {
+  if (!params.valid()) throw std::invalid_argument("multiround: invalid cluster params");
+  if (!(sigma > 0.0)) throw std::invalid_argument("multiround: sigma must be > 0");
+  if (available.empty()) throw std::invalid_argument("multiround: need >= 1 node");
+  if (rounds == 0) throw std::invalid_argument("multiround: rounds must be >= 1");
+
+  std::sort(available.begin(), available.end());
+  const std::size_t n = available.size();
+  const double installment = sigma / static_cast<double>(rounds);
+
+  MultiRoundSchedule schedule;
+  schedule.initial_available = available;
+  schedule.rounds.reserve(rounds);
+
+  std::vector<Time> node_free = available;  // sorted each round below
+  Time channel_free = 0.0;                  // single sequential channel
+
+  for (std::size_t r = 0; r < rounds; ++r) {
+    std::sort(node_free.begin(), node_free.end());
+    // Partition this installment with the heterogeneous-model rule against
+    // the nodes' current availability; the partition shape is the heuristic,
+    // the rolled-out timeline below is exact.
+    const HetPartition part = build_het_partition(params, installment, node_free);
+
+    RoundPlan plan;
+    plan.alpha = part.alpha;
+    plan.tx_start.resize(n);
+    plan.completion.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double tx = part.alpha[i] * installment * params.cms;
+      const double compute = part.alpha[i] * installment * params.cps;
+      const Time start = std::max(part.available[i], channel_free);
+      channel_free = start + tx;
+      plan.tx_start[i] = start;
+      plan.completion[i] = channel_free + compute;
+      node_free[i] = plan.completion[i];
+    }
+    schedule.rounds.push_back(std::move(plan));
+  }
+  schedule.node_completion = node_free;
+  return schedule;
+}
+
+}  // namespace rtdls::dlt

@@ -1,0 +1,53 @@
+#include "dlt/nmin.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rtdls::dlt {
+
+NminResult minimum_nodes(const ClusterParams& params, double sigma,
+                         Time abs_deadline, Time rn) {
+  if (!params.valid()) throw std::invalid_argument("minimum_nodes: invalid cluster params");
+  if (!(sigma > 0.0)) throw std::invalid_argument("minimum_nodes: sigma must be > 0");
+
+  NminResult result;
+  const Time slack = abs_deadline - rn;
+  if (slack <= 0.0) {
+    result.reason = Infeasibility::kDeadlinePassed;
+    return result;
+  }
+  const double gamma = 1.0 - sigma * params.cms / slack;
+  if (gamma <= 0.0) {
+    // Even pure transmission (the n -> infinity limit of E) misses.
+    result.reason = Infeasibility::kTransmissionTooLong;
+    return result;
+  }
+  const double beta = params.beta();
+  // 0 < beta < 1 and 0 < gamma < 1, so the ratio is positive and finite.
+  const double raw = std::log(gamma) / std::log(beta);
+  double n = std::ceil(raw);
+  // Guard against raw being an exact integer nudged up by rounding: accept
+  // n-1 when it still satisfies beta^(n-1) <= gamma within one ulp-ish slack.
+  if (n >= 2.0 && std::pow(beta, n - 1.0) <= gamma * (1.0 + 1e-12)) {
+    n -= 1.0;
+  }
+  if (n < 1.0) n = 1.0;
+  result.nodes = static_cast<std::size_t>(n);
+  return result;
+}
+
+double max_feasible_sigma(const ClusterParams& params, std::size_t n, Time window) {
+  if (!params.valid()) throw std::invalid_argument("max_feasible_sigma: invalid params");
+  if (n == 0) throw std::invalid_argument("max_feasible_sigma: n must be >= 1");
+  if (!(window > 0.0)) return 0.0;
+  // E(sigma, n) = K(n) * sigma with K(n) = (1-beta)/(1-beta^n)*(Cms+Cps);
+  // invert the linear relation.
+  const double beta = params.beta();
+  const double log_beta = std::log(beta);
+  const double one_minus_beta_n = -std::expm1(static_cast<double>(n) * log_beta);
+  const double k = (params.cms / (params.cms + params.cps)) / one_minus_beta_n *
+                   (params.cms + params.cps);
+  return window / k;
+}
+
+}  // namespace rtdls::dlt

@@ -1,0 +1,46 @@
+// The n_min machinery of Section 4.1.1 B: the minimum (OPR-MN, exact under
+// the no-IIT cost model) / upper-bound-minimum (DLT-IIT, Eq. 8-14) number of
+// nodes needed to meet a deadline when the task starts at r_n.
+//
+//   beta  = Cps / (Cms + Cps)                       (Eq. 8)
+//   gamma = 1 - sigma*Cms / (A + D - r_n)           (Eq. 14)
+//   n_min_tilde = ceil(ln gamma / ln beta)
+//
+// Rejection cases (the paper's two explicit branches):
+//   A + D - r_n <= 0  -> kDeadlinePassed
+//   gamma      <= 0   -> kTransmissionTooLong
+#pragma once
+
+#include <cstddef>
+
+#include "dlt/params.hpp"
+
+namespace rtdls::dlt {
+
+/// Result of an n_min computation.
+struct NminResult {
+  Infeasibility reason = Infeasibility::kNone;  ///< kNone when `nodes` is valid
+  std::size_t nodes = 0;                        ///< n_min_tilde; >= 1 when feasible
+
+  bool feasible() const { return reason == Infeasibility::kNone; }
+};
+
+/// Computes n_min_tilde for a task with data size `sigma` and absolute
+/// deadline `abs_deadline`, assuming the task's last node becomes available
+/// at `rn`. The same closed form serves both
+///   * OPR-MN: the minimal n with rn + E(sigma,n) <= deadline (exact under
+///     the homogeneous no-IIT model), and
+///   * DLT-IIT: an upper bound n_min_tilde >= n_min that still guarantees
+///     the deadline because E_hat <= E (Eq. 9).
+/// The returned node count is NOT clamped to the cluster size; callers
+/// compare against N and report kNeedsMoreNodes themselves (they know how
+/// many nodes could be offered).
+NminResult minimum_nodes(const ClusterParams& params, double sigma,
+                         Time abs_deadline, Time rn);
+
+/// Feasibility check used at task-admission edges: the largest load a
+/// cluster of N nodes can finish within `window` time units when started
+/// immediately (inverse of E(sigma, N) <= window).
+double max_feasible_sigma(const ClusterParams& params, std::size_t n, Time window);
+
+}  // namespace rtdls::dlt

@@ -1,0 +1,15 @@
+#include "dlt/params.hpp"
+
+namespace rtdls::dlt {
+
+const char* infeasibility_name(Infeasibility reason) {
+  switch (reason) {
+    case Infeasibility::kNone: return "none";
+    case Infeasibility::kDeadlinePassed: return "deadline-passed";
+    case Infeasibility::kTransmissionTooLong: return "transmission-too-long";
+    case Infeasibility::kNeedsMoreNodes: return "needs-more-nodes";
+  }
+  return "unknown";
+}
+
+}  // namespace rtdls::dlt

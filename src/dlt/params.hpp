@@ -1,0 +1,36 @@
+// Task-level vocabulary shared by the DLT math and the scheduler.
+#pragma once
+
+#include "cluster/types.hpp"
+
+namespace rtdls::dlt {
+
+using cluster::ClusterParams;
+using cluster::Time;
+
+/// The divisible-task tuple T = (A, sigma, D) from the paper's task model.
+struct TaskSpec {
+  Time arrival = 0.0;       ///< A: arrival time
+  double sigma = 0.0;       ///< sigma: total data size
+  Time rel_deadline = 0.0;  ///< D: relative deadline
+
+  /// Absolute deadline A + D.
+  Time absolute_deadline() const { return arrival + rel_deadline; }
+
+  /// Basic sanity: positive load, positive deadline.
+  bool valid() const { return sigma > 0.0 && rel_deadline > 0.0; }
+};
+
+/// Why a task cannot be scheduled at a proposed start time. Mirrors the two
+/// rejection branches in the paper's n_min derivation (Section 4.1.1 B).
+enum class Infeasibility {
+  kNone = 0,
+  kDeadlinePassed,       ///< A + D - rn <= 0: no time left at all
+  kTransmissionTooLong,  ///< gamma <= 0: even pure transmission misses
+  kNeedsMoreNodes,       ///< n_min exceeds the nodes that can be offered
+};
+
+/// Human-readable name for an Infeasibility value.
+const char* infeasibility_name(Infeasibility reason);
+
+}  // namespace rtdls::dlt

@@ -1,0 +1,48 @@
+#include "dlt/user_split.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rtdls::dlt {
+
+std::optional<std::size_t> user_split_min_nodes(const ClusterParams& params,
+                                                double sigma, Time rel_deadline) {
+  if (!params.valid()) throw std::invalid_argument("user_split_min_nodes: invalid params");
+  if (!(sigma > 0.0)) throw std::invalid_argument("user_split_min_nodes: sigma must be > 0");
+  const double denom = rel_deadline - sigma * params.cms;
+  if (denom <= 0.0) return std::nullopt;  // even infinite nodes cannot help
+  const double raw = sigma * params.cps / denom;
+  std::size_t n = static_cast<std::size_t>(std::ceil(raw));
+  return std::max<std::size_t>(n, 1);
+}
+
+UserSplitSchedule build_user_split_schedule(const ClusterParams& params, double sigma,
+                                            std::vector<Time> available) {
+  if (!params.valid()) throw std::invalid_argument("user_split_schedule: invalid params");
+  if (!(sigma > 0.0)) throw std::invalid_argument("user_split_schedule: sigma must be > 0");
+  if (available.empty()) throw std::invalid_argument("user_split_schedule: need >= 1 node");
+
+  std::sort(available.begin(), available.end());
+  const std::size_t n = available.size();
+
+  UserSplitSchedule schedule;
+  schedule.available = std::move(available);
+  schedule.chunk = sigma / static_cast<double>(n);
+  schedule.start.resize(n);
+  schedule.completion.resize(n);
+
+  const double tx = schedule.chunk * params.cms;
+  const double compute = schedule.chunk * params.cps;
+  for (std::size_t i = 0; i < n; ++i) {
+    // s_1 = r_1; s_i = max(r_i, s_{i-1} + chunk*Cms): node i cannot start
+    // before it is free, nor before the head node finished transmitting the
+    // previous chunks over the single channel.
+    const Time channel_free = (i == 0) ? schedule.available[0] : schedule.start[i - 1] + tx;
+    schedule.start[i] = std::max(schedule.available[i], channel_free);
+    schedule.completion[i] = schedule.start[i] + tx + compute;
+  }
+  return schedule;
+}
+
+}  // namespace rtdls::dlt

@@ -1,0 +1,89 @@
+#include "exp/figure.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "exp/report.hpp"
+#include "util/strings.hpp"
+
+namespace rtdls::exp {
+
+double curve_mean(const CurveResult& curve) {
+  if (curve.reject_ratio.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& ci : curve.reject_ratio) sum += ci.mean;
+  return sum / static_cast<double>(curve.reject_ratio.size());
+}
+
+namespace {
+
+// Reduced-scale runs are noisy; the winner only needs to be no worse than
+// the loser up to this absolute mean-reject-ratio slack.
+constexpr double kShapeTolerance = 0.005;
+
+ShapeCheck check_winner(const SweepResult& panel, const std::string& winner) {
+  ShapeCheck check;
+  check.description = panel.spec.id + ": " + winner + " no worse on average";
+
+  const CurveResult* winner_curve = nullptr;
+  for (const CurveResult& curve : panel.curves) {
+    if (curve.algorithm == winner) winner_curve = &curve;
+  }
+  if (winner_curve == nullptr) {
+    check.passed = false;
+    check.detail = "winner algorithm not in sweep";
+    return check;
+  }
+  const double winner_mean = curve_mean(*winner_curve);
+  check.passed = true;
+  std::ostringstream detail;
+  detail << winner << "=" << util::format_double(winner_mean, 4);
+  for (const CurveResult& curve : panel.curves) {
+    if (&curve == winner_curve) continue;
+    const double other = curve_mean(curve);
+    detail << " vs " << curve.algorithm << "=" << util::format_double(other, 4);
+    if (winner_mean > other + kShapeTolerance) check.passed = false;
+  }
+  check.detail = detail.str();
+  return check;
+}
+
+}  // namespace
+
+FigureResult run_figure(const FigureSpec& spec, util::ThreadPool* pool) {
+  FigureResult result;
+  result.spec = spec;
+  result.panels = run_sweeps(spec.panels, pool);
+  for (const SweepResult& panel : result.panels) {
+    if (!panel.spec.expected_winner.empty()) {
+      result.checks.push_back(check_winner(panel, panel.spec.expected_winner));
+    }
+  }
+  return result;
+}
+
+int report_figure(const FigureSpec& spec) {
+  const Scale scale = Scale::from_env();
+  util::ThreadPool pool(scale.jobs);
+
+  std::printf("=== %s: %s ===\n", spec.id.c_str(), spec.title.c_str());
+  const FigureResult result = run_figure(spec, &pool);
+
+  for (const SweepResult& panel : result.panels) {
+    std::fputs(render_sweep(panel).c_str(), stdout);
+    const std::string csv = write_sweep_csv(results_dir(), panel);
+    const std::string gp = write_sweep_gnuplot(results_dir(), panel);
+    std::printf("csv: %s   gnuplot: %s\n\n", csv.c_str(), gp.c_str());
+  }
+
+  int failures = 0;
+  for (const ShapeCheck& check : result.checks) {
+    std::printf("[%s] %s  (%s)\n", check.passed ? "PASS" : "WARN",
+                check.description.c_str(), check.detail.c_str());
+    if (!check.passed) ++failures;
+  }
+  std::fflush(stdout);
+  return failures;
+}
+
+}  // namespace rtdls::exp

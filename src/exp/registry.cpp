@@ -1,0 +1,310 @@
+#include "exp/registry.hpp"
+
+#include <utility>
+
+namespace rtdls::exp {
+
+namespace {
+
+/// Paper algorithm pairs per policy.
+const char* kEdfPair[] = {"EDF-OPR-MN", "EDF-DLT"};
+const char* kFifoPair[] = {"FIFO-OPR-MN", "FIFO-DLT"};
+const char* kEdfUserSplit[] = {"EDF-DLT", "EDF-UserSplit"};
+const char* kFifoUserSplit[] = {"FIFO-DLT", "FIFO-UserSplit"};
+
+SweepSpec with_curves(SweepSpec spec, const char* const curves[2], std::string winner) {
+  spec.algorithms = {curves[0], curves[1]};
+  spec.expected_winner = std::move(winner);
+  return spec;
+}
+
+}  // namespace
+
+SweepSpec baseline_sweep(const Scale& scale, std::string id, std::string title) {
+  SweepSpec spec;
+  spec.id = std::move(id);
+  spec.title = std::move(title);
+  spec.cluster.node_count = 16;
+  spec.cluster.cms = 1.0;
+  spec.cluster.cps = 100.0;
+  spec.avg_sigma = 200.0;
+  spec.dc_ratio = 2.0;
+  spec.loads = SweepSpec::paper_loads();
+  spec.apply(scale);
+  return spec;
+}
+
+FigureSpec fig03_baseline(const Scale& scale) {
+  FigureSpec figure;
+  figure.id = "fig03";
+  figure.title = "Benefits of Utilizing IITs (baseline; means carry 95% CIs, covering 3a+3b)";
+  figure.panels.push_back(with_curves(
+      baseline_sweep(scale, "fig03a", "nodes=16, Cms=1, Cps=100, Avgsigma=200, DCRatio=2"),
+      kEdfPair, "EDF-DLT"));
+  return figure;
+}
+
+namespace {
+
+FigureSpec dcratio_figure(const Scale& scale, std::string id, std::string title,
+                          const char* const pair[2], const std::string& winner) {
+  FigureSpec figure;
+  figure.id = std::move(id);
+  figure.title = std::move(title);
+  const double ratios[] = {3.0, 10.0, 20.0, 100.0};
+  const char* const tags[] = {"a", "b", "c", "d"};
+  for (int i = 0; i < 4; ++i) {
+    SweepSpec spec = baseline_sweep(scale, figure.id + tags[i],
+                                    "DCRatio = " + std::to_string(static_cast<int>(ratios[i])));
+    spec.dc_ratio = ratios[i];
+    figure.panels.push_back(with_curves(std::move(spec), pair, winner));
+  }
+  return figure;
+}
+
+FigureSpec avgsigma_figure(const Scale& scale, std::string id, std::string title,
+                           const char* const pair[2], const std::string& winner) {
+  FigureSpec figure;
+  figure.id = std::move(id);
+  figure.title = std::move(title);
+  const double sigmas[] = {100.0, 200.0, 400.0, 800.0};
+  const char* const tags[] = {"a", "b", "c", "d"};
+  for (int i = 0; i < 4; ++i) {
+    SweepSpec spec = baseline_sweep(scale, figure.id + tags[i],
+                                    "Avgsigma = " + std::to_string(static_cast<int>(sigmas[i])));
+    spec.avg_sigma = sigmas[i];
+    figure.panels.push_back(with_curves(std::move(spec), pair, winner));
+  }
+  return figure;
+}
+
+FigureSpec cms_figure(const Scale& scale, std::string id, std::string title,
+                      const char* const pair[2], const std::string& winner) {
+  FigureSpec figure;
+  figure.id = std::move(id);
+  figure.title = std::move(title);
+  const double values[] = {1.0, 2.0, 4.0, 8.0};
+  const char* const tags[] = {"a", "b", "c", "d"};
+  for (int i = 0; i < 4; ++i) {
+    SweepSpec spec = baseline_sweep(scale, figure.id + tags[i],
+                                    "Cms = " + std::to_string(static_cast<int>(values[i])));
+    spec.cluster.cms = values[i];
+    figure.panels.push_back(with_curves(std::move(spec), pair, winner));
+  }
+  return figure;
+}
+
+FigureSpec cps_figure(const Scale& scale, std::string id, std::string title,
+                      const char* const pair[2], const std::string& winner) {
+  FigureSpec figure;
+  figure.id = std::move(id);
+  figure.title = std::move(title);
+  const double values[] = {10.0, 50.0, 500.0, 1000.0, 5000.0, 10000.0};
+  const char* const tags[] = {"a", "b", "c", "d", "e", "f"};
+  for (int i = 0; i < 6; ++i) {
+    SweepSpec spec = baseline_sweep(scale, figure.id + tags[i],
+                                    "Cps = " + std::to_string(static_cast<int>(values[i])));
+    spec.cluster.cps = values[i];
+    figure.panels.push_back(with_curves(std::move(spec), pair, winner));
+  }
+  return figure;
+}
+
+FigureSpec usersplit_cps_figure(const Scale& scale, std::string id, std::string title,
+                                const char* const pair[2], const std::string& winner) {
+  // Fig. 14/16: six Cps panels at DCRatio=2 plus DCRatio 3 and 10 panels.
+  FigureSpec figure = cps_figure(scale, std::move(id), std::move(title), pair, winner);
+  SweepSpec g = baseline_sweep(scale, figure.id + "g", "DCRatio = 3");
+  g.dc_ratio = 3.0;
+  figure.panels.push_back(with_curves(std::move(g), pair, winner));
+  SweepSpec h = baseline_sweep(scale, figure.id + "h", "DCRatio = 10");
+  h.dc_ratio = 10.0;
+  // At DCRatio >= 10 the paper reports User-Split occasionally winning by a
+  // negligible margin: no winner expectation.
+  figure.panels.push_back(with_curves(std::move(h), pair, ""));
+  return figure;
+}
+
+}  // namespace
+
+FigureSpec fig04_dcratio_edf(const Scale& scale) {
+  return dcratio_figure(scale, "fig04", "Benefits of Utilizing IITs: DCRatio Effects (EDF)",
+                        kEdfPair, "EDF-DLT");
+}
+
+FigureSpec fig05_usersplit_edf(const Scale& scale) {
+  FigureSpec figure;
+  figure.id = "fig05";
+  figure.title = "DLT-Based vs. User-Split Algorithms (EDF)";
+  figure.panels.push_back(with_curves(
+      baseline_sweep(scale, "fig05a", "baseline, DCRatio = 2"), kEdfUserSplit, "EDF-DLT"));
+  SweepSpec b = baseline_sweep(scale, "fig05b", "DCRatio = 10");
+  b.dc_ratio = 10.0;
+  figure.panels.push_back(with_curves(std::move(b), kEdfUserSplit, ""));
+  return figure;
+}
+
+FigureSpec fig06_avgsigma_edf(const Scale& scale) {
+  return avgsigma_figure(scale, "fig06", "Benefits of Utilizing IITs: Avgsigma Effects (EDF)",
+                         kEdfPair, "EDF-DLT");
+}
+
+FigureSpec fig07_cms_edf(const Scale& scale) {
+  return cms_figure(scale, "fig07", "Benefits of Utilizing IITs: Cms Effects (EDF)", kEdfPair,
+                    "EDF-DLT");
+}
+
+FigureSpec fig08_cps_edf(const Scale& scale) {
+  return cps_figure(scale, "fig08", "Benefits of Utilizing IITs: Cps Effects (EDF)", kEdfPair,
+                    "EDF-DLT");
+}
+
+FigureSpec fig09_dcratio_fifo(const Scale& scale) {
+  return dcratio_figure(scale, "fig09", "Benefits of Utilizing IITs: DCRatio Effects (FIFO)",
+                        kFifoPair, "FIFO-DLT");
+}
+
+FigureSpec fig10_avgsigma_fifo(const Scale& scale) {
+  return avgsigma_figure(scale, "fig10", "Benefits of Utilizing IITs: Avgsigma Effects (FIFO)",
+                         kFifoPair, "FIFO-DLT");
+}
+
+FigureSpec fig11_cms_fifo(const Scale& scale) {
+  return cms_figure(scale, "fig11", "Benefits of Utilizing IITs: Cms Effects (FIFO)", kFifoPair,
+                    "FIFO-DLT");
+}
+
+FigureSpec fig12_cps_fifo(const Scale& scale) {
+  return cps_figure(scale, "fig12", "Benefits of Utilizing IITs: Cps Effects (FIFO)", kFifoPair,
+                    "FIFO-DLT");
+}
+
+FigureSpec fig13_usersplit_avgsigma_edf(const Scale& scale) {
+  return avgsigma_figure(scale, "fig13", "DLT-Based vs. User-Split: Avgsigma Effects (EDF)",
+                         kEdfUserSplit, "EDF-DLT");
+}
+
+FigureSpec fig14_usersplit_cps_edf(const Scale& scale) {
+  return usersplit_cps_figure(scale, "fig14", "DLT-Based vs. User-Split Algorithms (EDF)",
+                              kEdfUserSplit, "EDF-DLT");
+}
+
+FigureSpec fig15_usersplit_avgsigma_fifo(const Scale& scale) {
+  return avgsigma_figure(scale, "fig15", "DLT-Based vs. User-Split: Avgsigma Effects (FIFO)",
+                         kFifoUserSplit, "FIFO-DLT");
+}
+
+FigureSpec fig16_usersplit_cps_fifo(const Scale& scale) {
+  return usersplit_cps_figure(scale, "fig16", "DLT-Based vs. User-Split Algorithms (FIFO)",
+                              kFifoUserSplit, "FIFO-DLT");
+}
+
+FigureSpec ablation_release_policy(const Scale& scale) {
+  FigureSpec figure;
+  figure.id = "ablation_release";
+  figure.title = "Ablation: node release at estimated vs actual completion (EDF-DLT)";
+  SweepSpec estimate = baseline_sweep(scale, "ablation_release_estimate",
+                                      "release at estimated completion (paper accounting)");
+  estimate.algorithms = {"EDF-OPR-MN", "EDF-DLT"};
+  estimate.expected_winner = "EDF-DLT";
+  figure.panels.push_back(std::move(estimate));
+
+  SweepSpec actual = baseline_sweep(scale, "ablation_release_actual",
+                                    "release at actual completion (Theorem-4 early release)");
+  actual.algorithms = {"EDF-OPR-MN", "EDF-DLT"};
+  actual.release_policy = sim::ReleasePolicy::kActual;
+  actual.expected_winner = "EDF-DLT";
+  figure.panels.push_back(std::move(actual));
+  return figure;
+}
+
+FigureSpec ablation_multiround(const Scale& scale) {
+  FigureSpec figure;
+  figure.id = "ablation_multiround";
+  figure.title = "Extension: multi-round (multi-installment) DLT scheduling (Section 6)";
+  SweepSpec spec = baseline_sweep(scale, "ablation_multiround_edf",
+                                  "EDF: single round vs 2 and 4 installments");
+  spec.algorithms = {"EDF-DLT", "EDF-MR2", "EDF-MR4"};
+  figure.panels.push_back(std::move(spec));
+
+  SweepSpec tight = baseline_sweep(scale, "ablation_multiround_tight",
+                                   "EDF, Cms=4: heavier channel, DCRatio=2");
+  tight.cluster.cms = 4.0;
+  tight.algorithms = {"EDF-DLT", "EDF-MR2", "EDF-MR4"};
+  figure.panels.push_back(std::move(tight));
+  return figure;
+}
+
+FigureSpec ablation_opr_an(const Scale& scale) {
+  FigureSpec figure;
+  figure.id = "ablation_opr_an";
+  figure.title =
+      "Reference: OPR-AN (every task monopolizes all N nodes) vs DLT. The paper drops "
+      "AN for administrative reasons, not its reject ratio - no winner is asserted.";
+  SweepSpec edf = baseline_sweep(scale, "ablation_opr_an_edf", "EDF variants");
+  edf.algorithms = {"EDF-OPR-AN", "EDF-DLT"};
+  figure.panels.push_back(std::move(edf));
+  SweepSpec fifo = baseline_sweep(scale, "ablation_opr_an_fifo", "FIFO variants");
+  fifo.algorithms = {"FIFO-OPR-AN", "FIFO-DLT"};
+  figure.panels.push_back(std::move(fifo));
+  return figure;
+}
+
+FigureSpec ablation_backfill(const Scale& scale) {
+  FigureSpec figure;
+  figure.id = "ablation_backfill";
+  figure.title =
+      "Comparator: conservative backfilling on OPR-MN vs the paper's IIT-utilizing DLT. "
+      "The paper positions its approach as complementary to backfilling; this measures "
+      "how much of the IIT waste backfilling alone recovers.";
+  SweepSpec edf = baseline_sweep(scale, "ablation_backfill_edf", "EDF variants");
+  edf.algorithms = {"EDF-OPR-MN", "EDF-OPR-MN-BF", "EDF-DLT"};
+  edf.expected_winner = "EDF-DLT";
+  figure.panels.push_back(std::move(edf));
+  SweepSpec fifo = baseline_sweep(scale, "ablation_backfill_fifo", "FIFO variants");
+  fifo.algorithms = {"FIFO-OPR-MN", "FIFO-OPR-MN-BF", "FIFO-DLT"};
+  fifo.expected_winner = "FIFO-DLT";
+  figure.panels.push_back(std::move(fifo));
+  return figure;
+}
+
+FigureSpec ablation_output(const Scale& scale) {
+  FigureSpec figure;
+  figure.id = "ablation_output";
+  figure.title =
+      "Extension: output-data transfer (Section 3 'straightforward extension'). Result "
+      "volume delta of the input is returned over the same channel; the *-IO rules "
+      "budget it into every deadline.";
+  const double deltas[] = {0.05, 0.2, 0.5};
+  const char* const names[] = {"EDF-DLT-IO5", "EDF-DLT-IO20", "EDF-DLT-IO50"};
+  const char* const baselines[] = {"EDF-OPR-MN-IO5", "EDF-OPR-MN-IO20", "EDF-OPR-MN-IO50"};
+  const char* const tags[] = {"a", "b", "c"};
+  for (int i = 0; i < 3; ++i) {
+    SweepSpec spec = baseline_sweep(scale, std::string("ablation_output_") + tags[i],
+                                    std::string("delta = ") + names[i] + " vs " + baselines[i]);
+    spec.algorithms = {baselines[i], names[i]};
+    spec.output_ratio = deltas[i];
+    spec.expected_winner = names[i];
+    figure.panels.push_back(std::move(spec));
+  }
+  return figure;
+}
+
+std::vector<FigureSpec> paper_figures(const Scale& scale) {
+  return {fig03_baseline(scale),
+          fig04_dcratio_edf(scale),
+          fig05_usersplit_edf(scale),
+          fig06_avgsigma_edf(scale),
+          fig07_cms_edf(scale),
+          fig08_cps_edf(scale),
+          fig09_dcratio_fifo(scale),
+          fig10_avgsigma_fifo(scale),
+          fig11_cms_fifo(scale),
+          fig12_cps_fifo(scale),
+          fig13_usersplit_avgsigma_edf(scale),
+          fig14_usersplit_cps_edf(scale),
+          fig15_usersplit_avgsigma_fifo(scale),
+          fig16_usersplit_cps_fifo(scale)};
+}
+
+}  // namespace rtdls::exp

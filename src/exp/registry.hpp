@@ -1,0 +1,42 @@
+// Definitions of every figure in the paper's evaluation (Figures 3-16) plus
+// the extension/ablation experiments, all parameterized by the execution
+// Scale. Each bench binary pulls exactly one figure from here, so the
+// experiment inventory lives in one reviewed place.
+#pragma once
+
+#include "exp/figure.hpp"
+
+namespace rtdls::exp {
+
+/// Baseline: N=16, Cms=1, Cps=100, Avgsigma=200, DCRatio=2, loads 0.1..1.0.
+SweepSpec baseline_sweep(const Scale& scale, std::string id, std::string title);
+
+// --- paper figures -------------------------------------------------------
+FigureSpec fig03_baseline(const Scale& scale);          ///< EDF-DLT vs EDF-OPR-MN (+95% CI)
+FigureSpec fig04_dcratio_edf(const Scale& scale);       ///< DCRatio in {3,10,20,100}
+FigureSpec fig05_usersplit_edf(const Scale& scale);     ///< vs UserSplit, DCRatio {2,10}
+FigureSpec fig06_avgsigma_edf(const Scale& scale);      ///< Avgsigma in {100,200,400,800}
+FigureSpec fig07_cms_edf(const Scale& scale);           ///< Cms in {1,2,4,8}
+FigureSpec fig08_cps_edf(const Scale& scale);           ///< Cps in {10,...,10000}
+FigureSpec fig09_dcratio_fifo(const Scale& scale);
+FigureSpec fig10_avgsigma_fifo(const Scale& scale);
+FigureSpec fig11_cms_fifo(const Scale& scale);
+FigureSpec fig12_cps_fifo(const Scale& scale);
+FigureSpec fig13_usersplit_avgsigma_edf(const Scale& scale);
+FigureSpec fig14_usersplit_cps_edf(const Scale& scale);  ///< + DCRatio {3,10} panels
+FigureSpec fig15_usersplit_avgsigma_fifo(const Scale& scale);
+FigureSpec fig16_usersplit_cps_fifo(const Scale& scale);
+
+// --- extensions / ablations ----------------------------------------------
+FigureSpec ablation_release_policy(const Scale& scale);  ///< estimate vs actual release
+FigureSpec ablation_multiround(const Scale& scale);      ///< MR2/MR4 vs single round
+FigureSpec ablation_opr_an(const Scale& scale);          ///< all-nodes reference
+FigureSpec ablation_backfill(const Scale& scale);        ///< OPR-MN + conservative backfilling
+FigureSpec ablation_output(const Scale& scale);          ///< output-data transfer (*-IO)
+// (the shared-link ablation needs per-task deadline-miss accounting rather
+// than reject-ratio curves; it lives directly in bench/ablation_shared_link)
+
+/// All paper figures, in order.
+std::vector<FigureSpec> paper_figures(const Scale& scale);
+
+}  // namespace rtdls::exp

@@ -1,0 +1,36 @@
+// Rendering and persistence of sweep results: aligned terminal tables, ASCII
+// charts mirroring the paper's plots, and CSV files under results/.
+#pragma once
+
+#include <string>
+
+#include "exp/spec.hpp"
+
+namespace rtdls::exp {
+
+/// Aligned table: one row per load, "mean +- ci" per algorithm, plus a
+/// shape-check column (difference between the first two curves when the
+/// sweep has exactly two, as every paper figure does).
+std::string render_sweep_table(const SweepResult& result);
+
+/// ASCII chart of all curves over the load axis.
+std::string render_sweep_chart(const SweepResult& result);
+
+/// Full report: header, table, chart.
+std::string render_sweep(const SweepResult& result);
+
+/// Writes "<dir>/<sweep id>.csv" with columns
+/// load,<alg> mean,<alg> ci_half,... ; creates `dir` if needed.
+/// Returns the written path.
+std::string write_sweep_csv(const std::string& dir, const SweepResult& result);
+
+/// Writes "<dir>/<sweep id>.gp": a self-contained gnuplot script that plots
+/// the sweep's CSV with error bars in the paper's style (reject ratio over
+/// system load, one series per algorithm). Run `gnuplot <id>.gp` next to
+/// the CSV to produce "<id>.png". Returns the written path.
+std::string write_sweep_gnuplot(const std::string& dir, const SweepResult& result);
+
+/// Directory used by the bench binaries ("results" or $RTDLS_RESULTS).
+std::string results_dir();
+
+}  // namespace rtdls::exp

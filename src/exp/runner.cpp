@@ -1,0 +1,95 @@
+#include "exp/runner.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "sched/registry.hpp"
+#include "util/log.hpp"
+
+namespace rtdls::exp {
+
+workload::WorkloadParams cell_workload(const SweepSpec& spec, double load,
+                                       std::size_t run) {
+  workload::WorkloadParams params;
+  params.cluster = spec.cluster;
+  params.system_load = load;
+  params.avg_sigma = spec.avg_sigma;
+  params.dc_ratio = spec.dc_ratio;
+  params.total_time = spec.sim_time;
+  params.seed = spec.seed;
+  params.stream = run;
+  return params;
+}
+
+SweepResult run_sweep(const SweepSpec& spec, util::ThreadPool* pool) {
+  if (spec.loads.empty()) throw std::invalid_argument("run_sweep: no loads");
+  if (spec.algorithms.empty()) throw std::invalid_argument("run_sweep: no algorithms");
+  if (spec.runs == 0) throw std::invalid_argument("run_sweep: runs must be >= 1");
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  SweepResult result;
+  result.spec = spec;
+  result.curves.resize(spec.algorithms.size());
+  for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
+    result.curves[a].algorithm = spec.algorithms[a];
+    result.curves[a].raw.assign(spec.loads.size() * spec.runs, 0.0);
+    result.curves[a].reject_ratio.resize(spec.loads.size());
+  }
+
+  sim::SimulatorConfig sim_config;
+  sim_config.params = spec.cluster;
+  sim_config.release_policy = spec.release_policy;
+  sim_config.shared_link = spec.shared_link;
+  sim_config.output_ratio = spec.output_ratio;
+
+  const std::size_t cells = spec.loads.size() * spec.runs;
+  auto run_cell = [&](std::size_t cell) {
+    const std::size_t load_index = cell / spec.runs;
+    const std::size_t run_index = cell % spec.runs;
+    const workload::WorkloadParams workload_params =
+        cell_workload(spec, spec.loads[load_index], run_index);
+    const std::vector<workload::Task> tasks = workload::generate_workload(workload_params);
+
+    for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
+      const sim::SimMetrics metrics =
+          sim::simulate(sim_config, spec.algorithms[a], tasks, spec.sim_time);
+      if (metrics.theorem4_violations != 0) {
+        throw std::logic_error("run_sweep: Theorem 4 violated in " + spec.algorithms[a]);
+      }
+      result.curves[a].raw[cell] = metrics.reject_ratio();
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(cells, run_cell);
+  } else {
+    for (std::size_t cell = 0; cell < cells; ++cell) run_cell(cell);
+  }
+
+  for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
+    CurveResult& curve = result.curves[a];
+    for (std::size_t l = 0; l < spec.loads.size(); ++l) {
+      std::vector<double> samples(curve.raw.begin() + static_cast<std::ptrdiff_t>(l * spec.runs),
+                                  curve.raw.begin() + static_cast<std::ptrdiff_t>((l + 1) * spec.runs));
+      curve.reject_ratio[l] = stats::mean_confidence_interval(samples, spec.confidence);
+    }
+  }
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  RTDLS_LOG(kInfo) << "sweep " << spec.id << " done in " << result.wall_seconds << "s";
+  return result;
+}
+
+std::vector<SweepResult> run_sweeps(const std::vector<SweepSpec>& specs,
+                                    util::ThreadPool* pool) {
+  std::vector<SweepResult> results;
+  results.reserve(specs.size());
+  for (const SweepSpec& spec : specs) {
+    results.push_back(run_sweep(spec, pool));
+  }
+  return results;
+}
+
+}  // namespace rtdls::exp

@@ -1,0 +1,26 @@
+// Executes a SweepSpec: for every (load, run) cell, generate one workload
+// trace and evaluate EVERY algorithm on that same trace (paired comparison,
+// matching the paper's "same parameters, different random numbers" runs),
+// then aggregate reject ratios into confidence intervals per load.
+//
+// Cells run in parallel on a shared ThreadPool; determinism comes from
+// seeding each cell by its run index, never from execution order.
+#pragma once
+
+#include "exp/spec.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rtdls::exp {
+
+/// Runs one sweep. `pool` may be null (sequential execution).
+SweepResult run_sweep(const SweepSpec& spec, util::ThreadPool* pool = nullptr);
+
+/// Runs several sweeps sharing one pool.
+std::vector<SweepResult> run_sweeps(const std::vector<SweepSpec>& specs,
+                                    util::ThreadPool* pool = nullptr);
+
+/// Builds the workload parameters of one sweep cell.
+workload::WorkloadParams cell_workload(const SweepSpec& spec, double load,
+                                       std::size_t run);
+
+}  // namespace rtdls::exp

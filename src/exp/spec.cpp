@@ -1,0 +1,30 @@
+#include "exp/spec.hpp"
+
+#include "util/env.hpp"
+
+namespace rtdls::exp {
+
+Scale Scale::from_env() {
+  Scale scale;
+  if (util::env_flag("RTDLS_FULL")) {
+    scale.runs = 10;
+    scale.sim_time = 10'000'000.0;
+  }
+  scale.runs = static_cast<std::size_t>(util::env_u64("RTDLS_RUNS", scale.runs));
+  scale.sim_time = util::env_double("RTDLS_SIMTIME", scale.sim_time);
+  scale.jobs = static_cast<std::size_t>(util::env_u64("RTDLS_JOBS", 0));
+  if (scale.runs == 0) scale.runs = 1;
+  if (scale.sim_time <= 0.0) scale.sim_time = 2'000'000.0;
+  return scale;
+}
+
+std::vector<double> SweepSpec::paper_loads() {
+  return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+}
+
+void SweepSpec::apply(const Scale& scale) {
+  runs = scale.runs;
+  sim_time = scale.sim_time;
+}
+
+}  // namespace rtdls::exp

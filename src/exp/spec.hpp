@@ -1,0 +1,80 @@
+// Experiment specifications: one "sweep" is one panel of a paper figure -
+// a SystemLoad sweep comparing algorithms on a fixed cluster/workload
+// configuration, averaged over several runs (the paper: 10 runs x 10M time
+// units per point).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "stats/confidence.hpp"
+#include "workload/generator.hpp"
+
+namespace rtdls::exp {
+
+using cluster::Time;
+
+/// Execution scale knobs, adjustable via environment so the full figure
+/// suite stays tractable on small machines:
+///   RTDLS_FULL=1   -> paper scale (10 runs x 10,000,000 time units)
+///   RTDLS_RUNS     -> override run count
+///   RTDLS_SIMTIME  -> override horizon
+///   RTDLS_JOBS     -> worker threads (default: hardware concurrency)
+struct Scale {
+  std::size_t runs = 5;
+  Time sim_time = 2'000'000.0;
+  std::size_t jobs = 0;  ///< 0: hardware concurrency
+
+  /// Reads the scale from the environment (defaults above).
+  static Scale from_env();
+};
+
+/// One load sweep: the x axis of every figure in the paper.
+struct SweepSpec {
+  std::string id;     ///< "fig03a", "fig08c", ...
+  std::string title;  ///< printed header, mirrors the paper caption
+
+  cluster::ClusterParams cluster;       ///< N, Cms, Cps
+  double avg_sigma = 200.0;             ///< Avgsigma
+  double dc_ratio = 2.0;                ///< DCRatio
+  std::vector<double> loads;            ///< SystemLoad values (x axis)
+  std::vector<std::string> algorithms;  ///< curves, by registry name
+
+  std::size_t runs = 3;                 ///< simulations averaged per point
+  Time sim_time = 1'000'000.0;          ///< TotalSimulationTime
+  std::uint64_t seed = 20070227;        ///< base seed (paper date)
+  double confidence = 0.95;
+
+  sim::ReleasePolicy release_policy = sim::ReleasePolicy::kEstimate;
+  bool shared_link = false;
+  double output_ratio = 0.0;  ///< result volume fraction (pair with *-IO rules)
+
+  /// Algorithm expected to have the (weakly) lowest mean reject ratio in
+  /// this panel; empty = no expectation (used by the shape checks).
+  std::string expected_winner;
+
+  /// Standard load axis 0.1..1.0 used throughout the paper.
+  static std::vector<double> paper_loads();
+
+  /// Applies the scale knobs (runs, sim_time).
+  void apply(const Scale& scale);
+};
+
+/// Results of one curve (algorithm) across the load axis.
+struct CurveResult {
+  std::string algorithm;
+  std::vector<stats::ConfidenceInterval> reject_ratio;  ///< one per load
+  std::vector<double> raw;  ///< run-level reject ratios, load-major
+                            ///< (raw[load * runs + run]) for paired stats
+};
+
+/// Results of one sweep.
+struct SweepResult {
+  SweepSpec spec;
+  std::vector<CurveResult> curves;
+  double wall_seconds = 0.0;
+};
+
+}  // namespace rtdls::exp

@@ -1,0 +1,82 @@
+#include "sched/admission.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+namespace rtdls::sched {
+
+AdmissionController::AdmissionController(Policy policy, const PartitionRule* rule)
+    : policy_(policy), rule_(rule) {
+  if (rule_ == nullptr) throw std::invalid_argument("AdmissionController: null rule");
+}
+
+AdmissionOutcome AdmissionController::test(
+    const workload::Task* new_task,
+    const std::vector<const workload::Task*>& waiting,
+    const cluster::ClusterParams& params,
+    std::vector<Time> free_times, Time now,
+    const cluster::NodeCalendar* calendar) const {
+  if (free_times.size() != params.node_count) {
+    throw std::invalid_argument("AdmissionController::test: free_times size mismatch");
+  }
+  if (rule_->uses_calendar() && calendar == nullptr) {
+    throw std::invalid_argument("AdmissionController::test: rule requires a calendar");
+  }
+  // Private working copy accumulating the temp schedule's reservations.
+  std::optional<cluster::NodeCalendar> temp_calendar;
+  if (rule_->uses_calendar()) temp_calendar = *calendar;
+
+  // TempTaskList <- NewTask + TaskWaitingQueue, ordered by the policy.
+  std::vector<const workload::Task*> temp_list = waiting;
+  if (new_task != nullptr) temp_list.push_back(new_task);
+  order_tasks(policy_, temp_list);
+
+  for (Time& t : free_times) t = std::max(t, now);
+  std::sort(free_times.begin(), free_times.end());
+
+  AdmissionOutcome outcome;
+  outcome.schedule.reserve(temp_list.size());
+
+  for (const workload::Task* task : temp_list) {
+    PlanRequest request;
+    request.task = task;
+    request.params = params;
+    request.free_times = &free_times;
+    request.now = now;
+    request.calendar = temp_calendar ? &*temp_calendar : nullptr;
+
+    PlanResult result = rule_->plan(request);
+    if (!result.feasible()) {
+      outcome.accepted = false;
+      outcome.reason = result.reason;
+      outcome.blocking_task = task->id;
+      outcome.schedule.clear();
+      return outcome;  // deadline miss somewhere in the temp list
+    }
+
+    // Propagate the plan's reservations to the later temp-schedule tasks.
+    const TaskPlan& plan = result.plan;
+    if (!plan.node_ids.empty()) {
+      // Calendar-based rule: reserve the concrete intervals it chose.
+      for (std::size_t i = 0; i < plan.nodes; ++i) {
+        temp_calendar->reserve(plan.node_ids[i], plan.reserve_from[i],
+                               plan.node_release[i]);
+      }
+    } else {
+      // Release-time rules always consume the `plan.nodes` earliest entries
+      // of the sorted snapshot.
+      for (std::size_t i = 0; i < plan.nodes; ++i) {
+        free_times[i] = plan.node_release[i];
+      }
+      std::sort(free_times.begin(), free_times.end());
+    }
+
+    outcome.schedule.push_back(ScheduledTask{task, std::move(result.plan)});
+  }
+
+  outcome.accepted = true;
+  return outcome;
+}
+
+}  // namespace rtdls::sched

@@ -1,0 +1,61 @@
+// The Figure-2 schedulability test: when a new task arrives, re-plan the new
+// task plus every *waiting* (admitted but not yet started) task in policy
+// order against the cluster's current availability. If every task in the
+// temp list meets its deadline, the temp schedule is accepted and replaces
+// the waiting tasks' plans; otherwise the new task is rejected and the
+// previous (still valid) plans are kept.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sched/partition_rule.hpp"
+#include "sched/policy.hpp"
+
+namespace rtdls::sched {
+
+/// One planned entry of an accepted temp schedule.
+struct ScheduledTask {
+  const workload::Task* task = nullptr;
+  TaskPlan plan;
+};
+
+/// Result of a schedulability test.
+struct AdmissionOutcome {
+  bool accepted = false;
+  dlt::Infeasibility reason = dlt::Infeasibility::kNone;  ///< why it failed
+  cluster::TaskId blocking_task = cluster::kNoTask;  ///< task that missed in the temp list
+  std::vector<ScheduledTask> schedule;  ///< plans in policy order (accepted only)
+};
+
+/// Stateless admission logic: combines an ordering policy (Decision #1)
+/// with a partition rule (Decisions #2 and #3).
+class AdmissionController {
+ public:
+  AdmissionController(Policy policy, const PartitionRule* rule);
+
+  Policy policy() const { return policy_; }
+  const PartitionRule& rule() const { return *rule_; }
+
+  /// Runs the schedulability test of Figure 2.
+  ///
+  /// `free_times`: release times of all N nodes floored at `now` (need not
+  /// be sorted; a sorted copy is taken). `waiting`: admitted, uncommitted
+  /// tasks. `new_task` may be null to validate the waiting queue alone.
+  ///
+  /// `calendar`: required when the rule uses_calendar() (backfilling); the
+  /// controller plans each temp-schedule task against a private copy into
+  /// which earlier tasks' reservations are inserted, so the accepted plans
+  /// are mutually conflict-free.
+  AdmissionOutcome test(const workload::Task* new_task,
+                        const std::vector<const workload::Task*>& waiting,
+                        const cluster::ClusterParams& params,
+                        std::vector<Time> free_times, Time now,
+                        const cluster::NodeCalendar* calendar = nullptr) const;
+
+ private:
+  Policy policy_;
+  const PartitionRule* rule_;
+};
+
+}  // namespace rtdls::sched

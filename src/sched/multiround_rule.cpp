@@ -1,0 +1,92 @@
+// Multi-round extension rule (paper Section 6 future work): node count is
+// chosen exactly like the single-round DLT rule (n_min_tilde guarantees a
+// deadline-meeting single-round fallback exists), then the load is delivered
+// in R uniform installments whose exact rolled-out timeline usually
+// completes earlier - and never later than the single-round estimate needs
+// to, because feasibility is re-checked against the exact completion and
+// falls back to the single-round plan when R rounds happen to be slower.
+#include <algorithm>
+#include <vector>
+
+#include "dlt/multiround.hpp"
+#include "dlt/nmin.hpp"
+#include "sched/rule_detail.hpp"
+
+namespace rtdls::sched {
+
+namespace {
+
+class MultiRoundRule final : public PartitionRule {
+ public:
+  explicit MultiRoundRule(std::size_t rounds)
+      : rounds_(rounds == 0 ? 1 : rounds),
+        fallback_(make_dlt_iit_rule()),
+        name_("MR" + std::to_string(rounds == 0 ? 1 : rounds)) {}
+
+  PlanResult plan(const PlanRequest& request) const override {
+    detail::validate_request(request);
+    const workload::Task& task = *request.task;
+    const std::vector<Time>& free_times = *request.free_times;
+    const Time deadline = task.abs_deadline();
+
+    for (std::size_t n = 1; n <= free_times.size(); ++n) {
+      const Time rn = free_times[n - 1];
+      const dlt::NminResult need = dlt::minimum_nodes(request.params, task.sigma(),
+                                                      deadline, rn);
+      if (!need.feasible()) return PlanResult::infeasible(need.reason);
+      if (need.nodes > n) continue;
+
+      const std::size_t assigned = need.nodes;
+      std::vector<Time> available(free_times.begin(),
+                                  free_times.begin() + static_cast<std::ptrdiff_t>(assigned));
+      const dlt::MultiRoundSchedule schedule = dlt::build_multiround_schedule(
+          request.params, task.sigma(), available, rounds_);
+      const Time est = schedule.task_completion();
+      if (est > deadline + 1e-9) {
+        // R installments happened to be slower here; the single-round plan
+        // is guaranteed feasible with this node count.
+        return fallback_->plan(request);
+      }
+
+      PlanResult result;
+      TaskPlan& plan = result.plan;
+      plan.task = task.id;
+      plan.nodes = assigned;
+      plan.available = schedule.initial_available;
+      plan.reserve_from = schedule.initial_available;
+      // Exact per-node finishes. Rounds may permute node identity (each
+      // installment re-sorts by availability), so pair the sorted release
+      // multiset with the sorted availability: since every node finishes no
+      // earlier than it became available, order statistics keep
+      // node_release[i] >= available[i].
+      plan.node_release = schedule.node_completion;
+      std::sort(plan.node_release.begin(), plan.node_release.end());
+      // Aggregate per-node fraction across installments (for reporting).
+      plan.alpha.assign(assigned, 0.0);
+      for (const dlt::RoundPlan& round : schedule.rounds) {
+        for (std::size_t i = 0; i < assigned; ++i) {
+          plan.alpha[i] += round.alpha[i] / static_cast<double>(schedule.rounds.size());
+        }
+      }
+      plan.est_completion = est;
+      plan.rounds = rounds_;
+      return result;
+    }
+    return PlanResult::infeasible(dlt::Infeasibility::kNeedsMoreNodes);
+  }
+
+  std::string_view name() const override { return name_; }
+
+ private:
+  std::size_t rounds_;
+  std::unique_ptr<PartitionRule> fallback_;
+  std::string name_;
+};
+
+}  // namespace
+
+std::unique_ptr<PartitionRule> make_multiround_rule(std::size_t rounds) {
+  return std::make_unique<MultiRoundRule>(rounds);
+}
+
+}  // namespace rtdls::sched

@@ -1,0 +1,102 @@
+// Prior-work baselines from [22] (Lin et al., RTSS'07):
+//
+//  * OPR-MN ("optimal partitioning rule, minimum nodes"): the task waits
+//    until its n nodes are simultaneously available at r_n, wasting the
+//    earlier nodes' time as Inserted Idle Time; execution time is the
+//    homogeneous E(sigma, n). The n search is shared with the DLT rule
+//    (the Section 4.1.1 B closed form is common to both).
+//  * OPR-AN ("all nodes"): every task gets the whole cluster; tasks
+//    serialize and no IITs arise, at the cost of eliminating parallelism
+//    between tasks.
+#include <algorithm>
+#include <vector>
+
+#include "dlt/homogeneous.hpp"
+#include "dlt/nmin.hpp"
+#include "sched/rule_detail.hpp"
+
+namespace rtdls::sched {
+
+namespace {
+
+/// Fills the OPR plan: all `assigned` nodes reserved from r_n to est.
+TaskPlan make_opr_plan(const PlanRequest& request, std::size_t assigned, Time rn) {
+  const workload::Task& task = *request.task;
+  const std::vector<Time>& free_times = *request.free_times;
+  const Time est = rn + dlt::homogeneous_execution_time(request.params, task.sigma(),
+                                                        assigned);
+  TaskPlan plan;
+  plan.task = task.id;
+  plan.nodes = assigned;
+  plan.available.assign(free_times.begin(),
+                        free_times.begin() + static_cast<std::ptrdiff_t>(assigned));
+  plan.reserve_from.assign(assigned, rn);  // simultaneous allocation: IITs wasted
+  plan.node_release.assign(assigned, est);
+  plan.alpha = dlt::homogeneous_partition(request.params, assigned);
+  plan.est_completion = est;
+  return plan;
+}
+
+class OprMnRule final : public PartitionRule {
+ public:
+  explicit OprMnRule(NodeSearch search) : search_(search) {}
+
+  PlanResult plan(const PlanRequest& request) const override {
+    detail::validate_request(request);
+    const workload::Task& task = *request.task;
+    const std::vector<Time>& free_times = *request.free_times;
+    const Time deadline = task.abs_deadline();
+
+    const auto [assigned, reason] =
+        detail::resolve_node_count(search_, request.params, task.sigma(), deadline, free_times);
+    if (reason != dlt::Infeasibility::kNone) return PlanResult::infeasible(reason);
+
+    PlanResult result;
+    result.plan = make_opr_plan(request, assigned, free_times[assigned - 1]);
+    if (result.plan.est_completion > deadline + 1e-9) {
+      // Live under kOptimistic; floating-point guard under kIterative.
+      return PlanResult::infeasible(dlt::Infeasibility::kNeedsMoreNodes);
+    }
+    return result;
+  }
+
+  std::string_view name() const override { return "OPR-MN"; }
+
+ private:
+  NodeSearch search_;
+};
+
+class OprAnRule final : public PartitionRule {
+ public:
+  PlanResult plan(const PlanRequest& request) const override {
+    detail::validate_request(request);
+    const workload::Task& task = *request.task;
+    const std::vector<Time>& free_times = *request.free_times;
+    const std::size_t n = free_times.size();
+    const Time rn = free_times.back();
+    const Time deadline = task.abs_deadline();
+
+    if (deadline <= rn) return PlanResult::infeasible(dlt::Infeasibility::kDeadlinePassed);
+
+    PlanResult result;
+    result.plan = make_opr_plan(request, n, rn);
+    if (result.plan.est_completion > deadline + 1e-9) {
+      return PlanResult::infeasible(dlt::Infeasibility::kNeedsMoreNodes);
+    }
+    return result;
+  }
+
+  std::string_view name() const override { return "OPR-AN"; }
+};
+
+}  // namespace
+
+std::unique_ptr<PartitionRule> make_opr_mn_rule(NodeSearch search) {
+  return std::make_unique<OprMnRule>(search);
+}
+
+std::unique_ptr<PartitionRule> make_opr_an_rule() {
+  return std::make_unique<OprAnRule>();
+}
+
+}  // namespace rtdls::sched

@@ -1,0 +1,22 @@
+#include "sched/partition_rule.hpp"
+
+#include <stdexcept>
+
+namespace rtdls::sched {
+
+namespace detail {
+
+void validate_request(const PlanRequest& request) {
+  if (request.task == nullptr) throw std::invalid_argument("PlanRequest: null task");
+  if (request.free_times == nullptr) {
+    throw std::invalid_argument("PlanRequest: null free_times");
+  }
+  if (request.free_times->size() != request.params.node_count) {
+    throw std::invalid_argument("PlanRequest: free_times size != node count");
+  }
+  if (!request.params.valid()) throw std::invalid_argument("PlanRequest: invalid params");
+}
+
+}  // namespace detail
+
+}  // namespace rtdls::sched

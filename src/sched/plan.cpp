@@ -1,0 +1,29 @@
+#include "sched/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rtdls::sched {
+
+bool TaskPlan::consistent() const {
+  if (nodes == 0) return false;
+  if (available.size() != nodes || reserve_from.size() != nodes ||
+      node_release.size() != nodes || alpha.size() != nodes) {
+    return false;
+  }
+  if (!std::is_sorted(available.begin(), available.end())) return false;
+  double alpha_sum = 0.0;
+  for (double a : alpha) {
+    if (!(a > 0.0) || a > 1.0 + 1e-12) return false;
+    alpha_sum += a;
+  }
+  if (std::fabs(alpha_sum - 1.0) > 1e-9) return false;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    // A reservation may not begin before the node is available.
+    if (reserve_from[i] + 1e-9 < available[i]) return false;
+    if (node_release[i] + 1e-9 < reserve_from[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace rtdls::sched

@@ -1,0 +1,62 @@
+// A task plan: the outcome of one partition-rule invocation inside the
+// Figure-2 schedulability test. Plans are made against the *sorted multiset*
+// of node release times (nodes are interchangeable in the paper's model);
+// the simulator later maps a committed plan onto concrete node ids.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dlt/params.hpp"
+
+namespace rtdls::sched {
+
+using cluster::TaskId;
+using cluster::Time;
+
+/// Fully determined execution plan for one task.
+struct TaskPlan {
+  TaskId task = cluster::kNoTask;
+  std::size_t nodes = 0;            ///< n: node count used
+
+  /// r_1..r_n: available time of each chosen node (sorted ascending).
+  /// r_n is the task "start time" in the paper's sense.
+  std::vector<Time> available;
+
+  /// When each node's reservation begins. Equal to `available` for the
+  /// IIT-utilizing rules; equal to r_n for OPR (simultaneous allocation),
+  /// which makes the gap [available_k, r_n) Inserted Idle Time.
+  std::vector<Time> reserve_from;
+
+  /// When each node is released for subsequent tasks under estimate-based
+  /// accounting (the quantity the Figure-2 framework propagates).
+  std::vector<Time> node_release;
+
+  /// Load fractions alpha_1..alpha_n (sum == 1).
+  std::vector<double> alpha;
+
+  /// Estimated task completion e_i; admission requires e_i <= A_i + D_i.
+  Time est_completion = 0.0;
+
+  /// Number of installments (1 for all paper algorithms; >1 for the
+  /// multi-round extension).
+  std::size_t rounds = 1;
+
+  /// Concrete node ids, set only by calendar-based (backfilling) rules that
+  /// placed reservations into specific gaps; empty for the paper's rules,
+  /// whose slots map onto the earliest-free nodes at commit time.
+  std::vector<cluster::NodeId> node_ids;
+
+  /// Earliest resource commitment instant: once the simulation clock passes
+  /// this, the task can no longer be re-planned.
+  Time commit_time() const {
+    Time earliest = est_completion;
+    for (Time t : reserve_from) earliest = (t < earliest) ? t : earliest;
+    return earliest;
+  }
+
+  /// Internal consistency (sizes agree, vectors sorted, fractions sum to 1).
+  bool consistent() const;
+};
+
+}  // namespace rtdls::sched

@@ -1,0 +1,97 @@
+#include "sched/registry.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace rtdls::sched {
+
+namespace {
+
+/// Splits "<policy>-<rule>" and parses the policy part.
+bool parse_policy_prefix(const std::string& name, Policy& policy, std::string& rest) {
+  if (util::starts_with(name, "EDF-")) {
+    policy = Policy::kEdf;
+    rest = name.substr(4);
+    return true;
+  }
+  if (util::starts_with(name, "FIFO-")) {
+    policy = Policy::kFifo;
+    rest = name.substr(5);
+    return true;
+  }
+  return false;
+}
+
+std::unique_ptr<PartitionRule> make_rule(const std::string& rule_name);
+
+/// "<inner>-IO<percent>": output-aware decoration, e.g. "DLT-IO20" budgets a
+/// result volume of 20% of the input into every deadline.
+std::unique_ptr<PartitionRule> try_make_output_rule(const std::string& rule_name) {
+  const std::size_t pos = rule_name.rfind("-IO");
+  if (pos == std::string::npos || pos == 0) return nullptr;
+  unsigned long long percent = 0;
+  if (!util::parse_u64(rule_name.substr(pos + 3), percent) || percent > 10000) {
+    return nullptr;
+  }
+  std::unique_ptr<PartitionRule> inner = make_rule(rule_name.substr(0, pos));
+  if (inner == nullptr) return nullptr;
+  return make_output_aware_rule(std::move(inner), static_cast<double>(percent) / 100.0);
+}
+
+std::unique_ptr<PartitionRule> make_rule(const std::string& rule_name) {
+  if (auto output_rule = try_make_output_rule(rule_name)) return output_rule;
+  if (rule_name == "DLT") return make_dlt_iit_rule();
+  if (rule_name == "OPR-MN") return make_opr_mn_rule();
+  if (rule_name == "OPR-AN") return make_opr_an_rule();
+  if (rule_name == "OPR-MN-BF") return make_opr_mn_backfill_rule();
+  // "-Opt" variants resolve the node count single-shot at the earliest
+  // availability (NodeSearch::kOptimistic); see partition_rule.hpp.
+  if (rule_name == "DLT-Opt") return make_dlt_iit_rule(NodeSearch::kOptimistic);
+  if (rule_name == "OPR-MN-Opt") return make_opr_mn_rule(NodeSearch::kOptimistic);
+  if (rule_name == "UserSplit") return make_user_split_rule();
+  if (util::starts_with(rule_name, "MR")) {
+    unsigned long long rounds = 0;
+    if (util::parse_u64(rule_name.substr(2), rounds) && rounds >= 1 && rounds <= 64) {
+      return make_multiround_rule(static_cast<std::size_t>(rounds));
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Algorithm make_algorithm(const std::string& name) {
+  Policy policy = Policy::kEdf;
+  std::string rule_name;
+  if (!parse_policy_prefix(name, policy, rule_name)) {
+    throw std::invalid_argument("make_algorithm: unknown policy in '" + name + "'");
+  }
+  std::unique_ptr<PartitionRule> rule = make_rule(rule_name);
+  if (rule == nullptr) {
+    throw std::invalid_argument("make_algorithm: unknown rule in '" + name + "'");
+  }
+  Algorithm algorithm;
+  algorithm.name = name;
+  algorithm.policy = policy;
+  algorithm.rule = std::move(rule);
+  return algorithm;
+}
+
+std::vector<std::string> paper_algorithm_names() {
+  return {"EDF-DLT",      "FIFO-DLT",      "EDF-OPR-MN",    "FIFO-OPR-MN",
+          "EDF-OPR-AN",   "FIFO-OPR-AN",   "EDF-UserSplit", "FIFO-UserSplit"};
+}
+
+std::vector<std::string> all_algorithm_names() {
+  std::vector<std::string> names = paper_algorithm_names();
+  names.push_back("EDF-MR2");
+  names.push_back("EDF-MR4");
+  names.push_back("FIFO-MR2");
+  names.push_back("FIFO-MR4");
+  names.push_back("EDF-OPR-MN-BF");
+  names.push_back("FIFO-OPR-MN-BF");
+  return names;
+}
+
+}  // namespace rtdls::sched

@@ -1,0 +1,40 @@
+// Named scheduling algorithms: the paper's nomenclature
+// <policy>-<partition rule>, e.g. "EDF-DLT", "FIFO-OPR-MN".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/partition_rule.hpp"
+#include "sched/policy.hpp"
+
+namespace rtdls::sched {
+
+/// A fully configured algorithm: ordering policy + owned partition rule.
+struct Algorithm {
+  std::string name;
+  Policy policy = Policy::kEdf;
+  std::unique_ptr<PartitionRule> rule;
+};
+
+/// Instantiates an algorithm by its paper name. Supported:
+///   EDF-DLT, FIFO-DLT            (this paper, Section 4.1.1)
+///   EDF-OPR-MN, FIFO-OPR-MN      (prior work [22], no IIT use)
+///   EDF-OPR-AN, FIFO-OPR-AN      (prior work [22], all-nodes)
+///   EDF-UserSplit, FIFO-UserSplit (Section 4.1.2)
+///   EDF-MR<k>, FIFO-MR<k>        (multi-round extension, k installments,
+///                                 e.g. "EDF-MR4")
+///   <any>-IO<p>                  (output-data extension: result volume =
+///                                 p% of the input, e.g. "EDF-DLT-IO20";
+///                                 pair with SimulatorConfig::output_ratio)
+/// Throws std::invalid_argument for unknown names.
+Algorithm make_algorithm(const std::string& name);
+
+/// Names of the algorithms evaluated in the paper (Section 5).
+std::vector<std::string> paper_algorithm_names();
+
+/// All supported names, including extensions.
+std::vector<std::string> all_algorithm_names();
+
+}  // namespace rtdls::sched

@@ -1,0 +1,21 @@
+// Internal helpers shared by the concrete partition rules.
+#pragma once
+
+#include "sched/partition_rule.hpp"
+
+#include <utility>
+
+namespace rtdls::sched::detail {
+
+/// Throws std::invalid_argument on malformed requests (null task, wrong
+/// free_times size, invalid cluster params).
+void validate_request(const PlanRequest& request);
+
+/// Shared n_min-based node-count resolution for the DLT and OPR-MN rules
+/// (both use the Section 4.1.1 B closed form). Returns (n, kNone) on
+/// success or (0, reason) when no count can work.
+std::pair<std::size_t, dlt::Infeasibility> resolve_node_count(
+    NodeSearch search, const cluster::ClusterParams& params, double sigma,
+    cluster::Time deadline, const std::vector<cluster::Time>& free_times);
+
+}  // namespace rtdls::sched::detail

@@ -1,0 +1,3 @@
+#include "sim/engine.hpp"
+
+// Header-only engine; this translation unit anchors the target.

@@ -1,0 +1,53 @@
+// Callback-driven discrete-event engine on top of EventQueue.
+//
+// The engine owns the simulation clock; handlers schedule further events.
+// Time never moves backwards: scheduling an event earlier than `now` throws,
+// which turns subtle causality bugs into immediate failures.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+
+#include "sim/event_queue.hpp"
+
+namespace rtdls::sim {
+
+/// Discrete-event execution engine.
+class Engine {
+ public:
+  using Handler = std::function<void(Engine&)>;
+
+  /// Current simulation time.
+  Time now() const { return now_; }
+
+  /// Number of events executed so far.
+  std::uint64_t executed() const { return executed_; }
+
+  /// Schedules `handler` at `time` (>= now()).
+  void schedule(Time time, EventPriority priority, Handler handler) {
+    if (time < now_) {
+      throw std::logic_error("Engine::schedule: event in the past");
+    }
+    queue_.push(time, priority, std::move(handler));
+  }
+
+  /// Runs until the queue drains (or `max_events` is hit, a runaway guard).
+  void run(std::uint64_t max_events = ~static_cast<std::uint64_t>(0)) {
+    while (!queue_.empty() && executed_ < max_events) {
+      Event<Handler> event = queue_.pop();
+      now_ = event.time;
+      ++executed_;
+      event.payload(*this);
+    }
+  }
+
+  /// True when no events remain.
+  bool idle() const { return queue_.empty(); }
+
+ private:
+  EventQueue<Handler> queue_;
+  Time now_ = 0.0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace rtdls::sim

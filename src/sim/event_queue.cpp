@@ -1,0 +1,3 @@
+#include "sim/event_queue.hpp"
+
+// Header-only template; this translation unit anchors the target.

@@ -1,0 +1,76 @@
+// A deterministic discrete-event queue.
+//
+// Ordering is total and reproducible: (time, priority, insertion sequence).
+// Priorities resolve same-instant races by event *kind* (e.g. a task
+// commitment at time t must be observed by an arrival at the same t), and
+// the insertion sequence makes equal-(time, priority) events FIFO.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "cluster/types.hpp"
+
+namespace rtdls::sim {
+
+using cluster::Time;
+
+/// Event-kind priorities at equal timestamps; lower runs first.
+enum class EventPriority : int {
+  kCommit = 0,   ///< resource commitments happen "just before" arrivals
+  kArrival = 1,
+  kReport = 2,   ///< bookkeeping after the interesting work at an instant
+};
+
+/// One queued event. `Payload` is caller-defined (the engine uses callbacks).
+template <typename Payload>
+struct Event {
+  Time time = 0.0;
+  EventPriority priority = EventPriority::kArrival;
+  std::uint64_t seq = 0;  ///< assigned by the queue
+  Payload payload;
+};
+
+/// Min-queue over Event<Payload>.
+template <typename Payload>
+class EventQueue {
+ public:
+  /// Inserts an event; returns its sequence number.
+  std::uint64_t push(Time time, EventPriority priority, Payload payload) {
+    Event<Payload> event;
+    event.time = time;
+    event.priority = priority;
+    event.seq = next_seq_++;
+    event.payload = std::move(payload);
+    heap_.push(std::move(event));
+    return event.seq;
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// The earliest event (undefined when empty).
+  const Event<Payload>& top() const { return heap_.top(); }
+
+  /// Removes and returns the earliest event.
+  Event<Payload> pop() {
+    Event<Payload> event = heap_.top();
+    heap_.pop();
+    return event;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Event<Payload>& a, const Event<Payload>& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event<Payload>, std::vector<Event<Payload>>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace rtdls::sim

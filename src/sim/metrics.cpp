@@ -1,0 +1,32 @@
+#include "sim/metrics.hpp"
+
+#include <sstream>
+
+namespace rtdls::sim {
+
+std::string SimMetrics::summary() const {
+  std::ostringstream out;
+  out << "arrivals=" << arrivals << " accepted=" << accepted << " rejected=" << rejected
+      << " reject_ratio=" << reject_ratio() << '\n';
+  out << "rejects by reason:";
+  for (std::size_t i = 0; i < reject_reasons.size(); ++i) {
+    if (reject_reasons[i] == 0) continue;
+    out << ' ' << dlt::infeasibility_name(static_cast<dlt::Infeasibility>(i)) << '='
+        << reject_reasons[i];
+  }
+  out << '\n';
+  if (response_time.count() > 0) {
+    out << "response time: mean=" << response_time.mean() << " max=" << response_time.max()
+        << '\n';
+    out << "deadline slack: mean=" << deadline_slack.mean() << " min=" << deadline_slack.min()
+        << '\n';
+    out << "nodes per task: mean=" << nodes_per_task.mean() << '\n';
+  }
+  out << "queue length: mean=" << queue_length.mean() << " max=" << queue_length.max() << '\n';
+  out << "utilization=" << utilization() << " iit_fraction=" << iit_fraction() << '\n';
+  out << "theorem4 violations=" << theorem4_violations
+      << " deadline misses=" << deadline_misses << '\n';
+  return out.str();
+}
+
+}  // namespace rtdls::sim

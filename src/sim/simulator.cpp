@@ -1,0 +1,253 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dlt/homogeneous.hpp"
+#include "sim/exec_model.hpp"
+#include "util/log.hpp"
+
+namespace rtdls::sim {
+
+namespace {
+// Completion comparisons tolerate accumulated floating-point drift relative
+// to the magnitudes involved (times up to ~1e7, costs up to ~1e6).
+constexpr double kTimeEps = 1e-6;
+}  // namespace
+
+ClusterSimulator::ClusterSimulator(SimulatorConfig config, const sched::Algorithm& algorithm)
+    : config_(config),
+      algorithm_(&algorithm),
+      controller_(algorithm.policy, algorithm.rule.get()),
+      cluster_(config.params) {}
+
+SimMetrics ClusterSimulator::run(const std::vector<workload::Task>& tasks, Time horizon) {
+  if (!std::is_sorted(tasks.begin(), tasks.end(),
+                      [](const workload::Task& a, const workload::Task& b) {
+                        return a.arrival() < b.arrival();
+                      })) {
+    throw std::invalid_argument("ClusterSimulator::run: tasks not sorted by arrival");
+  }
+
+  // Reset per-run state.
+  cluster_ = cluster::Cluster(config_.params);
+  calendar_.reset();
+  if (algorithm_->rule->uses_calendar()) {
+    calendar_.emplace(config_.params.node_count);
+  }
+  waiting_.clear();
+  next_version_ = 1;
+  channel_free_ = 0.0;
+  metrics_ = SimMetrics{};
+  metrics_.horizon = horizon;
+  metrics_.node_count = config_.params.node_count;
+
+  Engine engine;
+  for (const workload::Task& task : tasks) {
+    engine.schedule(task.arrival(), EventPriority::kArrival,
+                    [this, &task](Engine& e) { handle_arrival(e, task); });
+  }
+  engine.run();
+
+  // Drain: commit every remaining accepted task so completions/utilization
+  // include work planned past the last arrival.
+  std::sort(waiting_.begin(), waiting_.end(), [](const WaitingEntry& a, const WaitingEntry& b) {
+    return a.plan.commit_time() < b.plan.commit_time();
+  });
+  for (WaitingEntry& entry : waiting_) {
+    commit_task(entry.plan.commit_time(), std::move(entry));
+  }
+  waiting_.clear();
+
+  if (calendar_) {
+    for (cluster::NodeId id = 0; id < calendar_->size(); ++id) {
+      metrics_.busy_time += calendar_->busy_time(id);
+    }
+    // Gaps in a calendar are not "inserted" idle: any later task may still
+    // backfill them, so no IIT is attributed in calendar mode.
+  } else {
+    metrics_.busy_time = cluster_.total_busy_time();
+    metrics_.idle_gap_time = cluster_.total_idle_gap_time();
+  }
+  return metrics_;
+}
+
+void ClusterSimulator::handle_arrival(Engine& engine, const workload::Task& task) {
+  const Time now = engine.now();
+  ++metrics_.arrivals;
+  metrics_.queue_length.add(static_cast<double>(waiting_.size()));
+
+  std::vector<const workload::Task*> waiting_tasks;
+  waiting_tasks.reserve(waiting_.size());
+  for (const WaitingEntry& entry : waiting_) waiting_tasks.push_back(entry.task);
+
+  std::vector<Time> free_times;
+  if (calendar_) {
+    // Calendar mode: "release time" = end of the node's last committed
+    // reservation (the BF rule itself plans against the gaps).
+    free_times.reserve(calendar_->size());
+    for (cluster::NodeId id = 0; id < calendar_->size(); ++id) {
+      const auto& busy = calendar_->busy(id);
+      free_times.push_back(std::max(now, busy.empty() ? now : busy.back().end));
+    }
+  } else {
+    free_times = cluster_.availability(now).times;
+  }
+  sched::AdmissionOutcome outcome =
+      controller_.test(&task, waiting_tasks, config_.params, free_times, now,
+                       calendar_ ? &*calendar_ : nullptr);
+
+  if (!outcome.accepted) {
+    ++metrics_.rejected;
+    ++metrics_.reject_reasons[static_cast<std::size_t>(outcome.reason)];
+    RTDLS_LOG(kDebug) << "t=" << now << " reject task " << task.id << " ("
+                      << dlt::infeasibility_name(outcome.reason) << ")";
+    return;
+  }
+
+  ++metrics_.accepted;
+  adopt_schedule(engine, std::move(outcome.schedule));
+}
+
+void ClusterSimulator::adopt_schedule(Engine& engine,
+                                      std::vector<sched::ScheduledTask> schedule) {
+  // Replace the waiting set with the accepted temp schedule; every entry
+  // gets a fresh version so commit events for superseded plans are ignored.
+  waiting_.clear();
+  waiting_.reserve(schedule.size());
+  for (sched::ScheduledTask& scheduled : schedule) {
+    WaitingEntry entry;
+    entry.task = scheduled.task;
+    entry.plan = std::move(scheduled.plan);
+    entry.version = next_version_++;
+    const Time commit_at = std::max(entry.plan.commit_time(), engine.now());
+    const cluster::TaskId id = entry.task->id;
+    const std::uint64_t version = entry.version;
+    waiting_.push_back(std::move(entry));
+    engine.schedule(commit_at, EventPriority::kCommit,
+                    [this, id, version](Engine& e) { handle_commit(e, id, version); });
+  }
+}
+
+void ClusterSimulator::handle_commit(Engine& engine, cluster::TaskId id,
+                                     std::uint64_t version) {
+  const auto it = std::find_if(waiting_.begin(), waiting_.end(), [&](const WaitingEntry& w) {
+    return w.task->id == id && w.version == version;
+  });
+  if (it == waiting_.end()) return;  // superseded by a later re-plan
+  WaitingEntry entry = std::move(*it);
+  waiting_.erase(it);
+  commit_task(engine.now(), std::move(entry));
+}
+
+void ClusterSimulator::commit_task(Time now, WaitingEntry entry) {
+  const sched::TaskPlan& plan = entry.plan;
+  const workload::Task& task = *entry.task;
+
+  auto log_commit = [&](const std::vector<cluster::NodeId>& node_ids) {
+    if (config_.schedule_log == nullptr) return;
+    for (std::size_t i = 0; i < plan.nodes; ++i) {
+      config_.schedule_log->add(ScheduleEntry{task.id, node_ids[i], plan.available[i],
+                                              plan.reserve_from[i], plan.node_release[i],
+                                              plan.alpha[i]});
+    }
+  };
+
+  std::vector<cluster::NodeId> ids;
+  if (!plan.node_ids.empty()) {
+    // Calendar-based plan: reserve the exact intervals it chose (possibly
+    // backfilled into gaps in front of existing reservations).
+    ids = plan.node_ids;
+    for (std::size_t i = 0; i < plan.nodes; ++i) {
+      calendar_->reserve(ids[i], plan.reserve_from[i], plan.node_release[i]);
+    }
+  } else {
+    // Map the plan's sorted slots onto the n earliest-free concrete nodes.
+    ids = cluster_.earliest_free_nodes(now, plan.nodes);
+    for (std::size_t i = 0; i < plan.nodes; ++i) {
+      cluster_.commit(ids[i], task.id, plan.available[i], plan.reserve_from[i],
+                      plan.node_release[i]);
+    }
+  }
+  log_commit(ids);
+
+  // Roll out the actual timeline on the (dedicated or shared) channel.
+  // Multi-round plans already carry their exact rolled-out per-node
+  // finishes (built by build_multiround_schedule); re-rolling them through
+  // the single-round model would be the wrong execution semantics.
+  ActualTimeline timeline;
+  Time actual = 0.0;
+  if (plan.rounds > 1) {
+    timeline.tx_start = plan.reserve_from;
+    timeline.tx_end = plan.reserve_from;
+    timeline.completion = plan.node_release;
+    if (config_.shared_link) channel_free_ = plan.est_completion;
+    actual = timeline.task_completion();
+  } else if (config_.output_ratio > 0.0) {
+    const Time channel_at = config_.shared_link ? channel_free_ : 0.0;
+    ResultTimeline with_results = roll_out_with_results(
+        config_.params, task.sigma(), config_.output_ratio, plan, channel_at);
+    actual = with_results.task_completion;
+    timeline = std::move(with_results.input);
+    // A node is truly done once its result left for the head node.
+    timeline.completion = std::move(with_results.result_tx_end);
+    if (config_.shared_link) channel_free_ = actual;
+  } else {
+    const Time channel_at = config_.shared_link ? channel_free_ : 0.0;
+    timeline = roll_out(config_.params, task.sigma(), plan, channel_at);
+    if (config_.shared_link) channel_free_ = timeline.tx_end.back();
+    actual = timeline.task_completion();
+  }
+  const Time estimate = plan.est_completion;
+
+  if (config_.validate) {
+    if (!config_.shared_link && actual > estimate + kTimeEps) {
+      ++metrics_.theorem4_violations;
+      RTDLS_LOG(kError) << "Theorem 4 violated: task " << task.id << " actual=" << actual
+                        << " estimate=" << estimate;
+    }
+    if (actual > task.abs_deadline() + kTimeEps) {
+      ++metrics_.deadline_misses;
+    }
+  }
+
+  const Time completion = config_.release_policy == ReleasePolicy::kActual && !config_.shared_link
+                              ? actual
+                              : estimate;
+  metrics_.response_time.add(completion - task.arrival());
+  metrics_.deadline_slack.add(task.abs_deadline() - completion);
+  metrics_.nodes_per_task.add(static_cast<double>(plan.nodes));
+  metrics_.estimate_margin.add(estimate - actual);
+  metrics_.stagger.add(plan.available.back() - plan.available.front());
+  const double e_no_iit =
+      dlt::homogeneous_execution_time(config_.params, task.sigma(), plan.nodes);
+  const double e_planned = plan.est_completion - plan.available.back();
+  metrics_.iit_compression.add((e_no_iit - e_planned) / e_no_iit);
+
+  if (config_.release_policy == ReleasePolicy::kActual && !config_.shared_link &&
+      plan.node_ids.empty()) {
+    // Theorem 4: each node's actual finish is no later than the estimate it
+    // was committed until; hand the unused tail back. Pair sorted actual
+    // completions with the nodes sorted by committed release so order
+    // statistics keep every early release valid.
+    std::vector<Time> actual_sorted = timeline.completion;
+    std::sort(actual_sorted.begin(), actual_sorted.end());
+    std::vector<cluster::NodeId> by_release = ids;
+    std::sort(by_release.begin(), by_release.end(), [&](cluster::NodeId a, cluster::NodeId b) {
+      return cluster_.node(a).free_at() < cluster_.node(b).free_at();
+    });
+    for (std::size_t i = 0; i < by_release.size(); ++i) {
+      const Time at = std::min(actual_sorted[i], cluster_.node(by_release[i]).free_at());
+      cluster_.release_early(by_release[i], at);
+    }
+  }
+}
+
+SimMetrics simulate(const SimulatorConfig& config, const std::string& algorithm_name,
+                    const std::vector<workload::Task>& tasks, Time horizon) {
+  const sched::Algorithm algorithm = sched::make_algorithm(algorithm_name);
+  ClusterSimulator simulator(config, algorithm);
+  return simulator.run(tasks, horizon);
+}
+
+}  // namespace rtdls::sim

@@ -1,0 +1,107 @@
+// The cluster simulator: drives a task trace through an admission-controlled
+// cluster, reproducing the paper's discrete simulation (Section 5).
+//
+// Lifecycle of a task:
+//   arrival --(Figure-2 schedulability test)--> accepted (waiting, re-plannable)
+//           \-> rejected (counted; previously admitted tasks keep their plans)
+//   waiting --(clock reaches its plan's first resource commitment)--> committed
+//   committed --> nodes reserved per plan; actual rollout recorded; nodes
+//                 released at the estimate (default) or the actual finish
+//
+// Waiting tasks are re-planned on every arrival (TempTaskList = new +
+// waiting); committed tasks are immutable. Commit events are versioned so a
+// re-plan invalidates stale commitments in the event queue.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include <optional>
+
+#include "cluster/calendar.hpp"
+#include "cluster/cluster.hpp"
+#include "sched/admission.hpp"
+#include "sched/registry.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+#include "sim/schedule_log.hpp"
+#include "workload/task.hpp"
+
+namespace rtdls::sim {
+
+/// When a committed task's nodes become available to later tasks.
+enum class ReleasePolicy {
+  kEstimate,  ///< at the plan's estimated completion (the Figure-2 quantity)
+  kActual,    ///< at each node's actual rollout finish (<= estimate, Thm. 4)
+};
+
+/// Simulator configuration.
+struct SimulatorConfig {
+  cluster::ClusterParams params;
+  ReleasePolicy release_policy = ReleasePolicy::kEstimate;
+
+  /// Model the head node's link as shared across concurrently-distributing
+  /// tasks (ablation of the paper's dedicated-channel assumption). With a
+  /// shared link the Theorem-4 estimate no longer upper-bounds actual
+  /// completions; misses are counted in SimMetrics::deadline_misses.
+  bool shared_link = false;
+
+  /// Check actual rollouts against estimates/deadlines (cheap; keep on).
+  bool validate = true;
+
+  /// When non-null, every committed per-node reservation is appended to
+  /// this log (Gantt export; see sim/schedule_log.hpp). Not owned.
+  ScheduleLog* schedule_log = nullptr;
+
+  /// Output-data extension: result volume as a fraction of the input
+  /// (delta). When > 0, execution rollouts include result returns over the
+  /// channel; pair with *-IO rules of the same delta so the admission
+  /// estimates budget the same traffic (a plain rule with output_ratio > 0
+  /// will be flagged through theorem4_violations/deadline_misses - that
+  /// mismatch is the point of the output ablation).
+  double output_ratio = 0.0;
+};
+
+/// Runs one algorithm over one task trace.
+class ClusterSimulator {
+ public:
+  /// `algorithm` must outlive the simulator.
+  ClusterSimulator(SimulatorConfig config, const sched::Algorithm& algorithm);
+
+  /// Simulates `tasks` (must be sorted by arrival time; ids unique).
+  /// `horizon` is the nominal TotalSimulationTime used for utilization
+  /// accounting (arrivals beyond it should not be in `tasks`).
+  SimMetrics run(const std::vector<workload::Task>& tasks, Time horizon);
+
+ private:
+  struct WaitingEntry {
+    const workload::Task* task = nullptr;
+    sched::TaskPlan plan;
+    std::uint64_t version = 0;
+  };
+
+  void handle_arrival(Engine& engine, const workload::Task& task);
+  void handle_commit(Engine& engine, cluster::TaskId id, std::uint64_t version);
+  void commit_task(Time now, WaitingEntry entry);
+  void adopt_schedule(Engine& engine, std::vector<sched::ScheduledTask> schedule);
+
+  SimulatorConfig config_;
+  const sched::Algorithm* algorithm_;
+  sched::AdmissionController controller_;
+
+  // Per-run state (reset by run()).
+  cluster::Cluster cluster_;
+  /// Committed reservations with gap information; engaged only when the
+  /// algorithm's rule uses_calendar() (backfilling comparators).
+  std::optional<cluster::NodeCalendar> calendar_;
+  std::vector<WaitingEntry> waiting_;
+  std::uint64_t next_version_ = 1;
+  Time channel_free_ = 0.0;  // shared-link mode only
+  SimMetrics metrics_;
+};
+
+/// Convenience: run one named algorithm over a trace.
+SimMetrics simulate(const SimulatorConfig& config, const std::string& algorithm_name,
+                    const std::vector<workload::Task>& tasks, Time horizon);
+
+}  // namespace rtdls::sim

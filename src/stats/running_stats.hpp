@@ -1,0 +1,57 @@
+// Numerically stable streaming moments (Welford / Chan parallel merge).
+//
+// Used for reject-ratio aggregation across simulation runs and for online
+// metrics inside the simulator (response times, node utilization, ...).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace rtdls::stats {
+
+/// Streaming mean/variance/min/max accumulator.
+///
+/// Welford's update keeps the variance stable for long simulations; merge()
+/// implements Chan et al.'s pairwise combination so per-thread accumulators
+/// can be reduced after a parallel sweep.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel reduction step).
+  void merge(const RunningStats& other);
+
+  /// Number of observations.
+  size_t count() const { return count_; }
+
+  /// Sample mean; 0 when empty.
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 points.
+  double variance() const;
+
+  /// Sample standard deviation.
+  double stddev() const;
+
+  /// Standard error of the mean (stddev / sqrt(n)).
+  double stderror() const;
+
+  /// Smallest observation; +inf when empty.
+  double min() const { return min_; }
+
+  /// Largest observation; -inf when empty.
+  double max() const { return max_; }
+
+  /// Sum of all observations.
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace rtdls::stats

@@ -1,0 +1,134 @@
+#include "stats/student_t.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rtdls::stats {
+
+double log_gamma(double x) {
+  // Lanczos approximation, g = 7, n = 9 coefficients.
+  static constexpr double kCoefficients[] = {
+      0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059, 12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula keeps the approximation accurate for small x.
+    return std::log(M_PI / std::sin(M_PI * x)) - log_gamma(1.0 - x);
+  }
+  x -= 1.0;
+  double a = kCoefficients[0];
+  const double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) {
+    a += kCoefficients[i] / (x + static_cast<double>(i));
+  }
+  return 0.5 * std::log(2.0 * M_PI) + (x + 0.5) * std::log(t) - t + std::log(a);
+}
+
+namespace {
+
+// Continued-fraction evaluation of the incomplete beta function
+// (Numerical-Recipes style modified Lentz algorithm).
+double beta_continued_fraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEpsilon = 3.0e-14;
+  constexpr double kTiny = 1.0e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double regularized_incomplete_beta(double a, double b, double x) {
+  if (!(a > 0.0) || !(b > 0.0)) {
+    throw std::invalid_argument("regularized_incomplete_beta: a, b must be > 0");
+  }
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double log_front = log_gamma(a + b) - log_gamma(a) - log_gamma(b) +
+                           a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(log_front);
+  // Use the symmetry relation to keep the continued fraction convergent.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_continued_fraction(a, b, x) / a;
+  }
+  return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double dof) {
+  if (!(dof > 0.0)) {
+    throw std::invalid_argument("student_t_cdf: dof must be > 0");
+  }
+  if (t == 0.0) return 0.5;
+  const double x = dof / (dof + t * t);
+  const double p = 0.5 * regularized_incomplete_beta(dof / 2.0, 0.5, x);
+  return t > 0.0 ? 1.0 - p : p;
+}
+
+double student_t_quantile(double p, double dof) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::invalid_argument("student_t_quantile: p must be in (0,1)");
+  }
+  if (!(dof > 0.0)) {
+    throw std::invalid_argument("student_t_quantile: dof must be > 0");
+  }
+  if (p == 0.5) return 0.0;
+  // Symmetric distribution: reduce to the upper half.
+  if (p < 0.5) return -student_t_quantile(1.0 - p, dof);
+
+  // Bracket, then bisect. The t quantile for p < 1 is finite; grow the
+  // bracket geometrically until the CDF passes p.
+  double lo = 0.0;
+  double hi = 1.0;
+  while (student_t_cdf(hi, dof) < p) {
+    hi *= 2.0;
+    if (hi > 1.0e12) break;  // p astronomically close to 1
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (student_t_cdf(mid, dof) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1.0e-12 * (1.0 + hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double student_t_critical(double confidence, double dof) {
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::invalid_argument("student_t_critical: confidence must be in (0,1)");
+  }
+  return student_t_quantile(0.5 + confidence / 2.0, dof);
+}
+
+}  // namespace rtdls::stats

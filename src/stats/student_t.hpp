@@ -1,0 +1,29 @@
+// Student-t distribution quantiles, implemented from scratch via the
+// regularized incomplete beta function (continued fraction, Lentz's method)
+// and bisection/Newton inversion.
+//
+// The experiment harness needs t quantiles for the 95% confidence intervals
+// the paper reports in Figure 3b; we avoid a table so any confidence level
+// and any degrees-of-freedom work.
+#pragma once
+
+namespace rtdls::stats {
+
+/// Natural log of the gamma function (Lanczos approximation).
+double log_gamma(double x);
+
+/// Regularized incomplete beta function I_x(a, b) for x in [0,1], a,b > 0.
+double regularized_incomplete_beta(double a, double b, double x);
+
+/// CDF of Student's t distribution with `dof` degrees of freedom.
+double student_t_cdf(double t, double dof);
+
+/// Quantile (inverse CDF) of Student's t distribution.
+/// `p` must be in (0, 1); `dof` must be >= 1.
+double student_t_quantile(double p, double dof);
+
+/// Two-sided critical value t* such that P(|T| <= t*) = confidence.
+/// E.g. student_t_critical(0.95, 9) ~= 2.2622.
+double student_t_critical(double confidence, double dof);
+
+}  // namespace rtdls::stats

@@ -1,0 +1,80 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace rtdls::stats {
+
+void Summary::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Summary::min() const {
+  if (samples_.empty()) throw std::logic_error("Summary::min on empty set");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double Summary::max() const {
+  if (samples_.empty()) throw std::logic_error("Summary::max on empty set");
+  ensure_sorted();
+  return samples_.back();
+}
+
+double Summary::quantile(double q) const {
+  if (samples_.empty()) throw std::logic_error("Summary::quantile on empty set");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile q must be in [0,1]");
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_[0];
+  const double position = q * static_cast<double>(samples_.size() - 1);
+  const size_t below = static_cast<size_t>(std::floor(position));
+  const size_t above = std::min(below + 1, samples_.size() - 1);
+  const double fraction = position - static_cast<double>(below);
+  return samples_[below] * (1.0 - fraction) + samples_[above] * fraction;
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+  if (buckets == 0) throw std::invalid_argument("Histogram: need >= 1 bucket");
+}
+
+void Histogram::add(double x) {
+  const double fraction = (x - lo_) / (hi_ - lo_);
+  long long index = static_cast<long long>(std::floor(fraction * static_cast<double>(counts_.size())));
+  index = std::clamp<long long>(index, 0, static_cast<long long>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(index)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(size_t index) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(index) / static_cast<double>(counts_.size());
+}
+
+std::string Histogram::render(size_t max_bar_width) const {
+  size_t peak = 1;
+  for (size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double lo = bucket_lo(i);
+    const double hi = bucket_lo(i + 1);
+    const size_t bar = counts_[i] * max_bar_width / peak;
+    out << "[" << lo << ", " << hi << ") " << counts_[i] << " "
+        << std::string(bar, '#') << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace rtdls::stats

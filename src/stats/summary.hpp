@@ -1,0 +1,70 @@
+// Batch summaries: quantiles and histograms over stored samples.
+//
+// RunningStats covers streaming moments; Summary keeps the raw samples for
+// order statistics (median response time, p99 queue length, ...).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rtdls::stats {
+
+/// Sample container with order-statistic queries.
+class Summary {
+ public:
+  /// Adds one observation.
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+
+  /// Reserves storage for `n` observations.
+  void reserve(size_t n) { samples_.reserve(n); }
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// Linear-interpolated quantile, q in [0, 1]. Throws when empty.
+  double quantile(double q) const;
+
+  /// Median (quantile 0.5).
+  double median() const { return quantile(0.5); }
+
+  /// Read-only access to the (unsorted) samples.
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bucket. Used by metrics dumps (waiting-time distribution).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void add(double x);
+
+  size_t bucket_count() const { return counts_.size(); }
+  size_t count() const { return total_; }
+  size_t bucket(size_t index) const { return counts_.at(index); }
+
+  /// Lower edge of bucket `index`.
+  double bucket_lo(size_t index) const;
+
+  /// Renders "lo..hi : count" lines with a proportional bar.
+  std::string render(size_t max_bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<size_t> counts_;
+  size_t total_ = 0;
+};
+
+}  // namespace rtdls::stats

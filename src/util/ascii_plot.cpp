@@ -1,0 +1,109 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace rtdls::util {
+
+namespace {
+
+constexpr char kMarkers[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  void include(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  bool valid() const { return lo <= hi; }
+  double span() const { return hi - lo; }
+};
+
+}  // namespace
+
+std::string ascii_chart(const std::vector<Series>& series, const PlotOptions& options) {
+  Range xr;
+  Range yr;
+  for (const Series& s : series) {
+    for (double v : s.x) {
+      if (std::isfinite(v)) xr.include(v);
+    }
+    for (double v : s.y) {
+      if (std::isfinite(v)) yr.include(v);
+    }
+  }
+  if (!xr.valid() || !yr.valid()) return "(no data)\n";
+  if (options.y_from_zero) yr.include(0.0);
+  if (xr.span() <= 0.0) xr.hi = xr.lo + 1.0;
+  if (yr.span() <= 0.0) yr.hi = yr.lo + 1.0;
+
+  const int w = std::max(options.width, 8);
+  const int h = std::max(options.height, 4);
+  std::vector<std::string> grid(static_cast<size_t>(h), std::string(static_cast<size_t>(w), ' '));
+
+  for (size_t si = 0; si < series.size(); ++si) {
+    const char marker = kMarkers[si % sizeof(kMarkers)];
+    const Series& s = series[si];
+    const size_t points = std::min(s.x.size(), s.y.size());
+    for (size_t i = 0; i < points; ++i) {
+      if (!std::isfinite(s.x[i]) || !std::isfinite(s.y[i])) continue;
+      const double fx = (s.x[i] - xr.lo) / xr.span();
+      const double fy = (s.y[i] - yr.lo) / yr.span();
+      int col = static_cast<int>(std::lround(fx * (w - 1)));
+      int row = (h - 1) - static_cast<int>(std::lround(fy * (h - 1)));
+      col = std::clamp(col, 0, w - 1);
+      row = std::clamp(row, 0, h - 1);
+      grid[static_cast<size_t>(row)][static_cast<size_t>(col)] = marker;
+    }
+  }
+
+  std::ostringstream out;
+  char label[64];
+  for (int row = 0; row < h; ++row) {
+    const double y_value = yr.hi - (yr.span() * row) / (h - 1);
+    std::snprintf(label, sizeof(label), "%8.4f |", y_value);
+    out << label << grid[static_cast<size_t>(row)] << '\n';
+  }
+  out << std::string(9, ' ') << '+' << std::string(static_cast<size_t>(w), '-') << '\n';
+  std::snprintf(label, sizeof(label), "%8.3f", xr.lo);
+  std::string x_axis(9, ' ');
+  x_axis += label;
+  x_axis += std::string(static_cast<size_t>(std::max(0, w - 16)), ' ');
+  std::snprintf(label, sizeof(label), "%8.3f", xr.hi);
+  x_axis += label;
+  out << x_axis << "  (" << options.x_label << ")\n";
+
+  out << "  legend:";
+  for (size_t si = 0; si < series.size(); ++si) {
+    out << "  " << kMarkers[si % sizeof(kMarkers)] << " = " << series[si].name;
+  }
+  out << "   y: " << options.y_label << '\n';
+  return out.str();
+}
+
+std::string aligned_table(const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> widths;
+  for (const auto& row : rows) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream out;
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      out << row[i];
+      if (i + 1 < row.size()) {
+        out << std::string(widths[i] - row[i].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace rtdls::util

@@ -1,0 +1,35 @@
+// Terminal rendering of reject-ratio curves: the benchmark binaries print
+// each figure as an aligned numeric table plus a coarse ASCII chart so the
+// paper's plots can be eyeballed without leaving the terminal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rtdls::util {
+
+/// One named series of (x, y) points, e.g. "EDF-DLT" over system load.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Rendering options for ascii_chart().
+struct PlotOptions {
+  int width = 68;    ///< plot area columns
+  int height = 16;   ///< plot area rows
+  std::string x_label = "x";
+  std::string y_label = "y";
+  bool y_from_zero = true;  ///< anchor the y axis at 0 (reject ratios)
+};
+
+/// Renders the series into a multi-line ASCII chart. Each series uses its own
+/// marker character ('*', '+', 'o', 'x', ...); a legend line is appended.
+std::string ascii_chart(const std::vector<Series>& series, const PlotOptions& options);
+
+/// Renders an aligned table: header row then one row per entry; columns are
+/// padded to the widest cell.
+std::string aligned_table(const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace rtdls::util

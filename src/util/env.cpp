@@ -1,0 +1,38 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace rtdls::util {
+
+std::optional<std::string> get_env(std::string_view name) {
+  const std::string key(name);
+  if (const char* value = std::getenv(key.c_str()); value != nullptr && value[0] != '\0') {
+    return std::string(value);
+  }
+  return std::nullopt;
+}
+
+double env_double(std::string_view name, double fallback) {
+  const auto raw = get_env(name);
+  if (!raw) return fallback;
+  double value = fallback;
+  return parse_double(*raw, value) ? value : fallback;
+}
+
+unsigned long long env_u64(std::string_view name, unsigned long long fallback) {
+  const auto raw = get_env(name);
+  if (!raw) return fallback;
+  unsigned long long value = fallback;
+  return parse_u64(*raw, value) ? value : fallback;
+}
+
+bool env_flag(std::string_view name, bool fallback) {
+  const auto raw = get_env(name);
+  if (!raw) return fallback;
+  const std::string lowered = to_lower(*raw);
+  return lowered == "1" || lowered == "true" || lowered == "yes" || lowered == "on";
+}
+
+}  // namespace rtdls::util

@@ -1,0 +1,23 @@
+// Environment-variable helpers used by the benchmark/experiment harness to
+// scale runs (RTDLS_FULL, RTDLS_RUNS, RTDLS_SIMTIME, RTDLS_JOBS, ...).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rtdls::util {
+
+/// Returns the raw value of an environment variable, if set and non-empty.
+std::optional<std::string> get_env(std::string_view name);
+
+/// Returns the variable parsed as double, or `fallback` if unset/unparsable.
+double env_double(std::string_view name, double fallback);
+
+/// Returns the variable parsed as a non-negative integer, or `fallback`.
+unsigned long long env_u64(std::string_view name, unsigned long long fallback);
+
+/// Returns true for values "1", "true", "yes", "on" (case-insensitive).
+bool env_flag(std::string_view name, bool fallback = false);
+
+}  // namespace rtdls::util

@@ -1,0 +1,59 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "util/strings.hpp"
+
+namespace rtdls::util {
+
+namespace {
+std::mutex g_sink_mutex;
+}  // namespace
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "unknown";
+}
+
+LogLevel parse_log_level(std::string_view name) {
+  const std::string lowered = to_lower(name);
+  if (lowered == "trace") return LogLevel::kTrace;
+  if (lowered == "debug") return LogLevel::kDebug;
+  if (lowered == "info") return LogLevel::kInfo;
+  if (lowered == "warn" || lowered == "warning") return LogLevel::kWarn;
+  if (lowered == "error") return LogLevel::kError;
+  if (lowered == "off" || lowered == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+Logger::Logger() : level_(LogLevel::kWarn) { init_from_env(); }
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view message) {
+  if (!enabled(level)) return;
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fprintf(stderr, "[rtdls:%.*s] %.*s\n",
+               static_cast<int>(log_level_name(level).size()), log_level_name(level).data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+void Logger::init_from_env() {
+  if (const char* env = std::getenv("RTDLS_LOG"); env != nullptr) {
+    set_level(parse_log_level(env));
+  }
+}
+
+}  // namespace rtdls::util

@@ -1,0 +1,86 @@
+// Minimal leveled logger for the rtdls library.
+//
+// The simulator and experiment runner are hot loops, so logging is designed
+// to be cheap when disabled: level checks are a single relaxed atomic load
+// and message formatting only happens when the message will be emitted.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace rtdls::util {
+
+/// Severity levels, ordered from most to least verbose.
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Returns the canonical lowercase name of a level ("trace", "info", ...).
+std::string_view log_level_name(LogLevel level);
+
+/// Parses a level name (case-insensitive); returns kInfo on unknown input.
+LogLevel parse_log_level(std::string_view name);
+
+/// Global logger configuration and sink. Thread-safe.
+class Logger {
+ public:
+  /// Process-wide logger instance.
+  static Logger& instance();
+
+  /// Current minimum level that will be emitted.
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+
+  /// Sets the minimum emitted level.
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+
+  /// True if a message at `level` would be emitted.
+  bool enabled(LogLevel level) const { return level >= this->level(); }
+
+  /// Emits one formatted line to stderr (serialized across threads).
+  void write(LogLevel level, std::string_view message);
+
+  /// Initializes the level from the RTDLS_LOG environment variable.
+  void init_from_env();
+
+ private:
+  Logger();
+  std::atomic<LogLevel> level_;
+};
+
+namespace detail {
+
+/// Stream-style log statement builder; emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Logger::instance().write(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace rtdls::util
+
+/// Usage: RTDLS_LOG(kInfo) << "accepted task " << id;
+#define RTDLS_LOG(level_suffix)                                                   \
+  if (!::rtdls::util::Logger::instance().enabled(::rtdls::util::LogLevel::level_suffix)) { \
+  } else                                                                          \
+    ::rtdls::util::detail::LogLine(::rtdls::util::LogLevel::level_suffix)

@@ -1,0 +1,35 @@
+// Small string helpers shared across rtdls modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtdls::util {
+
+/// Returns `s` with ASCII letters lowercased.
+std::string to_lower(std::string_view s);
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Formats a double with `precision` significant decimal digits, trimming
+/// trailing zeros ("0.25", "1", "0.121").
+std::string format_double(double value, int precision = 6);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Parses a double; returns false (leaving `out` untouched) on failure.
+bool parse_double(std::string_view s, double& out);
+
+/// Parses a non-negative integer; returns false on failure.
+bool parse_u64(std::string_view s, unsigned long long& out);
+
+}  // namespace rtdls::util

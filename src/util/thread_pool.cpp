@@ -1,0 +1,103 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace rtdls::util {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(size_t count, const std::function<void(size_t)>& body) {
+  if (count == 0) return;
+  // Dynamic scheduling: a shared atomic cursor balances uneven task costs
+  // (high-load simulations take longer than low-load ones).
+  auto cursor = std::make_shared<std::atomic<size_t>>(0);
+  auto first_error = std::make_shared<std::exception_ptr>();
+  auto error_mutex = std::make_shared<std::mutex>();
+
+  const size_t lanes = std::min(count, size());
+  auto lane_body = [cursor, first_error, error_mutex, count, &body] {
+    while (true) {
+      const size_t i = cursor->fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      {
+        std::lock_guard<std::mutex> lock(*error_mutex);
+        if (*first_error) return;  // abandon remaining work after a failure
+      }
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(*error_mutex);
+        if (!*first_error) *first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  // The calling thread participates as one lane so a 1-thread pool still
+  // makes progress even if the caller holds the only available core.
+  for (size_t lane = 1; lane < lanes; ++lane) {
+    submit(lane_body);
+  }
+  lane_body();
+  wait_idle();
+
+  if (*first_error) std::rethrow_exception(*first_error);
+}
+
+}  // namespace rtdls::util

@@ -1,0 +1,62 @@
+// Fixed-size worker pool used by the experiment runner to execute the
+// (load, run, algorithm) simulation grid in parallel.
+//
+// Design notes (HPC-parallel idioms):
+//  * Work items are type-erased std::move_only_function-like tasks; we use
+//    std::function with shared state because our tasks are copyable closures.
+//  * Shutdown is cooperative: the destructor drains the queue, joins workers.
+//  * `parallel_for` provides a blocking fan-out/fan-in over an index range
+//    with exception propagation (first exception rethrown on the caller).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rtdls::util {
+
+/// A simple fixed-size thread pool with a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding work and joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void wait_idle();
+
+  /// Number of worker threads.
+  size_t size() const { return workers_.size(); }
+
+  /// Runs body(i) for i in [0, count) across the pool and blocks until all
+  /// complete. If any invocation throws, the first exception is rethrown
+  /// here after every index has been attempted or abandoned.
+  void parallel_for(size_t count, const std::function<void(size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace rtdls::util

@@ -1,0 +1,58 @@
+#include "workload/distributions.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rtdls::workload {
+
+double sample_exponential(Xoshiro256StarStar& rng, double mean) {
+  if (!(mean > 0.0)) throw std::invalid_argument("sample_exponential: mean must be > 0");
+  // Inversion: -mean * ln(U), with U in (0, 1]. next_double() returns [0,1);
+  // use 1-U to avoid log(0).
+  return -mean * std::log1p(-rng.next_double());
+}
+
+double sample_standard_normal(Xoshiro256StarStar& rng) {
+  // Polar (Marsaglia) method.
+  while (true) {
+    const double u = 2.0 * rng.next_double() - 1.0;
+    const double v = 2.0 * rng.next_double() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double sample_normal(Xoshiro256StarStar& rng, double mean, double stddev) {
+  if (!(stddev >= 0.0)) throw std::invalid_argument("sample_normal: stddev must be >= 0");
+  return mean + stddev * sample_standard_normal(rng);
+}
+
+double sample_truncated_normal(Xoshiro256StarStar& rng, double mean, double stddev,
+                               double lo, int max_attempts) {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const double x = sample_normal(rng, mean, stddev);
+    if (x >= lo) return x;
+  }
+  return lo;
+}
+
+double sample_uniform(Xoshiro256StarStar& rng, double lo, double hi) {
+  if (!(hi >= lo)) throw std::invalid_argument("sample_uniform: hi must be >= lo");
+  return lo + (hi - lo) * rng.next_double();
+}
+
+std::uint64_t sample_uniform_int(Xoshiro256StarStar& rng, std::uint64_t lo, std::uint64_t hi) {
+  if (hi < lo) throw std::invalid_argument("sample_uniform_int: hi must be >= lo");
+  const std::uint64_t range = hi - lo + 1;  // wraps to 0 for the full domain
+  if (range == 0) return rng();             // full 64-bit range
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = (~static_cast<std::uint64_t>(0)) - ((~static_cast<std::uint64_t>(0)) % range) - 1;
+  while (true) {
+    const std::uint64_t draw = rng();
+    if (draw <= limit) return lo + draw % range;
+  }
+}
+
+}  // namespace rtdls::workload

@@ -1,0 +1,38 @@
+// The three distributions the paper's workload model uses, implemented from
+// first principles on top of our deterministic RNG:
+//  * exponential interarrival times (Poisson arrivals, mean 1/lambda),
+//  * normally distributed data sizes (mean Avgsigma, stddev = mean),
+//    truncated to positive values,
+//  * uniform relative deadlines in [AvgD/2, 3AvgD/2].
+#pragma once
+
+#include <cstdint>
+
+#include "workload/rng.hpp"
+
+namespace rtdls::workload {
+
+/// Exponential variate with the given mean (= 1/lambda). mean must be > 0.
+double sample_exponential(Xoshiro256StarStar& rng, double mean);
+
+/// Standard normal variate (polar Box-Muller; one value per call, the spare
+/// is discarded to keep call sites stateless and streams reproducible).
+double sample_standard_normal(Xoshiro256StarStar& rng);
+
+/// Normal(mean, stddev) variate.
+double sample_normal(Xoshiro256StarStar& rng, double mean, double stddev);
+
+/// Normal(mean, stddev) truncated to [lo, +inf): rejection-samples until the
+/// draw is >= lo (cap guarded; falls back to lo after `max_attempts`).
+/// The paper's sigma_i ~ N(Avgsigma, Avgsigma^2) has ~16% mass below zero,
+/// so truncation is required for data sizes to be meaningful.
+double sample_truncated_normal(Xoshiro256StarStar& rng, double mean, double stddev,
+                               double lo, int max_attempts = 256);
+
+/// Uniform variate in [lo, hi).
+double sample_uniform(Xoshiro256StarStar& rng, double lo, double hi);
+
+/// Uniform integer in [lo, hi] (inclusive), via rejection for unbiasedness.
+std::uint64_t sample_uniform_int(Xoshiro256StarStar& rng, std::uint64_t lo, std::uint64_t hi);
+
+}  // namespace rtdls::workload

@@ -1,0 +1,74 @@
+#include "workload/rng.hpp"
+
+namespace rtdls::workload {
+
+std::uint64_t splitmix64_next(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64_next(sm);
+  // All-zero state is invalid for xoshiro; splitmix64 cannot produce four
+  // zero outputs in a row, but guard anyway for defensive completeness.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+Xoshiro256StarStar Xoshiro256StarStar::for_stream(std::uint64_t seed, std::uint64_t stream) {
+  // Mix the stream index into the seed with splitmix64 (distinct seeds for
+  // distinct (seed, stream) pairs), then long-jump `stream % 64` times to
+  // guarantee non-overlap even if two mixed seeds collide.
+  std::uint64_t sm = seed ^ (0xA0761D6478BD642FULL * (stream + 1));
+  Xoshiro256StarStar rng(splitmix64_next(sm));
+  for (std::uint64_t j = 0; j < (stream & 63U); ++j) rng.long_jump();
+  return rng;
+}
+
+Xoshiro256StarStar::result_type Xoshiro256StarStar::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256StarStar::long_jump() {
+  static constexpr std::uint64_t kLongJump[] = {
+      0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL,
+      0x77710069854ee241ULL, 0x39109bb02acbe635ULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t jump : kLongJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      (*this)();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+double Xoshiro256StarStar::next_double() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace rtdls::workload

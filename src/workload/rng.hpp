@@ -1,0 +1,52 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// The paper's evaluation averages ten simulation runs per point where each
+// run uses "different random numbers" but the same parameters, and compares
+// algorithms on the same workloads. That requires:
+//  * reproducibility across platforms (so we implement xoshiro256** + the
+//    splitmix64 seeder ourselves instead of relying on unspecified
+//    std::random distribution internals), and
+//  * cheap independent streams (one per run index) so parallel runs don't
+//    share state.
+#pragma once
+
+#include <cstdint>
+
+namespace rtdls::workload {
+
+/// splitmix64: seed expander recommended by the xoshiro authors.
+/// Advances `state` and returns the next 64-bit output.
+std::uint64_t splitmix64_next(std::uint64_t& state);
+
+/// xoshiro256** 1.0 (Blackman & Vigna) - fast, 256-bit state, passes BigCrush.
+/// Satisfies the C++ UniformRandomBitGenerator concept.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the 256-bit state by running splitmix64 on `seed`.
+  explicit Xoshiro256StarStar(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Derives an independent stream for (seed, stream). Used so run `i` of a
+  /// sweep gets its own deterministic generator regardless of execution
+  /// order or thread assignment.
+  static Xoshiro256StarStar for_stream(std::uint64_t seed, std::uint64_t stream);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+
+  /// Next 64 random bits.
+  result_type operator()();
+
+  /// The long-jump function: advances the state by 2^192 steps, equivalent
+  /// to that many operator() calls. Provides non-overlapping substreams.
+  void long_jump();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double next_double();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace rtdls::workload

@@ -1,0 +1,3 @@
+#include "workload/task.hpp"
+
+// Header-only type; this translation unit anchors the target.

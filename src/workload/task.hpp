@@ -1,0 +1,29 @@
+// The aperiodic divisible task record produced by the workload generator and
+// consumed by the scheduler and simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "dlt/params.hpp"
+
+namespace rtdls::workload {
+
+using cluster::TaskId;
+using cluster::Time;
+
+/// One task instance T_i = (A_i, sigma_i, D_i), plus per-task generator
+/// outputs that must stay stable across repeated schedulability tests.
+struct Task {
+  TaskId id = 0;
+  dlt::TaskSpec spec;         ///< (arrival, sigma, relative deadline)
+  std::size_t user_nodes = 0; ///< n requested by the "user" for User-Split
+                              ///< algorithms: a uniform draw from
+                              ///< [N_min, N], fixed at generation time
+
+  Time arrival() const { return spec.arrival; }
+  double sigma() const { return spec.sigma; }
+  Time rel_deadline() const { return spec.rel_deadline; }
+  Time abs_deadline() const { return spec.absolute_deadline(); }
+};
+
+}  // namespace rtdls::workload

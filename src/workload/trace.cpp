@@ -1,0 +1,81 @@
+#include "workload/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace rtdls::workload {
+
+namespace {
+const char* const kHeader[] = {"id", "arrival", "sigma", "deadline", "user_nodes"};
+constexpr size_t kColumns = 5;
+}  // namespace
+
+void save_trace(std::ostream& out, const std::vector<Task>& tasks) {
+  util::CsvWriter writer(out);
+  writer.write_row({kHeader[0], kHeader[1], kHeader[2], kHeader[3], kHeader[4]});
+  for (const Task& task : tasks) {
+    writer.write_numeric_row({static_cast<double>(task.id), task.arrival(), task.sigma(),
+                              task.rel_deadline(), static_cast<double>(task.user_nodes)});
+  }
+}
+
+void save_trace_file(const std::string& path, const std::vector<Task>& tasks) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_trace_file: cannot open " + path);
+  save_trace(out, tasks);
+  if (!out) throw std::runtime_error("save_trace_file: write failed for " + path);
+}
+
+std::vector<Task> load_trace(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto rows = util::parse_csv(buffer.str());
+  if (rows.empty()) throw std::runtime_error("load_trace: empty trace");
+  if (rows[0].size() != kColumns) {
+    throw std::runtime_error("load_trace: expected 5 header columns");
+  }
+  for (size_t c = 0; c < kColumns; ++c) {
+    if (rows[0][c] != kHeader[c]) {
+      throw std::runtime_error("load_trace: unexpected header column '" + rows[0][c] + "'");
+    }
+  }
+
+  std::vector<Task> tasks;
+  tasks.reserve(rows.size() - 1);
+  for (size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() == 1 && row[0].empty()) continue;  // trailing blank line
+    if (row.size() != kColumns) {
+      throw std::runtime_error("load_trace: row has wrong column count");
+    }
+    double fields[kColumns];
+    for (size_t c = 0; c < kColumns; ++c) {
+      if (!util::parse_double(row[c], fields[c])) {
+        throw std::runtime_error("load_trace: non-numeric field '" + row[c] + "'");
+      }
+    }
+    if (fields[1] < 0.0 || fields[2] <= 0.0 || fields[3] <= 0.0 || fields[4] < 0.0) {
+      throw std::runtime_error("load_trace: out-of-range field values");
+    }
+    Task task;
+    task.id = static_cast<cluster::TaskId>(fields[0]);
+    task.spec.arrival = fields[1];
+    task.spec.sigma = fields[2];
+    task.spec.rel_deadline = fields[3];
+    task.user_nodes = static_cast<std::size_t>(fields[4]);
+    tasks.push_back(task);
+  }
+  return tasks;
+}
+
+std::vector<Task> load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_trace_file: cannot open " + path);
+  return load_trace(in);
+}
+
+}  // namespace rtdls::workload

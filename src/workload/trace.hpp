@@ -1,0 +1,25 @@
+// Task-trace persistence: save a generated workload to CSV and load it back,
+// so experiments can be replayed bit-exactly (examples/trace_replay) and
+// regression traces can be checked into a repository.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/task.hpp"
+
+namespace rtdls::workload {
+
+/// Writes tasks as CSV with a header row: id,arrival,sigma,deadline,user_nodes.
+void save_trace(std::ostream& out, const std::vector<Task>& tasks);
+
+/// Convenience file overloads. Throws std::runtime_error on I/O failure.
+void save_trace_file(const std::string& path, const std::vector<Task>& tasks);
+
+/// Parses a trace written by save_trace. Throws std::runtime_error on
+/// malformed input (wrong header, non-numeric fields, negative values).
+std::vector<Task> load_trace(std::istream& in);
+std::vector<Task> load_trace_file(const std::string& path);
+
+}  // namespace rtdls::workload

@@ -1,0 +1,129 @@
+// Tests for the reservation calendar (backfilling substrate).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cluster/calendar.hpp"
+
+namespace rtdls::cluster {
+namespace {
+
+TEST(Calendar, ConstructionRequiresNodes) {
+  EXPECT_THROW(NodeCalendar(0), std::invalid_argument);
+  NodeCalendar calendar(4);
+  EXPECT_EQ(calendar.size(), 4u);
+  EXPECT_TRUE(calendar.busy(0).empty());
+}
+
+TEST(Calendar, ReserveAndQuery) {
+  NodeCalendar calendar(2);
+  calendar.reserve(0, 10.0, 20.0);
+  EXPECT_TRUE(calendar.is_free(0, 0.0, 10.0));
+  EXPECT_TRUE(calendar.is_free(0, 20.0, 30.0));
+  EXPECT_FALSE(calendar.is_free(0, 5.0, 15.0));
+  EXPECT_FALSE(calendar.is_free(0, 12.0, 13.0));
+  EXPECT_TRUE(calendar.is_free(1, 0.0, 100.0));  // other node unaffected
+}
+
+TEST(Calendar, AbuttingReservationsAllowed) {
+  NodeCalendar calendar(1);
+  calendar.reserve(0, 10.0, 20.0);
+  calendar.reserve(0, 20.0, 30.0);  // exact abutment
+  calendar.reserve(0, 0.0, 10.0);
+  EXPECT_EQ(calendar.busy(0).size(), 3u);
+  EXPECT_DOUBLE_EQ(calendar.busy_time(0), 30.0);
+}
+
+TEST(Calendar, OverlapThrows) {
+  NodeCalendar calendar(1);
+  calendar.reserve(0, 10.0, 20.0);
+  EXPECT_THROW(calendar.reserve(0, 15.0, 25.0), std::logic_error);
+  EXPECT_THROW(calendar.reserve(0, 5.0, 11.0), std::logic_error);
+  EXPECT_THROW(calendar.reserve(0, 12.0, 13.0), std::logic_error);
+  EXPECT_THROW(calendar.reserve(0, 20.0, 10.0), std::invalid_argument);
+}
+
+TEST(Calendar, OutOfOrderInsertionStaysSorted) {
+  NodeCalendar calendar(1);
+  calendar.reserve(0, 50.0, 60.0);
+  calendar.reserve(0, 10.0, 20.0);
+  calendar.reserve(0, 30.0, 40.0);
+  const auto& busy = calendar.busy(0);
+  ASSERT_EQ(busy.size(), 3u);
+  EXPECT_DOUBLE_EQ(busy[0].start, 10.0);
+  EXPECT_DOUBLE_EQ(busy[1].start, 30.0);
+  EXPECT_DOUBLE_EQ(busy[2].start, 50.0);
+}
+
+TEST(Calendar, EarliestFitFindsGaps) {
+  NodeCalendar calendar(1);
+  calendar.reserve(0, 10.0, 20.0);
+  calendar.reserve(0, 30.0, 40.0);
+  EXPECT_DOUBLE_EQ(calendar.earliest_fit(0, 0.0, 10.0), 0.0);   // before everything
+  EXPECT_DOUBLE_EQ(calendar.earliest_fit(0, 0.0, 10.5), 40.0);  // too long for gaps
+  EXPECT_DOUBLE_EQ(calendar.earliest_fit(0, 5.0, 8.0), 20.0);   // middle gap
+  EXPECT_DOUBLE_EQ(calendar.earliest_fit(0, 25.0, 5.0), 25.0);
+  EXPECT_DOUBLE_EQ(calendar.earliest_fit(0, 35.0, 1.0), 40.0);  // inside a busy block
+}
+
+TEST(Calendar, EarliestFitZeroDuration) {
+  NodeCalendar calendar(1);
+  calendar.reserve(0, 10.0, 20.0);
+  EXPECT_DOUBLE_EQ(calendar.earliest_fit(0, 15.0, 0.0), 15.0);
+}
+
+TEST(Calendar, CandidateTimesAreEdges) {
+  NodeCalendar calendar(2);
+  calendar.reserve(0, 10.0, 20.0);
+  calendar.reserve(1, 15.0, 25.0);
+  const auto times = calendar.candidate_times(5.0);
+  // {5, 10, 15, 20, 25}
+  ASSERT_EQ(times.size(), 5u);
+  EXPECT_DOUBLE_EQ(times.front(), 5.0);
+  EXPECT_DOUBLE_EQ(times.back(), 25.0);
+  // From a later origin, earlier edges are dropped.
+  EXPECT_EQ(calendar.candidate_times(21.0).size(), 2u);  // {21, 25}
+}
+
+TEST(Calendar, EarliestWindowImmediateWhenEmpty) {
+  NodeCalendar calendar(4);
+  const auto window = calendar.earliest_window(7.0, 3, 100.0);
+  ASSERT_TRUE(window.has_value());
+  EXPECT_DOUBLE_EQ(window->start, 7.0);
+  EXPECT_EQ(window->nodes.size(), 3u);
+  EXPECT_EQ(window->nodes[0], 0u);  // lowest ids for determinism
+}
+
+TEST(Calendar, EarliestWindowBackfillsAGap) {
+  // Nodes 0 and 1 busy [100, 200); a 2-node window of length 50 fits at 0.
+  NodeCalendar calendar(2);
+  calendar.reserve(0, 100.0, 200.0);
+  calendar.reserve(1, 100.0, 200.0);
+  const auto window = calendar.earliest_window(0.0, 2, 50.0);
+  ASSERT_TRUE(window.has_value());
+  EXPECT_DOUBLE_EQ(window->start, 0.0);
+  // A window of length 150 does not fit in front: starts at 200.
+  const auto late = calendar.earliest_window(0.0, 2, 150.0);
+  ASSERT_TRUE(late.has_value());
+  EXPECT_DOUBLE_EQ(late->start, 200.0);
+}
+
+TEST(Calendar, EarliestWindowPicksQualifyingNodes) {
+  NodeCalendar calendar(3);
+  calendar.reserve(0, 0.0, 100.0);
+  const auto window = calendar.earliest_window(0.0, 2, 10.0);
+  ASSERT_TRUE(window.has_value());
+  EXPECT_DOUBLE_EQ(window->start, 0.0);
+  EXPECT_EQ(window->nodes, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(Calendar, EarliestWindowTooManyNodes) {
+  NodeCalendar calendar(2);
+  EXPECT_FALSE(calendar.earliest_window(0.0, 3, 1.0).has_value());
+  const auto zero = calendar.earliest_window(5.0, 0, 1.0);
+  ASSERT_TRUE(zero.has_value());
+  EXPECT_TRUE(zero->nodes.empty());
+}
+
+}  // namespace
+}  // namespace rtdls::cluster

@@ -1,0 +1,146 @@
+// Tests for the homogeneous DLT results of [22] that this paper builds on:
+// E(sigma, n), the geometric optimal partition, and their invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
+
+#include "dlt/homogeneous.hpp"
+
+namespace rtdls::dlt {
+namespace {
+
+ClusterParams paper_params() { return {.node_count = 16, .cms = 1.0, .cps = 100.0}; }
+
+TEST(Homogeneous, SingleNodeIsTransmitPlusCompute) {
+  // n=1: E = sigma * (Cms + Cps), the whole load through one pipe.
+  EXPECT_NEAR(homogeneous_execution_time(paper_params(), 200.0, 1), 200.0 * 101.0, 1e-9);
+}
+
+TEST(Homogeneous, MatchesClosedFormAtBaseline) {
+  // Hand-evaluated (1-beta)/(1-beta^16) * sigma * (Cms+Cps) at the paper's
+  // baseline: beta = 100/101.
+  const double beta = 100.0 / 101.0;
+  const double expected =
+      (1.0 - beta) / (1.0 - std::pow(beta, 16)) * 200.0 * 101.0;
+  EXPECT_NEAR(homogeneous_execution_time(paper_params(), 200.0, 16), expected, 1e-8);
+}
+
+TEST(Homogeneous, LinearInSigma) {
+  const double e1 = homogeneous_execution_time(paper_params(), 100.0, 8);
+  const double e2 = homogeneous_execution_time(paper_params(), 200.0, 8);
+  EXPECT_NEAR(e2, 2.0 * e1, 1e-9);
+  EXPECT_DOUBLE_EQ(homogeneous_execution_time(paper_params(), 0.0, 8), 0.0);
+}
+
+TEST(Homogeneous, StrictlyDecreasingInN) {
+  double previous = homogeneous_execution_time(paper_params(), 200.0, 1);
+  for (std::size_t n = 2; n <= 64; ++n) {
+    const double current = homogeneous_execution_time(paper_params(), 200.0, n);
+    EXPECT_LT(current, previous) << "n=" << n;
+    previous = current;
+  }
+}
+
+TEST(Homogeneous, BoundedBelowByTransmissionLimit) {
+  const double limit = homogeneous_execution_time_limit(paper_params(), 200.0);
+  EXPECT_DOUBLE_EQ(limit, 200.0);
+  for (std::size_t n : {1u, 4u, 16u, 64u}) {
+    EXPECT_GT(homogeneous_execution_time(paper_params(), 200.0, n), limit);
+  }
+  // For huge n the gap sinks below one ulp of the limit: only >= holds.
+  for (std::size_t n : {256u, 4096u}) {
+    EXPECT_GE(homogeneous_execution_time(paper_params(), 200.0, n), limit);
+  }
+  // ... and converges to it.
+  EXPECT_NEAR(homogeneous_execution_time(paper_params(), 200.0, 5000), limit, 0.01);
+}
+
+TEST(Homogeneous, InvalidInputsThrow) {
+  EXPECT_THROW(homogeneous_execution_time(paper_params(), 200.0, 0), std::invalid_argument);
+  EXPECT_THROW(homogeneous_execution_time(paper_params(), -1.0, 4), std::invalid_argument);
+  EXPECT_THROW(homogeneous_execution_time(ClusterParams{.node_count = 4, .cms = 0.0, .cps = 1.0},
+                                          1.0, 2),
+               std::invalid_argument);
+  EXPECT_THROW(homogeneous_partition(paper_params(), 0), std::invalid_argument);
+}
+
+TEST(HomogeneousPartition, SumsToOneAndGeometric) {
+  const auto alpha = homogeneous_partition(paper_params(), 8);
+  ASSERT_EQ(alpha.size(), 8u);
+  double sum = 0.0;
+  const double beta = paper_params().beta();
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    EXPECT_GT(alpha[i], 0.0);
+    sum += alpha[i];
+    if (i > 0) {
+      EXPECT_NEAR(alpha[i] / alpha[i - 1], beta, 1e-12);
+    }
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(HomogeneousPartition, SingleNodeTakesAll) {
+  const auto alpha = homogeneous_partition(paper_params(), 1);
+  ASSERT_EQ(alpha.size(), 1u);
+  EXPECT_DOUBLE_EQ(alpha[0], 1.0);
+}
+
+TEST(HomogeneousPartition, AllNodesFinishSimultaneously) {
+  // The DLT optimality criterion: zero finish skew under the optimal split.
+  for (std::size_t n : {2u, 4u, 8u, 16u}) {
+    const auto alpha = homogeneous_partition(paper_params(), n);
+    EXPECT_NEAR(homogeneous_finish_skew(paper_params(), 200.0, alpha), 0.0, 1e-7) << n;
+  }
+}
+
+TEST(HomogeneousPartition, EqualSplitHasPositiveSkew) {
+  const std::vector<double> equal(8, 1.0 / 8.0);
+  EXPECT_GT(homogeneous_finish_skew(paper_params(), 200.0, equal), 1.0);
+  EXPECT_THROW(homogeneous_finish_skew(paper_params(), 200.0, {}), std::invalid_argument);
+}
+
+TEST(HomogeneousPartition, FirstFinishEqualsExecutionTime) {
+  // Node 1's transmission+computation alone spans the full E(sigma, n).
+  const auto alpha = homogeneous_partition(paper_params(), 8);
+  const double first = alpha[0] * 200.0 * (1.0 + 100.0);
+  EXPECT_NEAR(first, homogeneous_execution_time(paper_params(), 200.0, 8), 1e-8);
+}
+
+// Property sweep across the paper's parameter grid (Cms x Cps x n).
+class HomogeneousSweep
+    : public ::testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(HomogeneousSweep, PartitionOptimalityInvariants) {
+  const auto [cms, cps, n_int] = GetParam();
+  const std::size_t n = static_cast<std::size_t>(n_int);
+  const ClusterParams params{.node_count = 64, .cms = cms, .cps = cps};
+  const double sigma = 200.0;
+
+  const auto alpha = homogeneous_partition(params, n);
+  double sum = 0.0;
+  for (double a : alpha) sum += a;
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+
+  // Zero skew and E consistency.
+  const double e = homogeneous_execution_time(params, sigma, n);
+  EXPECT_NEAR(homogeneous_finish_skew(params, sigma, alpha), 0.0, e * 1e-9);
+  EXPECT_NEAR(alpha[0] * sigma * (cms + cps), e, e * 1e-9);
+
+  // E decreases with n and stays above the transmission limit.
+  if (n > 1) {
+    EXPECT_LT(e, homogeneous_execution_time(params, sigma, n - 1));
+  }
+  EXPECT_GT(e, homogeneous_execution_time_limit(params, sigma));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, HomogeneousSweep,
+    ::testing::Combine(::testing::Values(1.0, 2.0, 4.0, 8.0),        // Cms (Fig. 7)
+                       ::testing::Values(10.0, 50.0, 100.0, 500.0,   // Cps (Fig. 8)
+                                         1000.0, 5000.0, 10000.0),
+                       ::testing::Values(1, 2, 3, 8, 16, 33)));
+
+}  // namespace
+}  // namespace rtdls::dlt

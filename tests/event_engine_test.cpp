@@ -1,0 +1,114 @@
+// Tests for the discrete-event queue and engine substrate.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+
+namespace rtdls::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue<int> queue;
+  queue.push(5.0, EventPriority::kArrival, 1);
+  queue.push(1.0, EventPriority::kArrival, 2);
+  queue.push(3.0, EventPriority::kArrival, 3);
+  EXPECT_EQ(queue.pop().payload, 2);
+  EXPECT_EQ(queue.pop().payload, 3);
+  EXPECT_EQ(queue.pop().payload, 1);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, PriorityBreaksTimeTies) {
+  EventQueue<std::string> queue;
+  queue.push(10.0, EventPriority::kArrival, "arrival");
+  queue.push(10.0, EventPriority::kReport, "report");
+  queue.push(10.0, EventPriority::kCommit, "commit");
+  EXPECT_EQ(queue.pop().payload, "commit");
+  EXPECT_EQ(queue.pop().payload, "arrival");
+  EXPECT_EQ(queue.pop().payload, "report");
+}
+
+TEST(EventQueue, SequenceBreaksFullTies) {
+  EventQueue<int> queue;
+  queue.push(1.0, EventPriority::kArrival, 1);
+  queue.push(1.0, EventPriority::kArrival, 2);
+  queue.push(1.0, EventPriority::kArrival, 3);
+  EXPECT_EQ(queue.pop().payload, 1);  // FIFO among equals
+  EXPECT_EQ(queue.pop().payload, 2);
+  EXPECT_EQ(queue.pop().payload, 3);
+}
+
+TEST(EventQueue, SizeTracking) {
+  EventQueue<int> queue;
+  EXPECT_TRUE(queue.empty());
+  queue.push(1.0, EventPriority::kArrival, 0);
+  queue.push(2.0, EventPriority::kArrival, 0);
+  EXPECT_EQ(queue.size(), 2u);
+  queue.pop();
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(Engine, RunsHandlersInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule(3.0, EventPriority::kArrival, [&order](Engine&) { order.push_back(3); });
+  engine.schedule(1.0, EventPriority::kArrival, [&order](Engine&) { order.push_back(1); });
+  engine.schedule(2.0, EventPriority::kArrival, [&order](Engine&) { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+  EXPECT_EQ(engine.executed(), 3u);
+  EXPECT_TRUE(engine.idle());
+}
+
+TEST(Engine, HandlersCanScheduleFurtherEvents) {
+  Engine engine;
+  std::vector<double> times;
+  engine.schedule(1.0, EventPriority::kArrival, [&times](Engine& e) {
+    times.push_back(e.now());
+    e.schedule(5.0, EventPriority::kArrival, [&times](Engine& e2) {
+      times.push_back(e2.now());
+    });
+  });
+  engine.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 5.0}));
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine engine;
+  engine.schedule(10.0, EventPriority::kArrival, [](Engine& e) {
+    EXPECT_THROW(e.schedule(5.0, EventPriority::kArrival, [](Engine&) {}),
+                 std::logic_error);
+  });
+  engine.run();
+}
+
+TEST(Engine, SchedulingAtNowIsAllowed) {
+  Engine engine;
+  int count = 0;
+  engine.schedule(10.0, EventPriority::kArrival, [&count](Engine& e) {
+    ++count;
+    if (count < 3) {
+      e.schedule(e.now(), EventPriority::kCommit, [&count](Engine&) { ++count; });
+    }
+  });
+  engine.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, MaxEventsGuardStops) {
+  Engine engine;
+  // Self-perpetuating event chain; the guard must stop it.
+  std::function<void(Engine&)> perpetual = [&perpetual](Engine& e) {
+    e.schedule(e.now() + 1.0, EventPriority::kArrival, perpetual);
+  };
+  engine.schedule(0.0, EventPriority::kArrival, perpetual);
+  engine.run(/*max_events=*/100);
+  EXPECT_EQ(engine.executed(), 100u);
+}
+
+}  // namespace
+}  // namespace rtdls::sim

@@ -1,0 +1,223 @@
+// Tests for the experiment harness: specs, runner, reports, figure registry.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "exp/registry.hpp"
+#include "exp/report.hpp"
+#include "sched/registry.hpp"
+
+namespace rtdls::exp {
+namespace {
+
+Scale tiny_scale() {
+  Scale scale;
+  scale.runs = 2;
+  scale.sim_time = 60000.0;
+  scale.jobs = 2;
+  return scale;
+}
+
+SweepSpec tiny_sweep() {
+  SweepSpec spec = baseline_sweep(tiny_scale(), "test_sweep", "unit-test sweep");
+  spec.loads = {0.3, 0.9};
+  spec.algorithms = {"EDF-OPR-MN", "EDF-DLT"};
+  return spec;
+}
+
+TEST(Scale, EnvOverrides) {
+  ::setenv("RTDLS_RUNS", "7", 1);
+  ::setenv("RTDLS_SIMTIME", "12345", 1);
+  const Scale scale = Scale::from_env();
+  EXPECT_EQ(scale.runs, 7u);
+  EXPECT_DOUBLE_EQ(scale.sim_time, 12345.0);
+  ::unsetenv("RTDLS_RUNS");
+  ::unsetenv("RTDLS_SIMTIME");
+}
+
+TEST(Scale, FullFlag) {
+  ::setenv("RTDLS_FULL", "1", 1);
+  const Scale scale = Scale::from_env();
+  EXPECT_EQ(scale.runs, 10u);
+  EXPECT_DOUBLE_EQ(scale.sim_time, 10000000.0);
+  ::unsetenv("RTDLS_FULL");
+}
+
+TEST(Scale, GarbageFallsBackToDefaults) {
+  ::unsetenv("RTDLS_FULL");
+  ::setenv("RTDLS_RUNS", "0", 1);
+  const Scale scale = Scale::from_env();
+  EXPECT_GE(scale.runs, 1u);
+  ::unsetenv("RTDLS_RUNS");
+}
+
+TEST(SweepSpec, PaperLoadsAxis) {
+  const auto loads = SweepSpec::paper_loads();
+  ASSERT_EQ(loads.size(), 10u);
+  EXPECT_DOUBLE_EQ(loads.front(), 0.1);
+  EXPECT_DOUBLE_EQ(loads.back(), 1.0);
+}
+
+TEST(Runner, ProducesOnePointPerLoadAndAlgorithm) {
+  const SweepResult result = run_sweep(tiny_sweep());
+  ASSERT_EQ(result.curves.size(), 2u);
+  for (const CurveResult& curve : result.curves) {
+    ASSERT_EQ(curve.reject_ratio.size(), 2u);
+    ASSERT_EQ(curve.raw.size(), 4u);  // 2 loads x 2 runs
+    for (const auto& ci : curve.reject_ratio) {
+      EXPECT_GE(ci.mean, 0.0);
+      EXPECT_LE(ci.mean, 1.0);
+      EXPECT_EQ(ci.samples, 2u);
+    }
+  }
+  EXPECT_GT(result.wall_seconds, 0.0);
+}
+
+TEST(Runner, DeterministicAcrossPoolSizes) {
+  // Same spec, sequential vs parallel: identical numbers (seeding is by
+  // cell, never by thread).
+  const SweepResult sequential = run_sweep(tiny_sweep(), nullptr);
+  util::ThreadPool pool(4);
+  const SweepResult parallel = run_sweep(tiny_sweep(), &pool);
+  for (std::size_t a = 0; a < 2; ++a) {
+    for (std::size_t i = 0; i < sequential.curves[a].raw.size(); ++i) {
+      EXPECT_DOUBLE_EQ(sequential.curves[a].raw[i], parallel.curves[a].raw[i]);
+    }
+  }
+}
+
+TEST(Runner, InvalidSpecsThrow) {
+  SweepSpec spec = tiny_sweep();
+  spec.loads.clear();
+  EXPECT_THROW(run_sweep(spec), std::invalid_argument);
+  spec = tiny_sweep();
+  spec.algorithms.clear();
+  EXPECT_THROW(run_sweep(spec), std::invalid_argument);
+  spec = tiny_sweep();
+  spec.runs = 0;
+  EXPECT_THROW(run_sweep(spec), std::invalid_argument);
+}
+
+TEST(Report, TableChartAndCsv) {
+  const SweepResult result = run_sweep(tiny_sweep());
+  const std::string table = render_sweep_table(result);
+  EXPECT_NE(table.find("EDF-DLT"), std::string::npos);
+  EXPECT_NE(table.find("delta(0-1)"), std::string::npos);
+
+  const std::string chart = render_sweep_chart(result);
+  EXPECT_NE(chart.find("System Load"), std::string::npos);
+
+  const std::string dir = std::filesystem::temp_directory_path() / "rtdls_test_results";
+  const std::string path = write_sweep_csv(dir, result);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Report, GnuplotScriptReferencesCsvAndSeries) {
+  const SweepResult result = run_sweep(tiny_sweep());
+  const std::string dir = std::filesystem::temp_directory_path() / "rtdls_test_gp";
+  const std::string path = write_sweep_gnuplot(dir, result);
+  ASSERT_TRUE(std::filesystem::exists(path));
+  std::ifstream file(path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string script = buffer.str();
+  EXPECT_NE(script.find("test_sweep.csv"), std::string::npos);
+  EXPECT_NE(script.find("EDF-DLT"), std::string::npos);
+  EXPECT_NE(script.find("EDF-OPR-MN"), std::string::npos);
+  EXPECT_NE(script.find("yerrorlines"), std::string::npos);
+  EXPECT_NE(script.find("set output 'test_sweep.png'"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Figure, RunFigureEvaluatesWinnerChecks) {
+  FigureSpec figure;
+  figure.id = "test_fig";
+  figure.title = "unit-test figure";
+  SweepSpec panel = tiny_sweep();
+  panel.expected_winner = "EDF-DLT";
+  figure.panels.push_back(panel);
+
+  const FigureResult result = run_figure(figure);
+  ASSERT_EQ(result.panels.size(), 1u);
+  ASSERT_EQ(result.checks.size(), 1u);
+  EXPECT_TRUE(result.checks[0].passed) << result.checks[0].detail;
+}
+
+TEST(Figure, MissingWinnerAlgorithmFailsCheck) {
+  FigureSpec figure;
+  figure.id = "test_fig2";
+  figure.title = "unit-test figure";
+  SweepSpec panel = tiny_sweep();
+  panel.expected_winner = "EDF-NOT-THERE";
+  figure.panels.push_back(panel);
+  const FigureResult result = run_figure(figure);
+  ASSERT_EQ(result.checks.size(), 1u);
+  EXPECT_FALSE(result.checks[0].passed);
+}
+
+TEST(Registry, PaperFiguresWellFormed) {
+  const Scale scale = tiny_scale();
+  const auto figures = paper_figures(scale);
+  ASSERT_EQ(figures.size(), 14u);  // Figures 3-16
+
+  std::set<std::string> panel_ids;
+  for (const FigureSpec& figure : figures) {
+    EXPECT_FALSE(figure.panels.empty()) << figure.id;
+    for (const SweepSpec& panel : figure.panels) {
+      EXPECT_TRUE(panel_ids.insert(panel.id).second) << "duplicate " << panel.id;
+      EXPECT_FALSE(panel.loads.empty());
+      EXPECT_EQ(panel.runs, scale.runs);
+      for (const std::string& algorithm : panel.algorithms) {
+        EXPECT_NO_THROW(sched::make_algorithm(algorithm)) << algorithm;
+      }
+      if (!panel.expected_winner.empty()) {
+        EXPECT_NE(std::find(panel.algorithms.begin(), panel.algorithms.end(),
+                            panel.expected_winner),
+                  panel.algorithms.end())
+            << panel.id;
+      }
+    }
+  }
+}
+
+TEST(Registry, FigurePanelCountsMatchPaper) {
+  const Scale scale = tiny_scale();
+  EXPECT_EQ(fig03_baseline(scale).panels.size(), 1u);
+  EXPECT_EQ(fig04_dcratio_edf(scale).panels.size(), 4u);
+  EXPECT_EQ(fig05_usersplit_edf(scale).panels.size(), 2u);
+  EXPECT_EQ(fig08_cps_edf(scale).panels.size(), 6u);
+  EXPECT_EQ(fig14_usersplit_cps_edf(scale).panels.size(), 8u);
+  EXPECT_EQ(fig16_usersplit_cps_fifo(scale).panels.size(), 8u);
+}
+
+TEST(Registry, AblationsWellFormed) {
+  const Scale scale = tiny_scale();
+  for (const FigureSpec& figure : {ablation_release_policy(scale), ablation_multiround(scale),
+                                   ablation_opr_an(scale)}) {
+    EXPECT_FALSE(figure.panels.empty()) << figure.id;
+    for (const SweepSpec& panel : figure.panels) {
+      for (const std::string& algorithm : panel.algorithms) {
+        EXPECT_NO_THROW(sched::make_algorithm(algorithm)) << algorithm;
+      }
+    }
+  }
+}
+
+TEST(Registry, AlgorithmRegistryNames) {
+  for (const std::string& name : sched::all_algorithm_names()) {
+    const sched::Algorithm algorithm = sched::make_algorithm(name);
+    EXPECT_EQ(algorithm.name, name);
+    EXPECT_NE(algorithm.rule, nullptr);
+  }
+  EXPECT_THROW(sched::make_algorithm("EDF-MR0"), std::invalid_argument);
+  EXPECT_THROW(sched::make_algorithm("EDF-MR999"), std::invalid_argument);
+  EXPECT_THROW(sched::make_algorithm(""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtdls::exp

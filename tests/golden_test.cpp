@@ -1,0 +1,83 @@
+// Golden regression tests: one fixed workload, every algorithm, pinned
+// outcome ranges. These are deliberately tighter than the property tests -
+// they exist to catch unintended behavioural drift in the scheduler (a
+// changed tie-break, an off-by-one in the n search) that the invariant
+// tests would tolerate. Tolerances absorb floating-point/platform noise
+// while still flagging any real semantic change.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "workload/generator.hpp"
+
+namespace rtdls {
+namespace {
+
+const std::vector<workload::Task>& golden_tasks() {
+  static const std::vector<workload::Task> tasks = [] {
+    workload::WorkloadParams params;
+    params.cluster = {.node_count = 16, .cms = 1.0, .cps = 100.0};
+    params.system_load = 0.8;
+    params.avg_sigma = 200.0;
+    params.dc_ratio = 2.0;
+    params.total_time = 1'000'000.0;
+    params.seed = 20070227;
+    params.stream = 0;
+    return workload::generate_workload(params);
+  }();
+  return tasks;
+}
+
+double golden_reject(const std::string& algorithm) {
+  sim::SimulatorConfig config;
+  config.params = {.node_count = 16, .cms = 1.0, .cps = 100.0};
+  return sim::simulate(config, algorithm, golden_tasks(), 1'000'000.0).reject_ratio();
+}
+
+TEST(Golden, WorkloadShape) {
+  const auto& tasks = golden_tasks();
+  // ~589 arrivals expected at this seed/horizon (lambda = load / E(avg,16)).
+  EXPECT_NEAR(static_cast<double>(tasks.size()), 589.0, 60.0);
+}
+
+TEST(Golden, RejectRatiosPinned) {
+  // Values measured at commit time; the ordering constraints below are the
+  // semantic content, the ranges catch drift.
+  const std::map<std::string, std::pair<double, double>> expected = {
+      {"EDF-OPR-MN", {0.30, 0.44}},   {"EDF-DLT", {0.28, 0.42}},
+      {"FIFO-OPR-MN", {0.30, 0.44}},  {"FIFO-DLT", {0.28, 0.42}},
+      {"EDF-UserSplit", {0.33, 0.48}}, {"EDF-OPR-AN", {0.26, 0.40}},
+  };
+  std::map<std::string, double> measured;
+  for (const auto& [name, range] : expected) {
+    const double ratio = golden_reject(name);
+    measured[name] = ratio;
+    EXPECT_GE(ratio, range.first) << name;
+    EXPECT_LE(ratio, range.second) << name;
+  }
+  // Cross-algorithm ordering at this load (the paper's claims).
+  EXPECT_LT(measured["EDF-DLT"], measured["EDF-OPR-MN"]);
+  EXPECT_LT(measured["FIFO-DLT"], measured["FIFO-OPR-MN"]);
+  EXPECT_LT(measured["EDF-DLT"], measured["EDF-UserSplit"]);
+}
+
+TEST(Golden, DeterministicAcrossProcessRuns) {
+  // Bitwise-identical metrics for repeated evaluations within a process;
+  // combined with the fixed seed this pins the full decision sequence.
+  const double first = golden_reject("EDF-DLT");
+  const double second = golden_reject("EDF-DLT");
+  EXPECT_DOUBLE_EQ(first, second);
+}
+
+TEST(Golden, BackfillTracksOprMnClosely) {
+  const double mn = golden_reject("EDF-OPR-MN");
+  const double bf = golden_reject("EDF-OPR-MN-BF");
+  // The measured finding: conservative backfilling recovers almost none of
+  // the IIT waste on this workload (gaps are rarely co-usable).
+  EXPECT_NEAR(bf, mn, 0.02);
+}
+
+}  // namespace
+}  // namespace rtdls

@@ -1,0 +1,188 @@
+// Tests for the heterogeneous-model construction and partition (the paper's
+// first contribution) - including executable versions of Assertion 1,
+// Lemma 2, Assertion 3 / Eq. (9), and Theorem 4.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
+
+#include "dlt/het_model.hpp"
+#include "dlt/homogeneous.hpp"
+#include "workload/distributions.hpp"
+#include "workload/rng.hpp"
+
+namespace rtdls::dlt {
+namespace {
+
+ClusterParams paper_params() { return {.node_count = 16, .cms = 1.0, .cps = 100.0}; }
+
+TEST(HetModel, EqualAvailabilityReducesToHomogeneous) {
+  // No stagger -> Cps_i == Cps, alpha geometric, E_hat == E.
+  const std::vector<cluster::Time> available(8, 1000.0);
+  const HetPartition part = build_het_partition(paper_params(), 200.0, available);
+  const auto homogeneous = homogeneous_partition(paper_params(), 8);
+  ASSERT_EQ(part.alpha.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(part.cps_i[i], 100.0, 1e-9);
+    EXPECT_NEAR(part.alpha[i], homogeneous[i], 1e-9);
+  }
+  EXPECT_NEAR(part.execution_time, part.homogeneous_time, 1e-6);
+  EXPECT_NEAR(part.estimated_completion(), 1000.0 + part.homogeneous_time, 1e-6);
+}
+
+TEST(HetModel, SingleNode) {
+  const HetPartition part = build_het_partition(paper_params(), 200.0, {42.0});
+  ASSERT_EQ(part.nodes(), 1u);
+  EXPECT_DOUBLE_EQ(part.alpha[0], 1.0);
+  EXPECT_NEAR(part.execution_time, 200.0 * 101.0, 1e-9);
+  EXPECT_NEAR(part.estimated_completion(), 42.0 + 200.0 * 101.0, 1e-9);
+}
+
+TEST(HetModel, SortsUnorderedAvailability) {
+  const HetPartition part =
+      build_het_partition(paper_params(), 200.0, {500.0, 0.0, 250.0});
+  EXPECT_TRUE(std::is_sorted(part.available.begin(), part.available.end()));
+  EXPECT_DOUBLE_EQ(part.available.front(), 0.0);
+  EXPECT_DOUBLE_EQ(part.available.back(), 500.0);
+}
+
+TEST(HetModel, Eq1ModelSpeedOrdering) {
+  // The earlier a node frees, the smaller (faster) its model Cps_i; the last
+  // node keeps the true Cps.
+  const HetPartition part =
+      build_het_partition(paper_params(), 200.0, {0.0, 400.0, 800.0, 1200.0});
+  for (std::size_t i = 1; i < part.nodes(); ++i) {
+    EXPECT_LE(part.cps_i[i - 1], part.cps_i[i] + 1e-12);
+    EXPECT_LE(part.cps_i[i], 100.0 + 1e-12);
+  }
+  EXPECT_NEAR(part.cps_i.back(), 100.0, 1e-12);
+  // Eq. (1) spot check for node 1: Cps_1 = E/(E + r_n - r_1) * Cps.
+  const double e = part.homogeneous_time;
+  EXPECT_NEAR(part.cps_i[0], e / (e + 1200.0) * 100.0, 1e-9);
+}
+
+TEST(HetModel, Assertion1AlphaBelowAlpha1) {
+  const HetPartition part =
+      build_het_partition(paper_params(), 200.0, {0.0, 300.0, 600.0, 900.0, 1200.0});
+  for (std::size_t i = 1; i < part.nodes(); ++i) {
+    EXPECT_LT(part.alpha[i], part.alpha[0]) << "Assertion 1 violated at i=" << i;
+  }
+}
+
+TEST(HetModel, Lemma2AlphaBound) {
+  // alpha_i < (Cps_1 / Cps_i) * alpha_1.
+  const HetPartition part =
+      build_het_partition(paper_params(), 200.0, {0.0, 500.0, 1000.0, 1500.0});
+  for (std::size_t i = 1; i < part.nodes(); ++i) {
+    EXPECT_LT(part.alpha[i], part.cps_i[0] / part.cps_i[i] * part.alpha[0] + 1e-12)
+        << "Lemma 2 violated at i=" << i;
+  }
+}
+
+TEST(HetModel, Eq9ExecutionNoLongerThanHomogeneous) {
+  const HetPartition part =
+      build_het_partition(paper_params(), 200.0, {0.0, 300.0, 900.0, 2000.0});
+  EXPECT_LE(part.execution_time, part.homogeneous_time + 1e-9);
+  // With real stagger the inequality is strict.
+  EXPECT_LT(part.execution_time, part.homogeneous_time);
+}
+
+TEST(HetModel, StaggerMonotonicallyHelps) {
+  // More stagger (earlier early-nodes) -> shorter E_hat.
+  double previous = 1e300;
+  for (double gap : {0.0, 200.0, 400.0, 800.0, 1600.0}) {
+    const std::vector<cluster::Time> available = {1600.0 - gap, 1600.0 - gap / 2, 1600.0};
+    const HetPartition part = build_het_partition(paper_params(), 200.0, available);
+    EXPECT_LE(part.execution_time, previous + 1e-9) << "gap=" << gap;
+    previous = part.execution_time;
+  }
+}
+
+TEST(HetModel, Eq3EqualModelFinishTimes) {
+  // In the heterogeneous model every node finishes at the same instant:
+  // sum_{j<=i} alpha_j Cms + alpha_i Cps_i is constant (Eq. 3).
+  const HetPartition part =
+      build_het_partition(paper_params(), 200.0, {0.0, 250.0, 600.0, 1400.0});
+  const double sigma = 200.0;
+  double prefix = 0.0;
+  double reference = -1.0;
+  for (std::size_t i = 0; i < part.nodes(); ++i) {
+    prefix += part.alpha[i] * sigma * 1.0;
+    const double finish = prefix + part.alpha[i] * sigma * part.cps_i[i];
+    if (i == 0) {
+      reference = finish;
+    } else {
+      EXPECT_NEAR(finish, reference, reference * 1e-9) << "node " << i;
+    }
+  }
+  EXPECT_NEAR(reference, part.execution_time, part.execution_time * 1e-9);
+}
+
+TEST(HetModel, Theorem4BoundsNeverExceedEstimate) {
+  const HetPartition part =
+      build_het_partition(paper_params(), 200.0, {0.0, 100.0, 700.0, 1900.0, 2500.0});
+  const auto bounds = theorem4_completion_bounds(paper_params(), 200.0, part);
+  ASSERT_EQ(bounds.size(), part.nodes());
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    EXPECT_LE(bounds[i], part.estimated_completion() + 1e-6) << "node " << i;
+  }
+}
+
+TEST(HetModel, InvalidInputsThrow) {
+  EXPECT_THROW(build_het_partition(paper_params(), 0.0, {1.0}), std::invalid_argument);
+  EXPECT_THROW(build_het_partition(paper_params(), 1.0, {}), std::invalid_argument);
+  EXPECT_THROW(build_het_partition(ClusterParams{.node_count = 1, .cms = -1.0, .cps = 1.0},
+                                   1.0, {0.0}),
+               std::invalid_argument);
+}
+
+// Randomized property sweep: Assertion 1, Lemma 2, Eq. 9, Theorem 4 and the
+// partition-sum invariant over random staggering patterns drawn across the
+// paper's parameter grid.
+class HetModelFuzz : public ::testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(HetModelFuzz, AllPaperInvariantsHold) {
+  const auto [cms, cps, n_int] = GetParam();
+  const std::size_t n = static_cast<std::size_t>(n_int);
+  const ClusterParams params{.node_count = 64, .cms = cms, .cps = cps};
+
+  workload::Xoshiro256StarStar rng(
+      static_cast<std::uint64_t>(cms * 1000 + cps + n));
+  for (int trial = 0; trial < 50; ++trial) {
+    const double sigma = workload::sample_uniform(rng, 1.0, 2000.0);
+    const double e_scale = homogeneous_execution_time(params, sigma, n);
+    std::vector<cluster::Time> available;
+    for (std::size_t i = 0; i < n; ++i) {
+      available.push_back(workload::sample_uniform(rng, 0.0, 3.0 * e_scale));
+    }
+    const HetPartition part = build_het_partition(params, sigma, available);
+
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_GT(part.alpha[i], 0.0);
+      sum += part.alpha[i];
+      if (i > 0) {
+        ASSERT_LT(part.alpha[i], part.alpha[0]) << "Assertion 1";
+        ASSERT_LT(part.alpha[i], part.cps_i[0] / part.cps_i[i] * part.alpha[0] + 1e-9)
+            << "Lemma 2";
+      }
+    }
+    ASSERT_NEAR(sum, 1.0, 1e-9);
+    ASSERT_LE(part.execution_time, part.homogeneous_time * (1.0 + 1e-9)) << "Eq. 9";
+
+    const auto bounds = theorem4_completion_bounds(params, sigma, part);
+    for (cluster::Time bound : bounds) {
+      ASSERT_LE(bound, part.estimated_completion() * (1.0 + 1e-9)) << "Theorem 4";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, HetModelFuzz,
+    ::testing::Combine(::testing::Values(1.0, 4.0, 8.0),
+                       ::testing::Values(10.0, 100.0, 1000.0, 10000.0),
+                       ::testing::Values(2, 3, 8, 16)));
+
+}  // namespace
+}  // namespace rtdls::dlt

@@ -1,0 +1,136 @@
+// Tests for the n_min machinery of Section 4.1.1 B (Eq. 8-14).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
+
+#include "dlt/homogeneous.hpp"
+#include "dlt/nmin.hpp"
+
+namespace rtdls::dlt {
+namespace {
+
+ClusterParams paper_params() { return {.node_count = 16, .cms = 1.0, .cps = 100.0}; }
+
+TEST(Nmin, DeadlinePassedRejected) {
+  const NminResult result = minimum_nodes(paper_params(), 200.0, /*deadline=*/100.0,
+                                          /*rn=*/100.0);
+  EXPECT_FALSE(result.feasible());
+  EXPECT_EQ(result.reason, Infeasibility::kDeadlinePassed);
+  EXPECT_FALSE(minimum_nodes(paper_params(), 200.0, 100.0, 150.0).feasible());
+}
+
+TEST(Nmin, TransmissionTooLongRejected) {
+  // slack = 150 < sigma*Cms = 200: gamma <= 0.
+  const NminResult result = minimum_nodes(paper_params(), 200.0, 150.0, 0.0);
+  EXPECT_FALSE(result.feasible());
+  EXPECT_EQ(result.reason, Infeasibility::kTransmissionTooLong);
+}
+
+TEST(Nmin, GenerousDeadlineNeedsOneNode) {
+  // slack far above sigma*(Cms+Cps) = 20200.
+  const NminResult result = minimum_nodes(paper_params(), 200.0, 1e6, 0.0);
+  ASSERT_TRUE(result.feasible());
+  EXPECT_EQ(result.nodes, 1u);
+}
+
+TEST(Nmin, BoundIsSufficient) {
+  // The defining property: E(sigma, n_min) <= deadline - rn.
+  for (double slack : {250.0, 500.0, 1000.0, 2000.0, 5000.0, 20000.0}) {
+    const NminResult result = minimum_nodes(paper_params(), 200.0, slack, 0.0);
+    ASSERT_TRUE(result.feasible()) << "slack=" << slack;
+    EXPECT_LE(homogeneous_execution_time(paper_params(), 200.0, result.nodes),
+              slack * (1.0 + 1e-12))
+        << "slack=" << slack;
+  }
+}
+
+TEST(Nmin, BoundIsTightForHomogeneousModel) {
+  // For the no-IIT model the closed form is exact: n_min - 1 nodes miss.
+  for (double slack : {250.0, 500.0, 1000.0, 2000.0, 5000.0}) {
+    const NminResult result = minimum_nodes(paper_params(), 200.0, slack, 0.0);
+    ASSERT_TRUE(result.feasible());
+    if (result.nodes > 1) {
+      EXPECT_GT(homogeneous_execution_time(paper_params(), 200.0, result.nodes - 1),
+                slack * (1.0 - 1e-12))
+          << "slack=" << slack;
+    }
+  }
+}
+
+TEST(Nmin, MonotoneInStartTime) {
+  // Later start (smaller slack) can only require more nodes.
+  std::size_t previous = 1;
+  for (double rn : {0.0, 500.0, 1000.0, 1500.0, 2000.0}) {
+    const NminResult result = minimum_nodes(paper_params(), 200.0, 3000.0, rn);
+    ASSERT_TRUE(result.feasible()) << "rn=" << rn;
+    EXPECT_GE(result.nodes, previous);
+    previous = result.nodes;
+  }
+}
+
+TEST(Nmin, MonotoneInSigma) {
+  std::size_t previous = 1;
+  for (double sigma : {50.0, 100.0, 200.0, 250.0}) {
+    const NminResult result = minimum_nodes(paper_params(), sigma, 3000.0, 0.0);
+    ASSERT_TRUE(result.feasible()) << "sigma=" << sigma;
+    EXPECT_GE(result.nodes, previous);
+    previous = result.nodes;
+  }
+}
+
+TEST(Nmin, PaperBaselineValue) {
+  // Baseline task: sigma=200, deadline = 2*E(200,16) ~ 2717.4 -> needs 8.
+  const double deadline = 2.0 * homogeneous_execution_time(paper_params(), 200.0, 16);
+  const NminResult result = minimum_nodes(paper_params(), 200.0, deadline, 0.0);
+  ASSERT_TRUE(result.feasible());
+  EXPECT_EQ(result.nodes, 8u);
+}
+
+TEST(Nmin, InvalidInputsThrow) {
+  EXPECT_THROW(minimum_nodes(paper_params(), 0.0, 100.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(minimum_nodes(ClusterParams{.node_count = 1, .cms = 0.0, .cps = 1.0}, 1.0,
+                             100.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(MaxFeasibleSigma, InvertsExecutionTime) {
+  for (std::size_t n : {1u, 4u, 16u}) {
+    const double sigma = max_feasible_sigma(paper_params(), n, 5000.0);
+    EXPECT_NEAR(homogeneous_execution_time(paper_params(), sigma, n), 5000.0, 1e-6);
+  }
+  EXPECT_DOUBLE_EQ(max_feasible_sigma(paper_params(), 4, 0.0), 0.0);
+  EXPECT_THROW(max_feasible_sigma(paper_params(), 0, 10.0), std::invalid_argument);
+}
+
+// Parameterized sweep: bound validity and exactness across the paper grid.
+class NminSweep : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(NminSweep, SufficientAndTight) {
+  const auto [cms, cps, slack_scale] = GetParam();
+  const ClusterParams params{.node_count = 64, .cms = cms, .cps = cps};
+  const double sigma = 200.0;
+  const double slack = slack_scale * sigma * cms;  // multiples of the tx time
+  const NminResult result = minimum_nodes(params, sigma, slack, 0.0);
+  if (slack_scale <= 1.0) {
+    EXPECT_FALSE(result.feasible());
+    return;
+  }
+  ASSERT_TRUE(result.feasible());
+  EXPECT_GE(result.nodes, 1u);
+  EXPECT_LE(homogeneous_execution_time(params, sigma, result.nodes), slack * (1.0 + 1e-9));
+  if (result.nodes > 1) {
+    EXPECT_GT(homogeneous_execution_time(params, sigma, result.nodes - 1),
+              slack * (1.0 - 1e-9));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, NminSweep,
+    ::testing::Combine(::testing::Values(1.0, 2.0, 4.0, 8.0),
+                       ::testing::Values(10.0, 100.0, 1000.0, 10000.0),
+                       ::testing::Values(0.5, 1.0, 1.2, 2.0, 5.0, 20.0, 101.0)));
+
+}  // namespace
+}  // namespace rtdls::dlt

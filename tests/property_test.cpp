@@ -1,0 +1,117 @@
+// Cross-algorithm randomized property sweep: every registered algorithm run
+// over randomized workloads must uphold the framework's safety invariants.
+// Parameterized over (algorithm x load) so each combination is its own test
+// case with an attributable failure.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "sched/registry.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generator.hpp"
+
+namespace rtdls {
+namespace {
+
+class EveryAlgorithm
+    : public ::testing::TestWithParam<std::tuple<std::string, double>> {};
+
+TEST_P(EveryAlgorithm, SafetyInvariantsUnderRandomWorkloads) {
+  const auto& [name, load] = GetParam();
+  for (std::uint64_t seed : {101ull, 202ull}) {
+    workload::WorkloadParams params;
+    params.cluster = {.node_count = 16, .cms = 1.0, .cps = 100.0};
+    params.system_load = load;
+    params.total_time = 200000.0;
+    params.seed = seed;
+    const auto tasks = workload::generate_workload(params);
+
+    sim::SimulatorConfig config;
+    config.params = params.cluster;
+    const sim::SimMetrics metrics = sim::simulate(config, name, tasks, params.total_time);
+
+    // 1. Bookkeeping closes.
+    ASSERT_EQ(metrics.accepted + metrics.rejected, metrics.arrivals) << seed;
+    // 2. No accepted task may miss its deadline (estimates or actuals).
+    if (metrics.accepted > 0) {
+      ASSERT_GE(metrics.deadline_slack.min(), -1e-6) << seed;
+    }
+    ASSERT_EQ(metrics.deadline_misses, 0u) << seed;
+    // 3. Estimates upper-bound actual completions (Theorem 4 and its
+    //    per-rule analogues).
+    ASSERT_EQ(metrics.theorem4_violations, 0u) << seed;
+    // 4. Physical accounting: utilization in (0, ~1], non-negative IIT.
+    if (metrics.accepted > 0) {
+      ASSERT_GT(metrics.utilization(), 0.0) << seed;
+      ASSERT_LT(metrics.utilization(), 1.1) << seed;
+    }
+    ASSERT_GE(metrics.iit_fraction(), -1e-12) << seed;
+    // 5. Node counts within the cluster.
+    if (metrics.accepted > 0) {
+      ASSERT_GE(metrics.nodes_per_task.min(), 1.0) << seed;
+      ASSERT_LE(metrics.nodes_per_task.max(), 16.0) << seed;
+    }
+  }
+}
+
+std::vector<std::string> algorithms_under_test() {
+  std::vector<std::string> names = sched::all_algorithm_names();
+  names.push_back("EDF-DLT-Opt");
+  names.push_back("EDF-OPR-MN-Opt");
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, EveryAlgorithm,
+    ::testing::Combine(::testing::ValuesIn(algorithms_under_test()),
+                       ::testing::Values(0.2, 0.6, 1.0)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, double>>& param_info) {
+      std::string name = std::get<0>(param_info.param) + "_load" +
+                         std::to_string(static_cast<int>(std::get<1>(param_info.param) * 10));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// Output-aware variants need a matching simulator delta; sweep those too.
+class OutputAlgorithm
+    : public ::testing::TestWithParam<std::tuple<std::string, double>> {};
+
+TEST_P(OutputAlgorithm, SafetyInvariantsWithResultTraffic) {
+  const auto& [name, delta] = GetParam();
+  workload::WorkloadParams params;
+  params.cluster = {.node_count = 16, .cms = 1.0, .cps = 100.0};
+  params.system_load = 0.8;
+  params.total_time = 200000.0;
+  params.seed = 303;
+  const auto tasks = workload::generate_workload(params);
+
+  sim::SimulatorConfig config;
+  config.params = params.cluster;
+  config.output_ratio = delta;
+  const sim::SimMetrics metrics = sim::simulate(config, name, tasks, params.total_time);
+  ASSERT_EQ(metrics.theorem4_violations, 0u);
+  ASSERT_EQ(metrics.deadline_misses, 0u);
+  ASSERT_EQ(metrics.accepted + metrics.rejected, metrics.arrivals);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IoRules, OutputAlgorithm,
+    ::testing::Values(std::make_tuple(std::string("EDF-DLT-IO5"), 0.05),
+                      std::make_tuple(std::string("EDF-DLT-IO20"), 0.2),
+                      std::make_tuple(std::string("FIFO-DLT-IO20"), 0.2),
+                      std::make_tuple(std::string("EDF-OPR-MN-IO20"), 0.2),
+                      std::make_tuple(std::string("EDF-UserSplit-IO20"), 0.2),
+                      std::make_tuple(std::string("EDF-DLT-IO50"), 0.5)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, double>>& param_info) {
+      std::string name = std::get<0>(param_info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace rtdls

@@ -1,0 +1,189 @@
+// Unit/property tests for the RNG and the workload distributions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "stats/running_stats.hpp"
+#include "workload/distributions.hpp"
+#include "workload/rng.hpp"
+
+namespace rtdls::workload {
+namespace {
+
+// --- splitmix64 -----------------------------------------------------------
+
+TEST(SplitMix64, ReferenceVector) {
+  // Published test vector: seed 1234567 produces these first outputs
+  // (https://prng.di.unimi.it / common splitmix64 reference).
+  std::uint64_t state = 1234567;
+  EXPECT_EQ(splitmix64_next(state), 6457827717110365317ULL);
+  EXPECT_EQ(splitmix64_next(state), 3203168211198807973ULL);
+  EXPECT_EQ(splitmix64_next(state), 9817491932198370423ULL);
+}
+
+TEST(SplitMix64, AdvancesState) {
+  std::uint64_t state = 42;
+  const std::uint64_t first = splitmix64_next(state);
+  const std::uint64_t second = splitmix64_next(state);
+  EXPECT_NE(first, second);
+}
+
+// --- xoshiro256** -----------------------------------------------------------
+
+TEST(Xoshiro, DeterministicForSameSeed) {
+  Xoshiro256StarStar a(99);
+  Xoshiro256StarStar b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256StarStar a(1);
+  Xoshiro256StarStar b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Xoshiro, StreamsAreIndependentAndDeterministic) {
+  Xoshiro256StarStar s0 = Xoshiro256StarStar::for_stream(7, 0);
+  Xoshiro256StarStar s1 = Xoshiro256StarStar::for_stream(7, 1);
+  Xoshiro256StarStar s0_again = Xoshiro256StarStar::for_stream(7, 0);
+  EXPECT_NE(s0(), s1());
+  Xoshiro256StarStar s0_ref = Xoshiro256StarStar::for_stream(7, 0);
+  (void)s0_again;
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(s0_again(), s0_ref());
+  }
+}
+
+TEST(Xoshiro, NextDoubleInUnitInterval) {
+  Xoshiro256StarStar rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.next_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, UniformityMoments) {
+  Xoshiro256StarStar rng(31415);
+  stats::RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.next_double());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.005);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.002);
+}
+
+TEST(Xoshiro, LongJumpChangesSequence) {
+  Xoshiro256StarStar jumped(123);
+  Xoshiro256StarStar plain(123);
+  jumped.long_jump();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (jumped() == plain()) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+// --- distributions ---------------------------------------------------------------
+
+TEST(Distributions, ExponentialMoments) {
+  Xoshiro256StarStar rng(11);
+  stats::RunningStats stats;
+  const double mean = 1698.0;  // the paper's 1/lambda at baseline load 0.8
+  for (int i = 0; i < 100000; ++i) stats.add(sample_exponential(rng, mean));
+  EXPECT_NEAR(stats.mean() / mean, 1.0, 0.02);
+  EXPECT_NEAR(stats.stddev() / mean, 1.0, 0.02);  // exp: sd == mean
+  EXPECT_GT(stats.min(), 0.0);
+}
+
+TEST(Distributions, ExponentialRejectsBadMean) {
+  Xoshiro256StarStar rng(1);
+  EXPECT_THROW(sample_exponential(rng, 0.0), std::invalid_argument);
+  EXPECT_THROW(sample_exponential(rng, -1.0), std::invalid_argument);
+}
+
+TEST(Distributions, StandardNormalMoments) {
+  Xoshiro256StarStar rng(12);
+  stats::RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(sample_standard_normal(rng));
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Distributions, NormalScalesAndShifts) {
+  Xoshiro256StarStar rng(13);
+  stats::RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(sample_normal(rng, 200.0, 50.0));
+  EXPECT_NEAR(stats.mean(), 200.0, 2.0);
+  EXPECT_NEAR(stats.stddev(), 50.0, 2.0);
+}
+
+TEST(Distributions, TruncatedNormalRespectsFloor) {
+  Xoshiro256StarStar rng(14);
+  // The paper's sigma model: mean == stddev, ~16% below zero untruncated.
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_GE(sample_truncated_normal(rng, 200.0, 200.0, 0.0), 0.0);
+  }
+}
+
+TEST(Distributions, TruncatedNormalFallsBackWhenImpossible) {
+  Xoshiro256StarStar rng(15);
+  // Floor far above the distribution: rejection exhausts and clamps.
+  const double x = sample_truncated_normal(rng, 0.0, 1.0, 50.0, 8);
+  EXPECT_DOUBLE_EQ(x, 50.0);
+}
+
+TEST(Distributions, TruncatedNormalMeanShiftsUp) {
+  Xoshiro256StarStar rng(16);
+  stats::RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.add(sample_truncated_normal(rng, 200.0, 200.0, 0.0));
+  }
+  // Truncating the lower tail raises the mean above 200.
+  EXPECT_GT(stats.mean(), 200.0);
+  EXPECT_LT(stats.mean(), 260.0);
+}
+
+TEST(Distributions, UniformRangeAndMoments) {
+  Xoshiro256StarStar rng(17);
+  stats::RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = sample_uniform(rng, 1358.5, 4075.5);  // paper deadline range
+    EXPECT_GE(x, 1358.5);
+    EXPECT_LT(x, 4075.5);
+    stats.add(x);
+  }
+  EXPECT_NEAR(stats.mean(), (1358.5 + 4075.5) / 2.0, 10.0);
+  EXPECT_THROW(sample_uniform(rng, 2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Distributions, UniformIntCoversRangeUnbiased) {
+  Xoshiro256StarStar rng(18);
+  std::set<std::uint64_t> seen;
+  std::uint64_t counts[6] = {0, 0, 0, 0, 0, 0};
+  const int draws = 60000;
+  for (int i = 0; i < draws; ++i) {
+    const std::uint64_t v = sample_uniform_int(rng, 5, 10);
+    ASSERT_GE(v, 5u);
+    ASSERT_LE(v, 10u);
+    seen.insert(v);
+    ++counts[v - 5];
+  }
+  EXPECT_EQ(seen.size(), 6u);
+  for (std::uint64_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / draws, 1.0 / 6.0, 0.01);
+  }
+}
+
+TEST(Distributions, UniformIntDegenerateAndInvalid) {
+  Xoshiro256StarStar rng(19);
+  EXPECT_EQ(sample_uniform_int(rng, 7, 7), 7u);
+  EXPECT_THROW(sample_uniform_int(rng, 3, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtdls::workload

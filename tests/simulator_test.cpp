@@ -1,0 +1,207 @@
+// End-to-end tests of the cluster simulator: admission bookkeeping,
+// guarantee invariants across algorithms, release policies, edge cases.
+#include <gtest/gtest.h>
+
+#include "sched/registry.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generator.hpp"
+
+namespace rtdls::sim {
+namespace {
+
+workload::WorkloadParams small_workload(double load = 0.6) {
+  workload::WorkloadParams params;
+  params.cluster = {.node_count = 16, .cms = 1.0, .cps = 100.0};
+  params.system_load = load;
+  params.avg_sigma = 200.0;
+  params.dc_ratio = 2.0;
+  params.total_time = 300000.0;
+  params.seed = 77;
+  return params;
+}
+
+SimulatorConfig default_config() {
+  SimulatorConfig config;
+  config.params = {.node_count = 16, .cms = 1.0, .cps = 100.0};
+  return config;
+}
+
+workload::Task make_task(cluster::TaskId id, double arrival, double sigma, double deadline,
+                         std::size_t user_nodes = 8) {
+  workload::Task task;
+  task.id = id;
+  task.spec = {arrival, sigma, deadline};
+  task.user_nodes = user_nodes;
+  return task;
+}
+
+TEST(Simulator, EmptyTraceYieldsEmptyMetrics) {
+  const SimMetrics metrics = simulate(default_config(), "EDF-DLT", {}, 1000.0);
+  EXPECT_EQ(metrics.arrivals, 0u);
+  EXPECT_DOUBLE_EQ(metrics.reject_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.utilization(), 0.0);
+}
+
+TEST(Simulator, SingleFeasibleTaskAccepted) {
+  const std::vector<workload::Task> tasks{make_task(0, 100.0, 200.0, 3000.0)};
+  const SimMetrics metrics = simulate(default_config(), "EDF-DLT", tasks, 10000.0);
+  EXPECT_EQ(metrics.arrivals, 1u);
+  EXPECT_EQ(metrics.accepted, 1u);
+  EXPECT_EQ(metrics.rejected, 0u);
+  EXPECT_EQ(metrics.theorem4_violations, 0u);
+  EXPECT_GT(metrics.busy_time, 0.0);
+}
+
+TEST(Simulator, SingleImpossibleTaskRejected) {
+  const std::vector<workload::Task> tasks{make_task(0, 100.0, 200.0, 150.0)};
+  const SimMetrics metrics = simulate(default_config(), "EDF-DLT", tasks, 10000.0);
+  EXPECT_EQ(metrics.rejected, 1u);
+  EXPECT_EQ(metrics.reject_reasons[static_cast<std::size_t>(
+                dlt::Infeasibility::kTransmissionTooLong)],
+            1u);
+}
+
+TEST(Simulator, UnsortedTraceThrows) {
+  std::vector<workload::Task> tasks{make_task(0, 200.0, 200.0, 3000.0),
+                                    make_task(1, 100.0, 200.0, 3000.0)};
+  const sched::Algorithm algorithm = sched::make_algorithm("EDF-DLT");
+  ClusterSimulator simulator(default_config(), algorithm);
+  EXPECT_THROW(simulator.run(tasks, 10000.0), std::invalid_argument);
+}
+
+TEST(Simulator, ArrivalAccountingConsistent) {
+  const auto tasks = workload::generate_workload(small_workload());
+  const SimMetrics metrics = simulate(default_config(), "EDF-DLT", tasks, 300000.0);
+  EXPECT_EQ(metrics.arrivals, tasks.size());
+  EXPECT_EQ(metrics.accepted + metrics.rejected, metrics.arrivals);
+  std::size_t by_reason = 0;
+  for (std::size_t count : metrics.reject_reasons) by_reason += count;
+  EXPECT_EQ(by_reason, metrics.rejected);
+  EXPECT_EQ(metrics.response_time.count(), metrics.accepted);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  const auto tasks = workload::generate_workload(small_workload());
+  const SimMetrics a = simulate(default_config(), "EDF-DLT", tasks, 300000.0);
+  const SimMetrics b = simulate(default_config(), "EDF-DLT", tasks, 300000.0);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_DOUBLE_EQ(a.response_time.mean(), b.response_time.mean());
+  EXPECT_DOUBLE_EQ(a.busy_time, b.busy_time);
+}
+
+TEST(Simulator, EveryAcceptedTaskMeetsItsDeadline) {
+  // The real-time guarantee: deadline slack never negative (estimates) and
+  // no actual deadline misses in the dedicated-channel model.
+  for (const std::string& name : sched::all_algorithm_names()) {
+    const auto tasks = workload::generate_workload(small_workload(0.9));
+    const SimMetrics metrics = simulate(default_config(), name, tasks, 300000.0);
+    if (metrics.accepted > 0) {
+      EXPECT_GE(metrics.deadline_slack.min(), -1e-6) << name;
+    }
+    EXPECT_EQ(metrics.deadline_misses, 0u) << name;
+    EXPECT_EQ(metrics.theorem4_violations, 0u) << name;
+  }
+}
+
+TEST(Simulator, Theorem4HoldsAcrossSeedsAndLoads) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    for (double load : {0.3, 1.0}) {
+      workload::WorkloadParams params = small_workload(load);
+      params.seed = seed;
+      const auto tasks = workload::generate_workload(params);
+      const SimMetrics metrics = simulate(default_config(), "EDF-DLT", tasks, 300000.0);
+      EXPECT_EQ(metrics.theorem4_violations, 0u) << "seed=" << seed << " load=" << load;
+      // The estimate margin (estimate - actual) is Theorem 4's slack: >= 0.
+      if (metrics.accepted > 0) {
+        EXPECT_GE(metrics.estimate_margin.min(), -1e-6);
+      }
+    }
+  }
+}
+
+TEST(Simulator, ActualReleaseNeverWorseThanEstimateRelease) {
+  const auto tasks = workload::generate_workload(small_workload(0.8));
+  SimulatorConfig estimate_config = default_config();
+  SimulatorConfig actual_config = default_config();
+  actual_config.release_policy = ReleasePolicy::kActual;
+  const SimMetrics est = simulate(estimate_config, "EDF-DLT", tasks, 300000.0);
+  const SimMetrics act = simulate(actual_config, "EDF-DLT", tasks, 300000.0);
+  // Earlier releases can only help admission (small tolerance for the rare
+  // EDF anomaly where an earlier start displaces a later-tested task).
+  EXPECT_LE(act.rejected, est.rejected + est.arrivals / 50 + 2);
+  EXPECT_EQ(act.theorem4_violations, 0u);
+}
+
+TEST(Simulator, SharedLinkCountsMissesInsteadOfViolations) {
+  SimulatorConfig config = default_config();
+  config.shared_link = true;
+  const auto tasks = workload::generate_workload(small_workload(0.9));
+  const SimMetrics metrics = simulate(config, "EDF-DLT", tasks, 300000.0);
+  // Same admission decisions as the dedicated-link run...
+  const SimMetrics reference = simulate(default_config(), "EDF-DLT", tasks, 300000.0);
+  EXPECT_EQ(metrics.accepted, reference.accepted);
+  // ... but contention can produce actual misses (counted, not asserted 0).
+  EXPECT_EQ(metrics.theorem4_violations, 0u);  // not checked in shared mode
+}
+
+TEST(Simulator, RejectRatioIncreasesWithLoad) {
+  double previous = -1.0;
+  for (double load : {0.2, 0.6, 1.0}) {
+    workload::WorkloadParams params = small_workload(load);
+    params.total_time = 600000.0;
+    const auto tasks = workload::generate_workload(params);
+    const double ratio =
+        simulate(default_config(), "EDF-DLT", tasks, params.total_time).reject_ratio();
+    EXPECT_GT(ratio, previous) << "load=" << load;
+    previous = ratio;
+  }
+}
+
+TEST(Simulator, UtilizationWithinPhysicalBounds) {
+  const auto tasks = workload::generate_workload(small_workload(0.8));
+  for (const char* name : {"EDF-DLT", "EDF-OPR-MN", "EDF-UserSplit"}) {
+    const SimMetrics metrics = simulate(default_config(), name, tasks, 300000.0);
+    EXPECT_GT(metrics.utilization(), 0.0) << name;
+    // Draining past the horizon can push busy time slightly above N*T.
+    EXPECT_LT(metrics.utilization(), 1.1) << name;
+    EXPECT_GE(metrics.iit_fraction(), 0.0) << name;
+  }
+}
+
+TEST(Simulator, DltLeavesNoInsertedIdleTime) {
+  // The headline mechanism: the IIT-utilizing rule has zero inserted idle
+  // gaps, while OPR-MN accumulates them.
+  const auto tasks = workload::generate_workload(small_workload(0.8));
+  const SimMetrics dlt = simulate(default_config(), "EDF-DLT", tasks, 300000.0);
+  const SimMetrics opr = simulate(default_config(), "EDF-OPR-MN", tasks, 300000.0);
+  EXPECT_NEAR(dlt.idle_gap_time, 0.0, 1e-6);
+  EXPECT_GT(opr.idle_gap_time, 0.0);
+}
+
+TEST(Simulator, SimultaneousArrivalsHandled) {
+  std::vector<workload::Task> tasks;
+  for (cluster::TaskId id = 0; id < 4; ++id) {
+    tasks.push_back(make_task(id, 100.0, 100.0, 20000.0));
+  }
+  const SimMetrics metrics = simulate(default_config(), "EDF-DLT", tasks, 30000.0);
+  EXPECT_EQ(metrics.arrivals, 4u);
+  EXPECT_EQ(metrics.accepted + metrics.rejected, 4u);
+  EXPECT_EQ(metrics.theorem4_violations, 0u);
+}
+
+TEST(Simulator, MetricsSummaryRenders) {
+  const auto tasks = workload::generate_workload(small_workload());
+  const SimMetrics metrics = simulate(default_config(), "FIFO-UserSplit", tasks, 300000.0);
+  const std::string summary = metrics.summary();
+  EXPECT_NE(summary.find("reject_ratio"), std::string::npos);
+  EXPECT_NE(summary.find("utilization"), std::string::npos);
+}
+
+TEST(Simulator, UnknownAlgorithmThrows) {
+  EXPECT_THROW(simulate(default_config(), "EDF-MAGIC", {}, 100.0), std::invalid_argument);
+  EXPECT_THROW(simulate(default_config(), "LIFO-DLT", {}, 100.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtdls::sim

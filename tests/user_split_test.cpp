@@ -1,0 +1,125 @@
+// Tests for User-Split partitioning (Section 4.1.2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dlt/homogeneous.hpp"
+#include "dlt/user_split.hpp"
+
+namespace rtdls::dlt {
+namespace {
+
+ClusterParams paper_params() { return {.node_count = 16, .cms = 1.0, .cps = 100.0}; }
+
+TEST(UserSplitMinNodes, ClosedForm) {
+  // N_min = ceil(sigma*Cps / (D - sigma*Cms)); sigma=200, D=3000:
+  // 20000 / 2800 = 7.14 -> 8.
+  const auto n = user_split_min_nodes(paper_params(), 200.0, 3000.0);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(*n, 8u);
+}
+
+TEST(UserSplitMinNodes, InfeasibleWhenDeadlineBelowTransmission) {
+  EXPECT_FALSE(user_split_min_nodes(paper_params(), 200.0, 200.0).has_value());
+  EXPECT_FALSE(user_split_min_nodes(paper_params(), 200.0, 150.0).has_value());
+}
+
+TEST(UserSplitMinNodes, AtLeastOne) {
+  // Very loose deadline -> raw value < 1, clamped to 1.
+  const auto n = user_split_min_nodes(paper_params(), 1.0, 1e9);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(*n, 1u);
+}
+
+TEST(UserSplitMinNodes, NeverBelowDltRequirement) {
+  // Equal split is suboptimal, so its N_min is >= the DLT n_min whenever
+  // both are defined (compare against the exact homogeneous requirement).
+  for (double deadline : {500.0, 1000.0, 3000.0, 10000.0}) {
+    const auto n = user_split_min_nodes(paper_params(), 200.0, deadline);
+    if (!n.has_value()) continue;
+    // Verify the defining inequality and its tightness.
+    EXPECT_LE(200.0 * 1.0 + 200.0 * 100.0 / static_cast<double>(*n),
+              deadline * (1.0 + 1e-12));
+    if (*n > 1) {
+      EXPECT_GT(200.0 * 1.0 + 200.0 * 100.0 / static_cast<double>(*n - 1),
+                deadline * (1.0 - 1e-12));
+    }
+  }
+}
+
+TEST(UserSplitMinNodes, InvalidInputsThrow) {
+  EXPECT_THROW(user_split_min_nodes(paper_params(), 0.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(user_split_min_nodes(ClusterParams{.node_count = 1, .cms = 0.0, .cps = 1.0},
+                                    1.0, 10.0),
+               std::invalid_argument);
+}
+
+TEST(UserSplitSchedule, AllNodesFreeClosedForm) {
+  // All nodes available at t0: C = t0 + sigma*Cms + sigma*Cps/n (Eq. 15
+  // with s_n = t0 + (n-1)*sigma*Cms/n).
+  const std::size_t n = 8;
+  const UserSplitSchedule schedule =
+      build_user_split_schedule(paper_params(), 200.0, std::vector<cluster::Time>(n, 50.0));
+  EXPECT_NEAR(schedule.task_completion(), 50.0 + 200.0 + 200.0 * 100.0 / 8.0, 1e-9);
+  EXPECT_DOUBLE_EQ(schedule.chunk, 25.0);
+  // Starts are spaced by exactly one chunk transmission.
+  for (std::size_t i = 1; i < n; ++i) {
+    EXPECT_NEAR(schedule.start[i] - schedule.start[i - 1], 25.0, 1e-12);
+  }
+}
+
+TEST(UserSplitSchedule, StartRecurrenceHonorsBothConstraints) {
+  // Node 2 frees late: its start is its own availability, not the channel.
+  const UserSplitSchedule schedule =
+      build_user_split_schedule(paper_params(), 100.0, {0.0, 500.0, 510.0});
+  const double tx = 100.0 / 3.0 * 1.0;
+  EXPECT_DOUBLE_EQ(schedule.start[0], 0.0);
+  EXPECT_DOUBLE_EQ(schedule.start[1], 500.0);            // r_2 dominates
+  EXPECT_NEAR(schedule.start[2], 500.0 + tx, 1e-12);     // channel dominates
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(schedule.completion[i], schedule.start[i] + tx + 100.0 / 3.0 * 100.0,
+                1e-9);
+  }
+}
+
+TEST(UserSplitSchedule, CompletionsNondecreasing) {
+  const UserSplitSchedule schedule =
+      build_user_split_schedule(paper_params(), 200.0, {0.0, 10.0, 700.0, 1500.0});
+  for (std::size_t i = 1; i < schedule.completion.size(); ++i) {
+    EXPECT_GE(schedule.completion[i], schedule.completion[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(schedule.task_completion(), schedule.completion.back());
+}
+
+TEST(UserSplitSchedule, SingleNode) {
+  const UserSplitSchedule schedule = build_user_split_schedule(paper_params(), 200.0, {5.0});
+  EXPECT_NEAR(schedule.task_completion(), 5.0 + 200.0 * 101.0, 1e-9);
+}
+
+TEST(UserSplitSchedule, SortsAvailability) {
+  const UserSplitSchedule schedule =
+      build_user_split_schedule(paper_params(), 100.0, {900.0, 0.0});
+  EXPECT_DOUBLE_EQ(schedule.available[0], 0.0);
+  EXPECT_DOUBLE_EQ(schedule.available[1], 900.0);
+}
+
+TEST(UserSplitSchedule, WorseThanDltPartitionWithAllNodesFree) {
+  // DLT optimality: the equal split never beats the geometric one when all
+  // nodes are simultaneously available.
+  for (std::size_t n : {2u, 4u, 8u, 16u}) {
+    const UserSplitSchedule schedule =
+        build_user_split_schedule(paper_params(), 200.0, std::vector<cluster::Time>(n, 0.0));
+    EXPECT_GE(schedule.task_completion(),
+              homogeneous_execution_time(paper_params(), 200.0, n) - 1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(UserSplitSchedule, InvalidInputsThrow) {
+  EXPECT_THROW(build_user_split_schedule(paper_params(), 0.0, {1.0}), std::invalid_argument);
+  EXPECT_THROW(build_user_split_schedule(paper_params(), 1.0, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtdls::dlt

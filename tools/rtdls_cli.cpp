@@ -1,0 +1,219 @@
+// rtdls command-line tool: the library's functionality without writing C++.
+//
+//   rtdls_cli algorithms                       list algorithm names
+//   rtdls_cli generate --out trace.csv ...     generate a workload trace
+//   rtdls_cli simulate --trace trace.csv --algorithm EDF-DLT [...]
+//   rtdls_cli sweep --algorithms EDF-OPR-MN,EDF-DLT [...]    load sweep
+//   rtdls_cli figure --id fig03 [...]          reproduce one paper figure
+//
+// Run any subcommand with --help for its options.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "exp/registry.hpp"
+#include "exp/report.hpp"
+#include "sched/registry.hpp"
+#include "sim/simulator.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace rtdls;
+
+void add_workload_options(util::CliParser& cli) {
+  cli.add_option({"nodes", "cluster size N", "16", false});
+  cli.add_option({"cms", "unit transmission cost", "1", false});
+  cli.add_option({"cps", "unit processing cost", "100", false});
+  cli.add_option({"load", "SystemLoad", "0.8", false});
+  cli.add_option({"sigma", "average data size", "200", false});
+  cli.add_option({"dcratio", "deadline/cost ratio", "2", false});
+  cli.add_option({"simtime", "TotalSimulationTime", "1000000", false});
+  cli.add_option({"seed", "RNG seed", "42", false});
+  cli.add_option({"help", "show usage", "", true});
+}
+
+workload::WorkloadParams workload_from_cli(const util::CliParser& cli) {
+  workload::WorkloadParams params;
+  params.cluster.node_count = static_cast<std::size_t>(cli.get_int("nodes", 16));
+  params.cluster.cms = cli.get_double("cms", 1.0);
+  params.cluster.cps = cli.get_double("cps", 100.0);
+  params.system_load = cli.get_double("load", 0.8);
+  params.avg_sigma = cli.get_double("sigma", 200.0);
+  params.dc_ratio = cli.get_double("dcratio", 2.0);
+  params.total_time = cli.get_double("simtime", 1'000'000.0);
+  params.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  return params;
+}
+
+int cmd_algorithms() {
+  std::puts("paper algorithms (Section 5):");
+  for (const std::string& name : sched::paper_algorithm_names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::puts("extensions:");
+  for (const std::string& name : sched::all_algorithm_names()) {
+    bool in_paper = false;
+    for (const std::string& paper : sched::paper_algorithm_names()) {
+      if (paper == name) in_paper = true;
+    }
+    if (!in_paper) std::printf("  %s\n", name.c_str());
+  }
+  std::puts("modifiers: <policy>-<rule>-Opt (optimistic n search),");
+  std::puts("           <any>-IO<p> (p% output data, pair with --output-ratio)");
+  return 0;
+}
+
+int cmd_generate(int argc, const char* const* argv) {
+  util::CliParser cli;
+  add_workload_options(cli);
+  cli.add_option({"out", "output trace CSV path", "trace.csv", false});
+  if (!cli.parse(argc, argv) || cli.get_flag("help")) {
+    std::fputs(cli.usage("rtdls_cli generate").c_str(), stderr);
+    return cli.get_flag("help") ? 0 : 1;
+  }
+  const workload::WorkloadParams params = workload_from_cli(cli);
+  const auto tasks = workload::generate_workload(params);
+  const std::string path = cli.get("out").value();
+  workload::save_trace_file(path, tasks);
+  std::printf("wrote %zu tasks to %s (empirical load %.3f)\n", tasks.size(), path.c_str(),
+              workload::empirical_load(params, tasks));
+  return 0;
+}
+
+int cmd_simulate(int argc, const char* const* argv) {
+  util::CliParser cli;
+  add_workload_options(cli);
+  cli.add_option({"trace", "input trace CSV (else generated)", "", false});
+  cli.add_option({"algorithm", "algorithm name", "EDF-DLT", false});
+  cli.add_option({"release", "estimate|actual node release", "estimate", false});
+  cli.add_option({"output-ratio", "result volume fraction delta", "0", false});
+  cli.add_option({"shared-link", "model a shared head-node link", "", true});
+  if (!cli.parse(argc, argv) || cli.get_flag("help")) {
+    std::fputs(cli.usage("rtdls_cli simulate").c_str(), stderr);
+    return cli.get_flag("help") ? 0 : 1;
+  }
+  const workload::WorkloadParams params = workload_from_cli(cli);
+  std::vector<workload::Task> tasks;
+  if (const auto trace = cli.get("trace"); trace && !trace->empty()) {
+    tasks = workload::load_trace_file(*trace);
+  } else {
+    tasks = workload::generate_workload(params);
+  }
+
+  sim::SimulatorConfig config;
+  config.params = params.cluster;
+  config.release_policy = util::to_lower(cli.get("release").value_or("estimate")) == "actual"
+                              ? sim::ReleasePolicy::kActual
+                              : sim::ReleasePolicy::kEstimate;
+  config.output_ratio = cli.get_double("output-ratio", 0.0);
+  config.shared_link = cli.get_flag("shared-link");
+
+  const std::string algorithm = cli.get("algorithm").value_or("EDF-DLT");
+  const sim::SimMetrics metrics =
+      sim::simulate(config, algorithm, tasks, params.total_time);
+  std::printf("--- %s over %zu tasks ---\n%s", algorithm.c_str(), tasks.size(),
+              metrics.summary().c_str());
+  return 0;
+}
+
+int cmd_sweep(int argc, const char* const* argv) {
+  util::CliParser cli;
+  add_workload_options(cli);
+  cli.add_option({"algorithms", "comma-separated names", "EDF-OPR-MN,EDF-DLT", false});
+  cli.add_option({"runs", "runs per point", "5", false});
+  cli.add_option({"csv-dir", "directory for CSV/gnuplot output", "results", false});
+  if (!cli.parse(argc, argv) || cli.get_flag("help")) {
+    std::fputs(cli.usage("rtdls_cli sweep").c_str(), stderr);
+    return cli.get_flag("help") ? 0 : 1;
+  }
+  exp::SweepSpec spec;
+  spec.id = "cli_sweep";
+  spec.title = "command-line sweep";
+  const workload::WorkloadParams params = workload_from_cli(cli);
+  spec.cluster = params.cluster;
+  spec.avg_sigma = params.avg_sigma;
+  spec.dc_ratio = params.dc_ratio;
+  spec.loads = exp::SweepSpec::paper_loads();
+  spec.runs = static_cast<std::size_t>(cli.get_int("runs", 5));
+  spec.sim_time = params.total_time;
+  spec.seed = params.seed;
+  for (const std::string& name : util::split(cli.get("algorithms").value(), ',')) {
+    spec.algorithms.push_back(std::string(util::trim(name)));
+  }
+  const exp::SweepResult result = exp::run_sweep(spec);
+  std::fputs(exp::render_sweep(result).c_str(), stdout);
+  const std::string dir = cli.get("csv-dir").value();
+  std::printf("csv: %s\ngnuplot: %s\n", exp::write_sweep_csv(dir, result).c_str(),
+              exp::write_sweep_gnuplot(dir, result).c_str());
+  return 0;
+}
+
+int cmd_figure(int argc, const char* const* argv) {
+  util::CliParser cli;
+  cli.add_option({"id", "figure id (fig03..fig16, ablation_*)", "fig03", false});
+  cli.add_option({"help", "show usage", "", true});
+  if (!cli.parse(argc, argv) || cli.get_flag("help")) {
+    std::fputs(cli.usage("rtdls_cli figure").c_str(), stderr);
+    std::fputs("ids: fig03 fig04 fig05 fig06 fig07 fig08 fig09 fig10 fig11 fig12\n",
+               stderr);
+    std::fputs("     fig13 fig14 fig15 fig16 ablation_release ablation_multiround\n",
+               stderr);
+    std::fputs("     ablation_opr_an ablation_backfill ablation_output\n", stderr);
+    return cli.get_flag("help") ? 0 : 1;
+  }
+  const std::string id = cli.get("id").value();
+  const exp::Scale scale = exp::Scale::from_env();
+
+  std::vector<exp::FigureSpec> figures = exp::paper_figures(scale);
+  figures.push_back(exp::ablation_release_policy(scale));
+  figures.push_back(exp::ablation_multiround(scale));
+  figures.push_back(exp::ablation_opr_an(scale));
+  figures.push_back(exp::ablation_backfill(scale));
+  figures.push_back(exp::ablation_output(scale));
+  for (const exp::FigureSpec& figure : figures) {
+    if (figure.id == id) {
+      exp::report_figure(figure);
+      return 0;
+    }
+  }
+  std::fprintf(stderr, "unknown figure id '%s'\n", id.c_str());
+  return 1;
+}
+
+void print_usage() {
+  std::fputs(
+      "usage: rtdls_cli <command> [options]\n"
+      "commands:\n"
+      "  algorithms   list available scheduling algorithms\n"
+      "  generate     generate a workload trace CSV\n"
+      "  simulate     run one algorithm over a trace or generated workload\n"
+      "  sweep        reject-ratio load sweep for a set of algorithms\n"
+      "  figure       reproduce a paper figure / ablation by id\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "algorithms") return cmd_algorithms();
+    if (command == "generate") return cmd_generate(argc - 1, argv + 1);
+    if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
+    if (command == "sweep") return cmd_sweep(argc - 1, argv + 1);
+    if (command == "figure") return cmd_figure(argc - 1, argv + 1);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  print_usage();
+  return 1;
+}
