@@ -6,60 +6,59 @@
 // are unchanged (the schedulability test reasons about the dedicated-link
 // estimates), but actual rollouts can exceed those estimates, producing
 // deadline misses among ACCEPTED tasks.
+//
+// Implemented as two sweeps through the experiment runner so the dedicated
+// and shared columns come straight out of the multi-metric table
+// (SweepMetric::kDeadlineMisses). Note the simulator does not count
+// Theorem-4 violations under a shared link (the bound's dedicated-channel
+// premise is gone, so "violations" would be meaningless); the recorded
+// signal of the broken assumption is the deadline-miss column.
 #include <cstdio>
 #include <string>
-#include <vector>
 
+#include "exp/runner.hpp"
 #include "exp/spec.hpp"
-#include "sim/simulator.hpp"
-#include "workload/generator.hpp"
+#include "util/thread_pool.hpp"
 
 int main() {
   using namespace rtdls;
   const exp::Scale scale = exp::Scale::from_env();
+  util::ThreadPool pool(scale.jobs);
+
+  exp::SweepSpec dedicated;
+  dedicated.id = "ablation_shared_link_dedicated";
+  dedicated.title = "dedicated head-node link (paper model)";
+  dedicated.cluster = {.node_count = 16, .cms = 1.0, .cps = 100.0};
+  dedicated.loads = exp::SweepSpec::paper_loads();
+  dedicated.algorithms = {"EDF-DLT"};
+  dedicated.apply(scale);
+
+  exp::SweepSpec shared = dedicated;
+  shared.id = "ablation_shared_link_shared";
+  shared.title = "single shared link";
+  shared.shared_link = true;
+  // Theorem-4 accounting is off under shared_link (see header comment), so
+  // this is belt-and-braces: the sweep must never abort on the bound this
+  // ablation deliberately invalidates.
+  shared.halt_on_theorem4 = false;
+
+  const exp::SweepResult base = exp::run_sweep(dedicated, &pool);
+  const exp::SweepResult contended = exp::run_sweep(shared, &pool);
 
   std::printf("=== Ablation: dedicated vs shared head-node link (EDF-DLT) ===\n");
-  std::printf("miss ratio = accepted tasks whose actual completion exceeds the deadline\n\n");
-  std::printf("%-6s %-12s %-14s %-20s %-18s\n", "load", "accepted", "reject_ratio",
+  std::printf("misses = accepted tasks whose actual completion exceeds the deadline\n");
+  std::printf("(mean per run over %zu runs)\n\n", dedicated.runs);
+  std::printf("%-6s %-14s %-16s %-20s %-18s\n", "load", "reject_ratio", "mean_response",
               "misses(dedicated)", "misses(shared)");
 
-  for (double load : exp::SweepSpec::paper_loads()) {
-    std::size_t accepted = 0;
-    std::size_t rejected = 0;
-    std::size_t arrivals = 0;
-    std::size_t dedicated_misses = 0;
-    std::size_t shared_misses = 0;
-    for (std::size_t run = 0; run < scale.runs; ++run) {
-      workload::WorkloadParams params;
-      params.cluster = {.node_count = 16, .cms = 1.0, .cps = 100.0};
-      params.system_load = load;
-      params.total_time = scale.sim_time;
-      params.seed = 20070227;
-      params.stream = run;
-      const auto tasks = workload::generate_workload(params);
-
-      sim::SimulatorConfig dedicated;
-      dedicated.params = params.cluster;
-      const sim::SimMetrics base =
-          sim::simulate(dedicated, "EDF-DLT", tasks, params.total_time);
-
-      sim::SimulatorConfig shared = dedicated;
-      shared.shared_link = true;
-      const sim::SimMetrics contended =
-          sim::simulate(shared, "EDF-DLT", tasks, params.total_time);
-
-      accepted += base.accepted;
-      rejected += base.rejected;
-      arrivals += base.arrivals;
-      dedicated_misses += base.deadline_misses;
-      shared_misses += contended.deadline_misses;
-    }
-    const double reject_ratio =
-        arrivals == 0 ? 0.0 : static_cast<double>(rejected) / static_cast<double>(arrivals);
-    const double miss_shared =
-        accepted == 0 ? 0.0 : static_cast<double>(shared_misses) / static_cast<double>(accepted);
-    std::printf("%-6.1f %-12zu %-14.4f %-20zu %-18.4f\n", load, accepted, reject_ratio,
-                dedicated_misses, miss_shared);
+  for (std::size_t l = 0; l < dedicated.loads.size(); ++l) {
+    const auto& base_curve = base.curves[0];
+    const auto& shared_curve = contended.curves[0];
+    std::printf("%-6.1f %-14.4f %-16.1f %-20.2f %-18.2f\n", dedicated.loads[l],
+                base_curve.reject_ratio()[l].mean,
+                base_curve.series(exp::SweepMetric::kMeanResponse).per_load[l].mean,
+                base_curve.series(exp::SweepMetric::kDeadlineMisses).per_load[l].mean,
+                shared_curve.series(exp::SweepMetric::kDeadlineMisses).per_load[l].mean);
   }
 
   std::printf("\ndedicated-link misses are guaranteed 0 (Theorem 4); the shared-link column\n");

@@ -67,6 +67,37 @@ void BM_FullSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_FullSimulation)->Arg(3)->Arg(8)->Arg(10);
 
+// The acceptance scenario for the incremental-admission refactor: a
+// high-load EDF sweep with loose deadlines (DCRatio 20), where the waiting
+// queue is deep and the Figure-2 re-plan of every waiting task dominates.
+void BM_HighLoadSweep(benchmark::State& state) {
+  const double dc_ratio = static_cast<double>(state.range(0));
+  std::vector<std::vector<workload::Task>> traces;
+  std::size_t total_tasks = 0;
+  for (double load : {0.8, 1.0}) {
+    workload::WorkloadParams params;
+    params.cluster = {.node_count = 16, .cms = 1.0, .cps = 100.0};
+    params.system_load = load;
+    params.dc_ratio = dc_ratio;
+    params.total_time = 400000.0;
+    params.seed = 7;
+    traces.push_back(workload::generate_workload(params));
+    total_tasks += traces.back().size();
+  }
+  sim::SimulatorConfig config;
+  config.params = {.node_count = 16, .cms = 1.0, .cps = 100.0};
+
+  const sched::Algorithm algorithm = sched::make_algorithm("EDF-DLT");
+  sim::ClusterSimulator simulator(config, algorithm);
+  for (auto _ : state) {
+    for (const auto& tasks : traces) {
+      benchmark::DoNotOptimize(simulator.run(tasks, 400000.0));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * total_tasks));
+}
+BENCHMARK(BM_HighLoadSweep)->Arg(2)->Arg(20)->Unit(benchmark::kMillisecond);
+
 void BM_WorkloadGeneration(benchmark::State& state) {
   workload::WorkloadParams params;
   params.cluster = {.node_count = 16, .cms = 1.0, .cps = 100.0};

@@ -63,8 +63,8 @@ int main() {
     const exp::SweepResult result = exp::run_sweep(spec, &pool);
 
     for (std::size_t l = 0; l < spec.loads.size(); ++l) {
-      const double dlt = result.curves[0].reject_ratio[l].mean;
-      const double user = result.curves[1].reject_ratio[l].mean;
+      const double dlt = result.curves[0].reject_ratio()[l].mean;
+      const double user = result.curves[1].reject_ratio()[l].mean;
       ++cells;
       if (user < dlt) {
         ++user_better;

@@ -47,6 +47,11 @@ class NodeCalendar {
   /// Total reserved time on `id`.
   Time busy_time(NodeId id) const;
 
+  /// Drops every reservation, keeping per-node storage (run-to-run reuse).
+  void clear() {
+    for (auto& intervals : busy_) intervals.clear();
+  }
+
   /// Candidate start times for scan-based planning: `from` plus every
   /// reservation edge >= from, deduplicated and sorted. Any optimal
   /// "earliest k simultaneous nodes" answer lies on one of these.

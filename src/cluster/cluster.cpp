@@ -14,39 +14,57 @@ Cluster::Cluster(ClusterParams params) : params_(params) {
   }
 }
 
+void Cluster::reset() {
+  for (Node& node : nodes_) node.reset();
+  ++version_;
+}
+
 AvailabilityView Cluster::availability(Time now) const {
   AvailabilityView view;
   view.now = now;
-  view.times.reserve(nodes_.size());
-  for (const Node& node : nodes_) {
-    view.times.push_back(std::max(node.free_at(), now));
-  }
-  std::sort(view.times.begin(), view.times.end());
+  availability_into(now, view.times);
   return view;
 }
 
+void Cluster::availability_into(Time now, std::vector<Time>& out) const {
+  out.clear();
+  out.reserve(nodes_.size());
+  for (const Node& node : nodes_) {
+    out.push_back(std::max(node.free_at(), now));
+  }
+  std::sort(out.begin(), out.end());
+}
+
 std::vector<NodeId> Cluster::earliest_free_nodes(Time now, std::size_t n) const {
+  std::vector<NodeId> ids;
+  earliest_free_nodes_into(now, n, ids);
+  return ids;
+}
+
+void Cluster::earliest_free_nodes_into(Time now, std::size_t n,
+                                       std::vector<NodeId>& out) const {
   if (n > nodes_.size()) {
     throw std::invalid_argument("Cluster::earliest_free_nodes: n exceeds cluster size");
   }
-  std::vector<NodeId> ids(nodes_.size());
-  std::iota(ids.begin(), ids.end(), 0);
-  std::stable_sort(ids.begin(), ids.end(), [&](NodeId a, NodeId b) {
+  out.resize(nodes_.size());
+  std::iota(out.begin(), out.end(), 0);
+  std::stable_sort(out.begin(), out.end(), [&](NodeId a, NodeId b) {
     const Time fa = std::max(nodes_[a].free_at(), now);
     const Time fb = std::max(nodes_[b].free_at(), now);
     if (fa != fb) return fa < fb;
     return a < b;
   });
-  ids.resize(n);
-  return ids;
+  out.resize(n);
 }
 
 void Cluster::commit(NodeId id, TaskId task, Time usable_from, Time start, Time end) {
   nodes_.at(id).commit(task, usable_from, start, end);
+  ++version_;
 }
 
 void Cluster::release_early(NodeId id, Time at) {
   nodes_.at(id).release_early(at);
+  ++version_;
 }
 
 Time Cluster::total_busy_time() const {

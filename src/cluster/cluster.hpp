@@ -31,12 +31,29 @@ class Cluster {
 
   const Node& node(NodeId id) const { return nodes_.at(id); }
 
+  /// Monotonic availability version: bumped by every mutation of any node's
+  /// release time (commit, early release, reset). An unchanged version
+  /// guarantees an unchanged availability snapshot for any `now` at or
+  /// before the earliest node release, which lets the incremental admission
+  /// path skip rebuilding and re-planning entirely.
+  std::uint64_t version() const { return version_; }
+
+  /// Returns every node to the initial idle state, keeping allocations
+  /// (back-to-back sweep cells reuse one cluster instead of reconstructing).
+  void reset();
+
   /// Builds the availability snapshot at time `now`.
   AvailabilityView availability(Time now) const;
+
+  /// Same snapshot written into `out` (capacity reused; hot path).
+  void availability_into(Time now, std::vector<Time>& out) const;
 
   /// Ids of the `n` earliest-available nodes at `now` (ties broken by id so
   /// commitments are deterministic). `n` must not exceed size().
   std::vector<NodeId> earliest_free_nodes(Time now, std::size_t n) const;
+
+  /// Same, written into `out` (capacity reused; hot path).
+  void earliest_free_nodes_into(Time now, std::size_t n, std::vector<NodeId>& out) const;
 
   /// Commits node `id` to `task` over [start, end); see Node::commit for
   /// the `usable_from` IIT-accounting parameter.
@@ -52,6 +69,7 @@ class Cluster {
  private:
   ClusterParams params_;
   std::vector<Node> nodes_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace rtdls::cluster

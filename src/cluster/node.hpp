@@ -46,6 +46,15 @@ class Node {
   /// Number of subtask commitments this node served.
   std::size_t commitments() const { return commitments_; }
 
+  /// Returns the node to its initial idle state (run-to-run reuse).
+  void reset() {
+    free_at_ = 0.0;
+    current_task_ = kNoTask;
+    busy_time_ = 0.0;
+    idle_gap_time_ = 0.0;
+    commitments_ = 0;
+  }
+
  private:
   NodeId id_;
   Time free_at_ = 0.0;

@@ -1,6 +1,7 @@
 #include "dlt/het_model.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
@@ -9,22 +10,28 @@
 namespace rtdls::dlt {
 
 std::vector<double> general_het_alpha(double cms, const std::vector<double>& cps_i) {
+  std::vector<double> alpha;
+  general_het_alpha_into(cms, cps_i, alpha);
+  return alpha;
+}
+
+void general_het_alpha_into(double cms, const std::vector<double>& cps_i,
+                            std::vector<double>& out) {
   if (!(cms > 0.0)) throw std::invalid_argument("general_het_alpha: cms must be > 0");
   if (cps_i.empty()) throw std::invalid_argument("general_het_alpha: need >= 1 node");
   for (double cps : cps_i) {
     if (!(cps > 0.0)) throw std::invalid_argument("general_het_alpha: cps_i must be > 0");
   }
   const std::size_t n = cps_i.size();
-  // prefix[i] = prod_{j=2..i+1} X_j with X_j = cps_{j-1} / (cms + cps_j).
-  std::vector<double> prefix(n);
-  prefix[0] = 1.0;
+  // out[i] = prod_{j=2..i+1} X_j with X_j = cps_{j-1} / (cms + cps_j).
+  out.assign(n, 0.0);
+  out[0] = 1.0;
   double denom = 1.0;
   for (std::size_t i = 1; i < n; ++i) {
-    prefix[i] = prefix[i - 1] * (cps_i[i - 1] / (cms + cps_i[i]));
-    denom += prefix[i];
+    out[i] = out[i - 1] * (cps_i[i - 1] / (cms + cps_i[i]));
+    denom += out[i];
   }
-  for (double& p : prefix) p /= denom;
-  return prefix;
+  for (double& p : out) p /= denom;
 }
 
 double general_het_execution_time(double cms, const std::vector<double>& cps_i,
@@ -38,16 +45,27 @@ double general_het_execution_time(double cms, const std::vector<double>& cps_i,
 
 HetPartition build_het_partition(const ClusterParams& params, double sigma,
                                  std::vector<Time> available) {
+  std::sort(available.begin(), available.end());
+  HetPartition out;
+  build_het_partition_into(params, sigma, available, available.size(), out);
+  return out;
+}
+
+void build_het_partition_into(const ClusterParams& params, double sigma,
+                              const std::vector<Time>& available, std::size_t n,
+                              HetPartition& out) {
   if (!params.valid()) throw std::invalid_argument("het_partition: invalid cluster params");
   if (!(sigma > 0.0)) throw std::invalid_argument("het_partition: sigma must be > 0");
-  if (available.empty()) throw std::invalid_argument("het_partition: need >= 1 node");
+  if (n == 0 || n > available.size()) {
+    throw std::invalid_argument("het_partition: need 1 <= n <= available nodes");
+  }
+  assert(std::is_sorted(available.begin(),
+                        available.begin() + static_cast<std::ptrdiff_t>(n)) &&
+         "build_het_partition_into: available times must be sorted ascending");
 
-  std::sort(available.begin(), available.end());
-  const std::size_t n = available.size();
-  const Time rn = available.back();
-
-  HetPartition out;
-  out.available = std::move(available);
+  out.available.assign(available.begin(),
+                       available.begin() + static_cast<std::ptrdiff_t>(n));
+  const Time rn = out.available.back();
   out.homogeneous_time = homogeneous_execution_time(params, sigma, n);
 
   // Eq. (1): the earlier a node frees, the "faster" its model counterpart.
@@ -59,12 +77,11 @@ HetPartition build_het_partition(const ClusterParams& params, double sigma,
   }
 
   // Eq. (4)-(5): the general heterogeneous kernel on the constructed costs.
-  out.alpha = general_het_alpha(params.cms, out.cps_i);
+  general_het_alpha_into(params.cms, out.cps_i, out.alpha);
 
   // Eq. (6): E_hat = sigma*Cms + alpha_n*sigma*Cps (Cps_n == Cps since
   // r_n - r_n = 0).
   out.execution_time = sigma * params.cms + out.alpha.back() * sigma * params.cps;
-  return out;
 }
 
 std::vector<Time> theorem4_completion_bounds(const ClusterParams& params, double sigma,

@@ -31,6 +31,11 @@ namespace rtdls::dlt {
 /// genuinely heterogeneous clusters.
 std::vector<double> general_het_alpha(double cms, const std::vector<double>& cps_i);
 
+/// Same kernel writing into `out` (capacity reused; the admission hot loop
+/// plans thousands of tasks per run and must not reallocate per plan).
+void general_het_alpha_into(double cms, const std::vector<double>& cps_i,
+                            std::vector<double>& out);
+
 /// Execution time of the general heterogeneous partition (Eq. 6 with
 /// arbitrary Cps_i): sigma*cms + alpha_n*sigma*cps_n.
 double general_het_execution_time(double cms, const std::vector<double>& cps_i,
@@ -57,6 +62,13 @@ struct HetPartition {
 /// Preconditions: valid params, sigma > 0, at least one node.
 HetPartition build_het_partition(const ClusterParams& params, double sigma,
                                  std::vector<Time> available);
+
+/// Same construction over the first `n` entries of `available`, which must
+/// already be sorted ascending (the admission controller's availability
+/// state always is). Writes into `out` reusing its vectors' capacity.
+void build_het_partition_into(const ClusterParams& params, double sigma,
+                              const std::vector<Time>& available, std::size_t n,
+                              HetPartition& out);
 
 /// Upper bound on node i's *actual* completion time in the homogeneous
 /// cluster (proof of Theorem 4):

@@ -9,10 +9,7 @@
 namespace rtdls::exp {
 
 double curve_mean(const CurveResult& curve) {
-  if (curve.reject_ratio.empty()) return 0.0;
-  double sum = 0.0;
-  for (const auto& ci : curve.reject_ratio) sum += ci.mean;
-  return sum / static_cast<double>(curve.reject_ratio.size());
+  return series_mean(curve.series(SweepMetric::kRejectRatio));
 }
 
 namespace {

@@ -284,6 +284,10 @@ FigureSpec ablation_output(const Scale& scale) {
                                     std::string("delta = ") + names[i] + " vs " + baselines[i]);
     spec.algorithms = {baselines[i], names[i]};
     spec.output_ratio = deltas[i];
+    // The output extension deliberately stresses the Theorem-4 bound
+    // (estimates that ignore result traffic undershoot); record violations
+    // in the metric table instead of aborting the sweep.
+    spec.halt_on_theorem4 = false;
     spec.expected_winner = names[i];
     figure.panels.push_back(std::move(spec));
   }

@@ -33,12 +33,32 @@ std::string render_sweep_table(const SweepResult& result) {
   for (std::size_t l = 0; l < result.spec.loads.size(); ++l) {
     std::vector<std::string> row{util::format_double(result.spec.loads[l], 3)};
     for (const CurveResult& curve : result.curves) {
-      row.push_back(format_ci(curve.reject_ratio[l]));
+      row.push_back(format_ci(curve.reject_ratio()[l]));
     }
     if (pairwise) {
       const double delta =
-          result.curves[0].reject_ratio[l].mean - result.curves[1].reject_ratio[l].mean;
+          result.curves[0].reject_ratio()[l].mean - result.curves[1].reject_ratio()[l].mean;
       row.push_back(util::format_double(delta, 4));
+    }
+    rows.push_back(std::move(row));
+  }
+  return util::aligned_table(rows);
+}
+
+std::string render_metric_summary(const SweepResult& result) {
+  // One row per algorithm: load-axis mean of every non-headline metric (the
+  // headline reject ratios get the full table above).
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header{"algorithm"};
+  for (std::size_t m = 1; m < kSweepMetricCount; ++m) {
+    header.emplace_back(sweep_metric_name(static_cast<SweepMetric>(m)));
+  }
+  rows.push_back(std::move(header));
+  for (const CurveResult& curve : result.curves) {
+    std::vector<std::string> row{curve.algorithm};
+    for (std::size_t m = 1; m < kSweepMetricCount; ++m) {
+      row.push_back(util::format_double(
+          series_mean(curve.series(static_cast<SweepMetric>(m))), 4));
     }
     rows.push_back(std::move(row));
   }
@@ -51,7 +71,7 @@ std::string render_sweep_chart(const SweepResult& result) {
     util::Series s;
     s.name = curve.algorithm;
     s.x = result.spec.loads;
-    for (const auto& ci : curve.reject_ratio) s.y.push_back(ci.mean);
+    for (const auto& ci : curve.reject_ratio()) s.y.push_back(ci.mean);
     series.push_back(std::move(s));
   }
   util::PlotOptions options;
@@ -68,6 +88,7 @@ std::string render_sweep(const SweepResult& result) {
       << " DCRatio=" << result.spec.dc_ratio << " runs=" << result.spec.runs
       << " T=" << util::format_double(result.spec.sim_time, 6) << '\n';
   out << render_sweep_table(result) << '\n';
+  out << render_metric_summary(result) << '\n';
   out << render_sweep_chart(result);
   out << "(wall " << util::format_double(result.wall_seconds, 3) << "s)\n";
   return out.str();
@@ -80,17 +101,33 @@ std::string write_sweep_csv(const std::string& dir, const SweepResult& result) {
   if (!file) throw std::runtime_error("write_sweep_csv: cannot open " + path);
 
   util::CsvWriter writer(file);
+  // Reject-ratio columns first (what the gnuplot scripts and any existing
+  // reader index), then the rest of the metric table.
   std::vector<std::string> header{"load"};
   for (const CurveResult& curve : result.curves) {
     header.push_back(curve.algorithm + " mean");
     header.push_back(curve.algorithm + " ci95");
   }
+  for (std::size_t m = 1; m < kSweepMetricCount; ++m) {
+    const std::string name(sweep_metric_name(static_cast<SweepMetric>(m)));
+    for (const CurveResult& curve : result.curves) {
+      header.push_back(curve.algorithm + " " + name + " mean");
+      header.push_back(curve.algorithm + " " + name + " ci95");
+    }
+  }
   writer.write_row(header);
   for (std::size_t l = 0; l < result.spec.loads.size(); ++l) {
     std::vector<double> row{result.spec.loads[l]};
     for (const CurveResult& curve : result.curves) {
-      row.push_back(curve.reject_ratio[l].mean);
-      row.push_back(curve.reject_ratio[l].half_width);
+      row.push_back(curve.reject_ratio()[l].mean);
+      row.push_back(curve.reject_ratio()[l].half_width);
+    }
+    for (std::size_t m = 1; m < kSweepMetricCount; ++m) {
+      for (const CurveResult& curve : result.curves) {
+        const MetricSeries& series = curve.series(static_cast<SweepMetric>(m));
+        row.push_back(series.per_load[l].mean);
+        row.push_back(series.per_load[l].half_width);
+      }
     }
     writer.write_numeric_row(row);
   }

@@ -13,6 +13,10 @@ namespace rtdls::exp {
 /// sweep has exactly two, as every paper figure does).
 std::string render_sweep_table(const SweepResult& result);
 
+/// Aligned table of the non-headline metric table: one row per algorithm,
+/// load-axis mean of each SweepMetric series.
+std::string render_metric_summary(const SweepResult& result);
+
 /// ASCII chart of all curves over the load axis.
 std::string render_sweep_chart(const SweepResult& result);
 

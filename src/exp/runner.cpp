@@ -1,6 +1,9 @@
 #include "exp/runner.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 
 #include "sched/registry.hpp"
@@ -21,6 +24,56 @@ workload::WorkloadParams cell_workload(const SweepSpec& spec, double load,
   return params;
 }
 
+namespace {
+
+/// One reusable simulation context: the algorithm instance (rules may keep
+/// mutable scratch, so instances are never shared across threads) plus a
+/// simulator whose run() resets state in place.
+struct SimSlot {
+  sched::Algorithm algorithm;
+  sim::ClusterSimulator simulator;
+
+  SimSlot(const sim::SimulatorConfig& config, sched::Algorithm alg)
+      : algorithm(std::move(alg)), simulator(config, algorithm) {}
+};
+
+/// Per-algorithm free lists of SimSlots. Workers check a slot out per cell
+/// and return it afterwards, so a sweep allocates at most
+/// (algorithms x concurrent workers) simulators and every simulator serves
+/// many back-to-back cells. Results cannot depend on which slot serves
+/// which cell: run() fully resets per-run state.
+class SlotPool {
+ public:
+  SlotPool(const sim::SimulatorConfig& config, const std::vector<std::string>& names)
+      : config_(config), names_(names), free_(names.size()) {}
+
+  std::unique_ptr<SimSlot> acquire(std::size_t algorithm) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto& stack = free_[algorithm];
+      if (!stack.empty()) {
+        std::unique_ptr<SimSlot> slot = std::move(stack.back());
+        stack.pop_back();
+        return slot;
+      }
+    }
+    return std::make_unique<SimSlot>(config_, sched::make_algorithm(names_[algorithm]));
+  }
+
+  void release(std::size_t algorithm, std::unique_ptr<SimSlot> slot) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_[algorithm].push_back(std::move(slot));
+  }
+
+ private:
+  sim::SimulatorConfig config_;
+  const std::vector<std::string>& names_;
+  std::mutex mutex_;
+  std::vector<std::vector<std::unique_ptr<SimSlot>>> free_;
+};
+
+}  // namespace
+
 SweepResult run_sweep(const SweepSpec& spec, util::ThreadPool* pool) {
   if (spec.loads.empty()) throw std::invalid_argument("run_sweep: no loads");
   if (spec.algorithms.empty()) throw std::invalid_argument("run_sweep: no algorithms");
@@ -28,13 +81,19 @@ SweepResult run_sweep(const SweepSpec& spec, util::ThreadPool* pool) {
 
   const auto wall_start = std::chrono::steady_clock::now();
 
+  const std::size_t loads = spec.loads.size();
+  const std::size_t runs = spec.runs;
+  const std::size_t algs = spec.algorithms.size();
+
   SweepResult result;
   result.spec = spec;
-  result.curves.resize(spec.algorithms.size());
-  for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
+  result.curves.resize(algs);
+  for (std::size_t a = 0; a < algs; ++a) {
     result.curves[a].algorithm = spec.algorithms[a];
-    result.curves[a].raw.assign(spec.loads.size() * spec.runs, 0.0);
-    result.curves[a].reject_ratio.resize(spec.loads.size());
+    for (MetricSeries& series : result.curves[a].metrics) {
+      series.raw.assign(loads * runs, 0.0);
+      series.per_load.resize(loads);
+    }
   }
 
   sim::SimulatorConfig sim_config;
@@ -43,36 +102,75 @@ SweepResult run_sweep(const SweepSpec& spec, util::ThreadPool* pool) {
   sim_config.shared_link = spec.shared_link;
   sim_config.output_ratio = spec.output_ratio;
 
-  const std::size_t cells = spec.loads.size() * spec.runs;
-  auto run_cell = [&](std::size_t cell) {
-    const std::size_t load_index = cell / spec.runs;
-    const std::size_t run_index = cell % spec.runs;
-    const workload::WorkloadParams workload_params =
-        cell_workload(spec, spec.loads[load_index], run_index);
-    const std::vector<workload::Task> tasks = workload::generate_workload(workload_params);
-
-    for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
-      const sim::SimMetrics metrics =
-          sim::simulate(sim_config, spec.algorithms[a], tasks, spec.sim_time);
-      if (metrics.theorem4_violations != 0) {
-        throw std::logic_error("run_sweep: Theorem 4 violated in " + spec.algorithms[a]);
-      }
-      result.curves[a].raw[cell] = metrics.reject_ratio();
-    }
+  // One workload trace per (load, run), shared by every algorithm (the
+  // paper's paired comparison: same trace, different algorithms). Traces
+  // are a pure function of (spec, load, run), so lazily generating each in
+  // whichever cell needs it first cannot change results; each is freed
+  // after its last cell, so peak trace memory tracks the in-flight cells,
+  // not the whole sweep (at paper scale a full trace set is large).
+  const std::size_t trace_count = loads * runs;
+  std::vector<std::vector<workload::Task>> traces(trace_count);
+  const auto trace_once = std::make_unique<std::once_flag[]>(trace_count);
+  const auto cells_left = std::make_unique<std::atomic<std::size_t>[]>(trace_count);
+  for (std::size_t t = 0; t < trace_count; ++t) {
+    cells_left[t].store(algs, std::memory_order_relaxed);
+  }
+  auto trace_for = [&](std::size_t t) -> const std::vector<workload::Task>& {
+    std::call_once(trace_once[t], [&] {
+      traces[t] = workload::generate_workload(
+          cell_workload(spec, spec.loads[t / runs], t % runs));
+    });
+    return traces[t];
   };
 
+  // The full (load x run x algorithm) grid, one cell per task. Every cell
+  // writes only its own raw[] slot, so the pooled and the serial execution
+  // produce bit-identical results regardless of scheduling order.
+  SlotPool slots(sim_config, spec.algorithms);
+  auto run_cell = [&](std::size_t cell) {
+    const std::size_t a = cell % algs;
+    const std::size_t trace_index = cell / algs;
+    const std::size_t sample = trace_index;  // load * runs + run
+
+    std::unique_ptr<SimSlot> slot = slots.acquire(a);
+    const sim::SimMetrics metrics = slot->simulator.run(trace_for(trace_index), spec.sim_time);
+    slots.release(a, std::move(slot));
+    if (cells_left[trace_index].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::vector<workload::Task>().swap(traces[trace_index]);
+    }
+
+    if (metrics.theorem4_violations != 0 && spec.halt_on_theorem4) {
+      throw std::logic_error("run_sweep: Theorem 4 violated in " + spec.algorithms[a] +
+                             " (set SweepSpec::halt_on_theorem4 = false to record instead)");
+    }
+
+    CurveResult& curve = result.curves[a];
+    curve.series(SweepMetric::kRejectRatio).raw[sample] = metrics.reject_ratio();
+    curve.series(SweepMetric::kMeanResponse).raw[sample] = metrics.response_time.mean();
+    curve.series(SweepMetric::kMeanWait).raw[sample] = metrics.wait_time.mean();
+    curve.series(SweepMetric::kUtilization).raw[sample] = metrics.utilization();
+    curve.series(SweepMetric::kDeadlineMisses).raw[sample] =
+        static_cast<double>(metrics.deadline_misses);
+    curve.series(SweepMetric::kTheorem4Violations).raw[sample] =
+        static_cast<double>(metrics.theorem4_violations);
+  };
+
+  const std::size_t cells = loads * runs * algs;
   if (pool != nullptr) {
     pool->parallel_for(cells, run_cell);
   } else {
     for (std::size_t cell = 0; cell < cells; ++cell) run_cell(cell);
   }
 
-  for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
-    CurveResult& curve = result.curves[a];
-    for (std::size_t l = 0; l < spec.loads.size(); ++l) {
-      std::vector<double> samples(curve.raw.begin() + static_cast<std::ptrdiff_t>(l * spec.runs),
-                                  curve.raw.begin() + static_cast<std::ptrdiff_t>((l + 1) * spec.runs));
-      curve.reject_ratio[l] = stats::mean_confidence_interval(samples, spec.confidence);
+  // Aggregate every (algorithm, metric, load) over the runs in run order with a
+  // streaming accumulator; order is fixed, so aggregation is deterministic.
+  for (std::size_t a = 0; a < algs; ++a) {
+    for (MetricSeries& series : result.curves[a].metrics) {
+      for (std::size_t l = 0; l < loads; ++l) {
+        stats::RunningStats acc;
+        for (std::size_t r = 0; r < runs; ++r) acc.add(series.raw[l * runs + r]);
+        series.per_load[l] = stats::mean_confidence_interval(acc, spec.confidence);
+      }
     }
   }
 

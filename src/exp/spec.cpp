@@ -18,6 +18,25 @@ Scale Scale::from_env() {
   return scale;
 }
 
+std::string_view sweep_metric_name(SweepMetric metric) {
+  switch (metric) {
+    case SweepMetric::kRejectRatio: return "reject_ratio";
+    case SweepMetric::kMeanResponse: return "mean_response";
+    case SweepMetric::kMeanWait: return "mean_wait";
+    case SweepMetric::kUtilization: return "utilization";
+    case SweepMetric::kDeadlineMisses: return "deadline_misses";
+    case SweepMetric::kTheorem4Violations: return "theorem4_violations";
+  }
+  return "unknown";
+}
+
+double series_mean(const MetricSeries& series) {
+  if (series.per_load.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& ci : series.per_load) sum += ci.mean;
+  return sum / static_cast<double>(series.per_load.size());
+}
+
 std::vector<double> SweepSpec::paper_loads() {
   return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
 }

@@ -4,8 +4,10 @@
 // units per point).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -51,6 +53,13 @@ struct SweepSpec {
   bool shared_link = false;
   double output_ratio = 0.0;  ///< result volume fraction (pair with *-IO rules)
 
+  /// Abort the sweep on any Theorem-4 violation. The paper's dedicated-
+  /// channel model guarantees none, so a violation in a reproduction sweep
+  /// is a bug; the shared-link and output ablations intentionally break the
+  /// bound and set this false so violations are *recorded* (in the
+  /// kTheorem4Violations metric series) instead of aborting.
+  bool halt_on_theorem4 = true;
+
   /// Algorithm expected to have the (weakly) lowest mean reject ratio in
   /// this panel; empty = no expectation (used by the shape checks).
   std::string expected_winner;
@@ -62,12 +71,52 @@ struct SweepSpec {
   void apply(const Scale& scale);
 };
 
-/// Results of one curve (algorithm) across the load axis.
+/// Metrics recorded for every (load, run, algorithm) sweep cell. The paper
+/// reports reject ratios; the rest quantify *how* an algorithm wins (faster
+/// responses, shorter waits, higher utilization) and what the ablations
+/// break (deadline misses, Theorem-4 violations).
+enum class SweepMetric : std::size_t {
+  kRejectRatio = 0,     ///< rejections / arrivals (the headline metric)
+  kMeanResponse,        ///< mean completion - arrival over accepted tasks
+  kMeanWait,            ///< mean first node engagement - arrival
+  kUtilization,         ///< busy node-time / (N x horizon)
+  kDeadlineMisses,      ///< accepted tasks finishing past their deadline
+  kTheorem4Violations,  ///< actual completions above the Figure-2 estimate
+};
+inline constexpr std::size_t kSweepMetricCount = 6;
+
+/// Short machine-friendly metric names ("reject_ratio", "mean_response", ...).
+std::string_view sweep_metric_name(SweepMetric metric);
+
+/// One metric across the load axis: run-level samples plus aggregates fed
+/// by streaming stats::RunningStats accumulators.
+struct MetricSeries {
+  std::vector<double> raw;  ///< run-level values, load-major
+                            ///< (raw[load * runs + run]) for paired stats
+  std::vector<stats::ConfidenceInterval> per_load;  ///< one CI per load
+};
+
+/// Mean of a series' per-load means (the load-axis average the shape
+/// checks and the metric summary both report); 0 when empty.
+double series_mean(const MetricSeries& series);
+
+/// Results of one curve (algorithm) across the load axis: the full metric
+/// table, one MetricSeries per SweepMetric.
 struct CurveResult {
   std::string algorithm;
-  std::vector<stats::ConfidenceInterval> reject_ratio;  ///< one per load
-  std::vector<double> raw;  ///< run-level reject ratios, load-major
-                            ///< (raw[load * runs + run]) for paired stats
+  std::array<MetricSeries, kSweepMetricCount> metrics;
+
+  MetricSeries& series(SweepMetric metric) {
+    return metrics[static_cast<std::size_t>(metric)];
+  }
+  const MetricSeries& series(SweepMetric metric) const {
+    return metrics[static_cast<std::size_t>(metric)];
+  }
+
+  /// The paper's headline series: reject-ratio CIs, one per load.
+  const std::vector<stats::ConfidenceInterval>& reject_ratio() const {
+    return series(SweepMetric::kRejectRatio).per_load;
+  }
 };
 
 /// Results of one sweep.

@@ -3,8 +3,20 @@
 #include <algorithm>
 #include <optional>
 #include <stdexcept>
+#include <string>
 
 namespace rtdls::sched {
+
+namespace {
+
+/// Release-time rules always consume the `plan.nodes` earliest entries of
+/// the sorted availability state and replace them with the plan's releases.
+void apply_plan(std::vector<Time>& state, const TaskPlan& plan) {
+  for (std::size_t i = 0; i < plan.nodes; ++i) state[i] = plan.node_release[i];
+  std::sort(state.begin(), state.end());
+}
+
+}  // namespace
 
 AdmissionController::AdmissionController(Policy policy, const PartitionRule* rule)
     : policy_(policy), rule_(rule) {
@@ -64,12 +76,7 @@ AdmissionOutcome AdmissionController::test(
                                plan.node_release[i]);
       }
     } else {
-      // Release-time rules always consume the `plan.nodes` earliest entries
-      // of the sorted snapshot.
-      for (std::size_t i = 0; i < plan.nodes; ++i) {
-        free_times[i] = plan.node_release[i];
-      }
-      std::sort(free_times.begin(), free_times.end());
+      apply_plan(free_times, plan);
     }
 
     outcome.schedule.push_back(ScheduledTask{task, std::move(result.plan)});
@@ -77,6 +84,190 @@ AdmissionOutcome AdmissionController::test(
 
   outcome.accepted = true;
   return outcome;
+}
+
+void AdmissionController::invalidate() {
+  cache_valid_ = false;
+  head_ = 0;
+  planned_ = 0;
+  synced_prefix_ = 0;
+  order_.clear();
+  plans_.clear();
+  states_.clear();
+}
+
+void AdmissionController::compact_head() {
+  if (head_ == 0) return;
+  const auto offset = static_cast<std::ptrdiff_t>(head_);
+  order_.erase(order_.begin(), order_.begin() + offset);
+  plans_.erase(plans_.begin(), plans_.begin() + offset);
+  states_.erase(states_.begin(),
+                states_.begin() + static_cast<std::ptrdiff_t>(head_ * node_count_));
+  head_ = 0;
+}
+
+void AdmissionController::on_commit(const workload::Task* task, const TaskPlan& plan,
+                                    std::uint64_t cluster_version) {
+  if (!cache_valid_) return;
+  if (order_.size() == head_ || order_[head_] != task || planned_ == 0 ||
+      !(plans_[head_] == plan)) {
+    // Out-of-policy-order commit, an unplanned front, or a committed plan
+    // differing from the cached one (possible when the caller still holds
+    // plans from before a rejected rebuild): the remaining waiting plans
+    // were threaded through different inputs, so the next arrival must
+    // rebuild.
+    invalidate();
+    return;
+  }
+  // Policy-order-front commit: its reservations are exactly the front
+  // plan's releases, so the post-commit availability snapshot equals the
+  // next state row and the whole session just shifts by one - O(1) via the
+  // head offset, compacted once the consumed prefix outweighs the live
+  // part (amortized O(1) per advance).
+  ++head_;
+  --planned_;
+  if (synced_prefix_ > 0) --synced_prefix_;
+  cache_version_ = cluster_version;
+  if (head_ > 64 && head_ > order_.size() - head_) compact_head();
+}
+
+AdmissionOutcome AdmissionController::test_incremental(
+    const workload::Task& new_task, const std::vector<const workload::Task*>& waiting,
+    const cluster::ClusterParams& params, const cluster::Cluster& cluster, Time now) {
+  if (rule_->uses_calendar()) {
+    throw std::logic_error("test_incremental: calendar rules require the full test()");
+  }
+  if (cluster.size() != params.node_count) {
+    throw std::invalid_argument("test_incremental: cluster/params node count mismatch");
+  }
+  const std::size_t n = params.node_count;
+  const std::size_t q = waiting.size();
+
+  // The session is reusable when nothing that feeds the plans has changed:
+  // same availability version, no entry floored below `now` (row 0 is
+  // sorted, so checking its front suffices), and the same waiting order.
+  bool reuse = cache_valid_ && cache_version_ == cluster.version() &&
+               node_count_ == n && order_.size() - head_ == q &&
+               states_.size() >= (head_ + 1) * n && states_[head_ * n] >= now;
+  if (reuse) reuse = std::equal(waiting.begin(), waiting.end(), order_.begin() + head_);
+
+  if (!reuse) {
+    invalidate();
+    node_count_ = n;
+    order_.assign(waiting.begin(), waiting.end());
+    // The caller keeps `waiting` in policy order; re-sorting an already
+    // sorted list is cheap and keeps a misordered caller correct (it merely
+    // costs the incremental reuse).
+    order_tasks(policy_, order_);
+    cluster.availability_into(now, work_state_);
+    states_.assign(work_state_.begin(), work_state_.end());
+    cache_valid_ = true;
+    cache_version_ = cluster.version();
+  }
+
+  // Policy insertion point of the new task in the ordered waiting queue.
+  // policy_less is a strict total order (ties break by arrival then id), so
+  // inserting here reproduces order_tasks() on the merged list exactly.
+  const std::size_t p = static_cast<std::size_t>(
+      std::upper_bound(order_.begin() + static_cast<std::ptrdiff_t>(head_), order_.end(),
+                       &new_task,
+                       [this](const workload::Task* a, const workload::Task* b) {
+                         return policy_less(policy_, *a, *b);
+                       }) -
+      (order_.begin() + static_cast<std::ptrdiff_t>(head_)));
+
+  AdmissionOutcome outcome;
+  const std::size_t start = std::min(p, planned_);
+  outcome.reused_prefix = std::min(synced_prefix_, start);
+
+  // Working availability state := state row of live position `start`.
+  work_state_.assign(
+      states_.begin() + static_cast<std::ptrdiff_t>((head_ + start) * n),
+      states_.begin() + static_cast<std::ptrdiff_t>((head_ + start + 1) * n));
+
+  PlanRequest request;
+  request.params = params;
+  request.free_times = &work_state_;
+  request.now = now;
+
+  auto reject = [&](dlt::Infeasibility reason, const workload::Task* blocker) {
+    outcome.accepted = false;
+    outcome.reason = reason;
+    outcome.blocking_task = blocker->id;
+    outcome.reused_prefix = 0;
+    outcome.schedule.clear();
+    if (cross_check_) verify_against_full(new_task, waiting, params, cluster, now, outcome);
+    return outcome;
+  };
+
+  // Extend the waiting-only prefix up to the insertion point (runs only
+  // after a rejected rebuild left the session partially planned). These
+  // plans do not involve the new task, so they survive a rejection.
+  for (std::size_t i = planned_; i < p; ++i) {
+    request.task = order_[head_ + i];
+    PlanResult result = rule_->plan(request);
+    if (!result.feasible()) return reject(result.reason, order_[head_ + i]);
+    apply_plan(work_state_, result.plan);
+    plans_.push_back(std::move(result.plan));
+    states_.insert(states_.end(), work_state_.begin(), work_state_.end());
+    ++planned_;
+  }
+
+  // From the insertion point on the temp list diverges from the waiting
+  // queue; plan into scratch and adopt only if the whole suffix fits.
+  scratch_plans_.clear();
+  scratch_rows_.clear();
+  for (std::size_t i = p; i <= q; ++i) {
+    const workload::Task* task = (i == p) ? &new_task : order_[head_ + i - 1];
+    request.task = task;
+    PlanResult result = rule_->plan(request);
+    if (!result.feasible()) return reject(result.reason, task);
+    apply_plan(work_state_, result.plan);
+    scratch_plans_.push_back(std::move(result.plan));
+    scratch_rows_.insert(scratch_rows_.end(), work_state_.begin(), work_state_.end());
+  }
+
+  // Accepted: adopt the scratch suffix into the session.
+  order_.insert(order_.begin() + static_cast<std::ptrdiff_t>(head_ + p), &new_task);
+  plans_.resize(head_ + p);
+  for (TaskPlan& plan : scratch_plans_) plans_.push_back(std::move(plan));
+  states_.resize((head_ + p + 1) * n);
+  states_.insert(states_.end(), scratch_rows_.begin(), scratch_rows_.end());
+  planned_ = q + 1;
+  synced_prefix_ = q + 1;
+
+  outcome.accepted = true;
+  outcome.schedule.reserve(q + 1 - outcome.reused_prefix);
+  for (std::size_t i = outcome.reused_prefix; i <= q; ++i) {
+    outcome.schedule.push_back(ScheduledTask{order_[head_ + i], plans_[head_ + i]});
+  }
+  if (cross_check_) verify_against_full(new_task, waiting, params, cluster, now, outcome);
+  return outcome;
+}
+
+void AdmissionController::verify_against_full(
+    const workload::Task& new_task, const std::vector<const workload::Task*>& waiting,
+    const cluster::ClusterParams& params, const cluster::Cluster& cluster, Time now,
+    const AdmissionOutcome& outcome) const {
+  const AdmissionOutcome reference =
+      test(&new_task, waiting, params, cluster.availability(now).times, now, nullptr);
+  auto fail = [](const std::string& what) {
+    throw std::logic_error(
+        "AdmissionController cross-check: incremental vs full Figure-2 mismatch: " + what);
+  };
+  if (reference.accepted != outcome.accepted) fail("acceptance");
+  if (!outcome.accepted) {
+    if (reference.reason != outcome.reason) fail("infeasibility reason");
+    if (reference.blocking_task != outcome.blocking_task) fail("blocking task");
+    return;
+  }
+  // On acceptance the session holds the full adopted schedule.
+  const std::size_t live = order_.size() - head_;
+  if (reference.schedule.size() != live) fail("schedule size");
+  for (std::size_t i = 0; i < live; ++i) {
+    if (reference.schedule[i].task != order_[head_ + i]) fail("task order");
+    if (!(reference.schedule[i].plan == plans_[head_ + i])) fail("plan equality");
+  }
 }
 
 }  // namespace rtdls::sched

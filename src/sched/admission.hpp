@@ -4,11 +4,27 @@
 // temp list meets its deadline, the temp schedule is accepted and replaces
 // the waiting tasks' plans; otherwise the new task is rejected and the
 // previous (still valid) plans are kept.
+//
+// Two entry points implement the same test:
+//  * test() is the stateless reference: it re-plans the full temp list on
+//    every call, exactly as Figure 2 is written.
+//  * test_incremental() exploits the fact that non-calendar plans are a
+//    deterministic function of (task, cluster params, availability state):
+//    while the cluster's availability version is unchanged and the waiting
+//    set (kept in policy order by the caller) has only grown through
+//    accepted arrivals, the prefix of the temp list before the new task's
+//    insertion point has exactly the same inputs as the previous call, so
+//    its cached plans are reused and only the suffix is re-planned. A
+//    policy-order commit advances the cache in O(1) plans instead of
+//    invalidating it. The outcomes are bit-identical to test() (asserted
+//    when cross-check mode is on).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "sched/partition_rule.hpp"
 #include "sched/policy.hpp"
 
@@ -25,11 +41,19 @@ struct AdmissionOutcome {
   bool accepted = false;
   dlt::Infeasibility reason = dlt::Infeasibility::kNone;  ///< why it failed
   cluster::TaskId blocking_task = cluster::kNoTask;  ///< task that missed in the temp list
+
+  /// Number of leading waiting-queue entries whose plans are unchanged from
+  /// what the caller already holds (incremental path only; 0 for test()).
+  /// `schedule` holds the temp-list entries from this position onward.
+  std::size_t reused_prefix = 0;
+
   std::vector<ScheduledTask> schedule;  ///< plans in policy order (accepted only)
 };
 
-/// Stateless admission logic: combines an ordering policy (Decision #1)
-/// with a partition rule (Decisions #2 and #3).
+/// Admission logic: combines an ordering policy (Decision #1) with a
+/// partition rule (Decisions #2 and #3). test() is stateless; the
+/// incremental session state only caches results derivable from the
+/// caller's inputs and never changes outcomes.
 class AdmissionController {
  public:
   AdmissionController(Policy policy, const PartitionRule* rule);
@@ -53,9 +77,79 @@ class AdmissionController {
                         std::vector<Time> free_times, Time now,
                         const cluster::NodeCalendar* calendar = nullptr) const;
 
+  /// Incremental Figure-2 test for non-calendar rules (throws
+  /// std::logic_error when rule().uses_calendar()).
+  ///
+  /// Contract with the caller (the simulator):
+  ///  * `waiting` is in policy order and, between calls, only changes
+  ///    through this controller's outcomes (accepts) and on_commit();
+  ///  * `cluster` is the availability source; its version() must be bumped
+  ///    by every node mutation (Cluster does this).
+  /// Violating the contract cannot produce wrong schedules - the cache
+  /// revalidates against the waiting list and the availability version and
+  /// falls back to a full re-plan - it only costs speed.
+  AdmissionOutcome test_incremental(const workload::Task& new_task,
+                                    const std::vector<const workload::Task*>& waiting,
+                                    const cluster::ClusterParams& params,
+                                    const cluster::Cluster& cluster, Time now);
+
+  /// Informs the incremental session that `task` left the waiting queue by
+  /// committing `plan`, with `cluster_version` the availability version
+  /// right after its reservations were applied. A policy-order-front commit
+  /// whose plan equals the session's cached front plan advances the cache
+  /// (the remaining plans' inputs are unchanged because the committed
+  /// reservations equal the cached planning state); any other commit
+  /// invalidates it.
+  void on_commit(const workload::Task* task, const TaskPlan& plan,
+                 std::uint64_t cluster_version);
+
+  /// Drops the incremental session state (e.g. at the start of a run).
+  void invalidate();
+
+  /// Debug mode: every test_incremental() also runs the full stateless
+  /// test() and throws std::logic_error unless the outcomes (acceptance,
+  /// reason, blocking task, and every plan, bitwise) are identical.
+  void set_cross_check(bool on) { cross_check_ = on; }
+  bool cross_check() const { return cross_check_; }
+
  private:
+  void verify_against_full(const workload::Task& new_task,
+                           const std::vector<const workload::Task*>& waiting,
+                           const cluster::ClusterParams& params,
+                           const cluster::Cluster& cluster, Time now,
+                           const AdmissionOutcome& outcome) const;
+
   Policy policy_;
   const PartitionRule* rule_;
+  bool cross_check_ = false;
+
+  // --- incremental session state (see test_incremental) ---
+  // Storage position head_ + i corresponds to live waiting position i, so
+  // a policy-front commit advances in O(1) by bumping head_ (compacted
+  // once the consumed prefix outweighs the live part). Invariant when
+  // cache_valid_: the live view of order_ is the waiting queue in policy
+  // order; states_ row head_ + i (stride = node count) is the availability
+  // state before planning live entry i, row head_ being the floored sorted
+  // snapshot the session currently stands on; plans_[head_ + i]
+  // (i < planned_) is live entry i's plan against that state; rows exist
+  // for live 0..planned_. synced_prefix_ counts the leading live entries
+  // whose plans the caller is known to hold verbatim.
+  void compact_head();
+
+  bool cache_valid_ = false;
+  std::uint64_t cache_version_ = 0;
+  std::size_t node_count_ = 0;
+  std::size_t head_ = 0;
+  std::size_t planned_ = 0;
+  std::size_t synced_prefix_ = 0;
+  std::vector<const workload::Task*> order_;
+  std::vector<TaskPlan> plans_;
+  std::vector<Time> states_;
+
+  // Scratch reused across calls (no per-arrival allocation steady-state).
+  std::vector<Time> work_state_;
+  std::vector<TaskPlan> scratch_plans_;
+  std::vector<Time> scratch_rows_;
 };
 
 }  // namespace rtdls::sched

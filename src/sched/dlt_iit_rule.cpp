@@ -46,10 +46,11 @@ class DltIitRule final : public PartitionRule {
     }
     if (reason != dlt::Infeasibility::kNone) return PlanResult::infeasible(reason);
 
-    std::vector<Time> available(free_times.begin(),
-                                free_times.begin() + static_cast<std::ptrdiff_t>(assigned));
-    const dlt::HetPartition part =
-        dlt::build_het_partition(request.params, task.sigma(), available);
+    // free_times is sorted; the scratch partition avoids re-allocating the
+    // model vectors on every one of the admission loop's plan() calls.
+    dlt::build_het_partition_into(request.params, task.sigma(), free_times, assigned,
+                                  scratch_);
+    const dlt::HetPartition& part = scratch_;
     const Time est = part.estimated_completion();
     if (est > deadline + 1e-9) {
       // Live under kOptimistic (the n nodes gathered too late); a
@@ -73,6 +74,8 @@ class DltIitRule final : public PartitionRule {
 
  private:
   NodeSearch search_;
+  /// Reused across plan() calls (see PartitionRule's thread-affinity note).
+  mutable dlt::HetPartition scratch_;
 };
 
 }  // namespace

@@ -49,6 +49,13 @@ struct PlanResult {
 };
 
 /// Abstract partitioning + node-assignment rule.
+///
+/// Thread affinity: plan() is a pure function of the request (identical
+/// requests yield identical plans - the incremental admission cache relies
+/// on this), but implementations may keep mutable scratch buffers, so one
+/// rule *instance* must not be shared across threads. Each simulator owns
+/// its own Algorithm (make_algorithm constructs fresh rules), which is what
+/// the parallel sweep runner relies on.
 class PartitionRule {
  public:
   virtual ~PartitionRule() = default;

@@ -57,6 +57,15 @@ struct TaskPlan {
 
   /// Internal consistency (sizes agree, vectors sorted, fractions sum to 1).
   bool consistent() const;
+
+  /// Exact (bitwise on every field) equality; the incremental admission
+  /// cross-check demands bit-identical plans, not approximate ones.
+  friend bool operator==(const TaskPlan& a, const TaskPlan& b) {
+    return a.task == b.task && a.nodes == b.nodes && a.available == b.available &&
+           a.reserve_from == b.reserve_from && a.node_release == b.node_release &&
+           a.alpha == b.alpha && a.est_completion == b.est_completion &&
+           a.rounds == b.rounds && a.node_ids == b.node_ids;
+  }
 };
 
 }  // namespace rtdls::sched

@@ -4,10 +4,15 @@
 // Priorities resolve same-instant races by event *kind* (e.g. a task
 // commitment at time t must be observed by an arrival at the same t), and
 // the insertion sequence makes equal-(time, priority) events FIFO.
+//
+// The heap is kept in a plain vector (std::push_heap/std::pop_heap) instead
+// of std::priority_queue so clear() can drop all events while keeping the
+// allocation - the simulator reuses one queue across back-to-back runs.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "cluster/types.hpp"
@@ -41,23 +46,33 @@ class EventQueue {
     Event<Payload> event;
     event.time = time;
     event.priority = priority;
-    event.seq = next_seq_++;
+    const std::uint64_t seq = next_seq_++;
+    event.seq = seq;
     event.payload = std::move(payload);
-    heap_.push(std::move(event));
-    return event.seq;
+    heap_.push_back(std::move(event));
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    return seq;
   }
 
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
 
   /// The earliest event (undefined when empty).
-  const Event<Payload>& top() const { return heap_.top(); }
+  const Event<Payload>& top() const { return heap_.front(); }
 
   /// Removes and returns the earliest event.
   Event<Payload> pop() {
-    Event<Payload> event = heap_.top();
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event<Payload> event = std::move(heap_.back());
+    heap_.pop_back();
     return event;
+  }
+
+  /// Drops every queued event and restarts the sequence numbering; the
+  /// backing storage keeps its capacity (run-to-run reuse).
+  void clear() {
+    heap_.clear();
+    next_seq_ = 0;
   }
 
  private:
@@ -69,7 +84,7 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event<Payload>, std::vector<Event<Payload>>, Later> heap_;
+  std::vector<Event<Payload>> heap_;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -18,6 +18,7 @@ std::string SimMetrics::summary() const {
   if (response_time.count() > 0) {
     out << "response time: mean=" << response_time.mean() << " max=" << response_time.max()
         << '\n';
+    out << "wait time: mean=" << wait_time.mean() << " max=" << wait_time.max() << '\n';
     out << "deadline slack: mean=" << deadline_slack.mean() << " min=" << deadline_slack.min()
         << '\n';
     out << "nodes per task: mean=" << nodes_per_task.mean() << '\n';

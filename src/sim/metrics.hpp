@@ -26,6 +26,7 @@ struct SimMetrics {
 
   // --- execution (accepted tasks) ---
   stats::RunningStats response_time;   ///< completion - arrival
+  stats::RunningStats wait_time;       ///< first node engagement - arrival
   stats::RunningStats deadline_slack;  ///< absolute deadline - completion
   stats::RunningStats nodes_per_task;  ///< n assigned per accepted task
   stats::RunningStats queue_length;    ///< waiting-queue length at arrivals

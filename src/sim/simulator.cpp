@@ -19,7 +19,9 @@ ClusterSimulator::ClusterSimulator(SimulatorConfig config, const sched::Algorith
     : config_(config),
       algorithm_(&algorithm),
       controller_(algorithm.policy, algorithm.rule.get()),
-      cluster_(config.params) {}
+      cluster_(config.params) {
+  controller_.set_cross_check(config_.cross_check_admission);
+}
 
 SimMetrics ClusterSimulator::run(const std::vector<workload::Task>& tasks, Time horizon) {
   if (!std::is_sorted(tasks.begin(), tasks.end(),
@@ -29,35 +31,54 @@ SimMetrics ClusterSimulator::run(const std::vector<workload::Task>& tasks, Time 
     throw std::invalid_argument("ClusterSimulator::run: tasks not sorted by arrival");
   }
 
-  // Reset per-run state.
-  cluster_ = cluster::Cluster(config_.params);
-  calendar_.reset();
+  // Reset per-run state in place (back-to-back sweep cells reuse all the
+  // storage this simulator has grown).
+  cluster_.reset();
   if (algorithm_->rule->uses_calendar()) {
-    calendar_.emplace(config_.params.node_count);
+    if (calendar_) {
+      calendar_->clear();
+    } else {
+      calendar_.emplace(config_.params.node_count);
+    }
+  } else {
+    calendar_.reset();
   }
   waiting_.clear();
+  queue_.clear();
+  controller_.invalidate();
+  now_ = 0.0;
   next_version_ = 1;
   channel_free_ = 0.0;
   metrics_ = SimMetrics{};
   metrics_.horizon = horizon;
   metrics_.node_count = config_.params.node_count;
 
-  Engine engine;
-  for (const workload::Task& task : tasks) {
-    engine.schedule(task.arrival(), EventPriority::kArrival,
-                    [this, &task](Engine& e) { handle_arrival(e, task); });
+  // Arrivals are merged straight from the (sorted) trace; the event heap
+  // only carries commit events. Ordering matches the EventPriority rule:
+  // at equal instants commitments run before arrivals.
+  std::size_t next_arrival = 0;
+  while (next_arrival < tasks.size() || !queue_.empty()) {
+    const bool take_commit =
+        !queue_.empty() && (next_arrival >= tasks.size() ||
+                            queue_.top().time <= tasks[next_arrival].arrival());
+    if (take_commit) {
+      const Event<CommitEvent> event = queue_.pop();
+      now_ = event.time;
+      handle_commit(event.payload.id, event.payload.version);
+    } else {
+      const workload::Task& task = tasks[next_arrival++];
+      now_ = task.arrival();
+      handle_arrival(task);
+    }
   }
-  engine.run();
 
-  // Drain: commit every remaining accepted task so completions/utilization
-  // include work planned past the last arrival.
-  std::sort(waiting_.begin(), waiting_.end(), [](const WaitingEntry& a, const WaitingEntry& b) {
-    return a.plan.commit_time() < b.plan.commit_time();
-  });
-  for (WaitingEntry& entry : waiting_) {
-    commit_task(entry.plan.commit_time(), std::move(entry));
+  // Every adopted entry carries a commit event at its current version and
+  // the loop above drains the queue, so nothing can still be waiting -
+  // completions/utilization already include work planned past the last
+  // arrival.
+  if (!waiting_.empty()) {
+    throw std::logic_error("ClusterSimulator::run: waiting tasks survived the event loop");
   }
-  waiting_.clear();
 
   if (calendar_) {
     for (cluster::NodeId id = 0; id < calendar_->size(); ++id) {
@@ -72,30 +93,32 @@ SimMetrics ClusterSimulator::run(const std::vector<workload::Task>& tasks, Time 
   return metrics_;
 }
 
-void ClusterSimulator::handle_arrival(Engine& engine, const workload::Task& task) {
-  const Time now = engine.now();
+void ClusterSimulator::handle_arrival(const workload::Task& task) {
+  const Time now = now_;
   ++metrics_.arrivals;
   metrics_.queue_length.add(static_cast<double>(waiting_.size()));
 
-  std::vector<const workload::Task*> waiting_tasks;
-  waiting_tasks.reserve(waiting_.size());
-  for (const WaitingEntry& entry : waiting_) waiting_tasks.push_back(entry.task);
+  waiting_view_.clear();
+  for (const WaitingEntry& entry : waiting_) waiting_view_.push_back(entry.task);
 
-  std::vector<Time> free_times;
+  sched::AdmissionOutcome outcome;
   if (calendar_) {
     // Calendar mode: "release time" = end of the node's last committed
     // reservation (the BF rule itself plans against the gaps).
-    free_times.reserve(calendar_->size());
+    free_scratch_.clear();
+    free_scratch_.reserve(calendar_->size());
     for (cluster::NodeId id = 0; id < calendar_->size(); ++id) {
       const auto& busy = calendar_->busy(id);
-      free_times.push_back(std::max(now, busy.empty() ? now : busy.back().end));
+      free_scratch_.push_back(std::max(now, busy.empty() ? now : busy.back().end));
     }
+    outcome = controller_.test(&task, waiting_view_, config_.params, free_scratch_, now,
+                               &*calendar_);
+  } else if (config_.incremental_admission) {
+    outcome = controller_.test_incremental(task, waiting_view_, config_.params, cluster_, now);
   } else {
-    free_times = cluster_.availability(now).times;
+    cluster_.availability_into(now, free_scratch_);
+    outcome = controller_.test(&task, waiting_view_, config_.params, free_scratch_, now);
   }
-  sched::AdmissionOutcome outcome =
-      controller_.test(&task, waiting_tasks, config_.params, free_times, now,
-                       calendar_ ? &*calendar_ : nullptr);
 
   if (!outcome.accepted) {
     ++metrics_.rejected;
@@ -106,41 +129,52 @@ void ClusterSimulator::handle_arrival(Engine& engine, const workload::Task& task
   }
 
   ++metrics_.accepted;
-  adopt_schedule(engine, std::move(outcome.schedule));
+  adopt_schedule(outcome.reused_prefix, outcome.schedule);
 }
 
-void ClusterSimulator::adopt_schedule(Engine& engine,
-                                      std::vector<sched::ScheduledTask> schedule) {
-  // Replace the waiting set with the accepted temp schedule; every entry
-  // gets a fresh version so commit events for superseded plans are ignored.
-  waiting_.clear();
-  waiting_.reserve(schedule.size());
+void ClusterSimulator::adopt_schedule(std::size_t reused_prefix,
+                                      std::vector<sched::ScheduledTask>& schedule) {
+  // Replace the waiting suffix with the accepted temp schedule (the leading
+  // `reused_prefix` entries' plans are unchanged, so their versions - and
+  // the commit events already queued for them - stay valid). Every replaced
+  // entry gets a fresh version so commit events for superseded plans are
+  // ignored. The schedule arrives in policy order, preserving the waiting
+  // queue's ordering invariant.
+  waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(reused_prefix),
+                 waiting_.end());
+  waiting_.reserve(reused_prefix + schedule.size());
   for (sched::ScheduledTask& scheduled : schedule) {
     WaitingEntry entry;
     entry.task = scheduled.task;
     entry.plan = std::move(scheduled.plan);
     entry.version = next_version_++;
-    const Time commit_at = std::max(entry.plan.commit_time(), engine.now());
+    const Time commit_at = std::max(entry.plan.commit_time(), now_);
     const cluster::TaskId id = entry.task->id;
     const std::uint64_t version = entry.version;
     waiting_.push_back(std::move(entry));
-    engine.schedule(commit_at, EventPriority::kCommit,
-                    [this, id, version](Engine& e) { handle_commit(e, id, version); });
+    queue_.push(commit_at, EventPriority::kCommit, CommitEvent{id, version});
   }
 }
 
-void ClusterSimulator::handle_commit(Engine& engine, cluster::TaskId id,
-                                     std::uint64_t version) {
+void ClusterSimulator::handle_commit(cluster::TaskId id, std::uint64_t version) {
   const auto it = std::find_if(waiting_.begin(), waiting_.end(), [&](const WaitingEntry& w) {
     return w.task->id == id && w.version == version;
   });
   if (it == waiting_.end()) return;  // superseded by a later re-plan
   WaitingEntry entry = std::move(*it);
   waiting_.erase(it);
-  commit_task(engine.now(), std::move(entry));
+  const bool matches_plan = commit_task(now_, entry);
+  if (matches_plan) {
+    // The committed reservations equal this plan's releases, so the
+    // admission session can advance (a policy-order-front commit whose
+    // plan matches its cache) instead of rebuilding.
+    controller_.on_commit(entry.task, entry.plan, cluster_.version());
+  } else {
+    controller_.invalidate();
+  }
 }
 
-void ClusterSimulator::commit_task(Time now, WaitingEntry entry) {
+bool ClusterSimulator::commit_task(Time now, const WaitingEntry& entry) {
   const sched::TaskPlan& plan = entry.plan;
   const workload::Task& task = *entry.task;
 
@@ -153,7 +187,7 @@ void ClusterSimulator::commit_task(Time now, WaitingEntry entry) {
     }
   };
 
-  std::vector<cluster::NodeId> ids;
+  std::vector<cluster::NodeId>& ids = ids_scratch_;
   if (!plan.node_ids.empty()) {
     // Calendar-based plan: reserve the exact intervals it chose (possibly
     // backfilled into gaps in front of existing reservations).
@@ -163,7 +197,7 @@ void ClusterSimulator::commit_task(Time now, WaitingEntry entry) {
     }
   } else {
     // Map the plan's sorted slots onto the n earliest-free concrete nodes.
-    ids = cluster_.earliest_free_nodes(now, plan.nodes);
+    cluster_.earliest_free_nodes_into(now, plan.nodes, ids);
     for (std::size_t i = 0; i < plan.nodes; ++i) {
       cluster_.commit(ids[i], task.id, plan.available[i], plan.reserve_from[i],
                       plan.node_release[i]);
@@ -215,6 +249,7 @@ void ClusterSimulator::commit_task(Time now, WaitingEntry entry) {
                               ? actual
                               : estimate;
   metrics_.response_time.add(completion - task.arrival());
+  metrics_.wait_time.add(plan.commit_time() - task.arrival());
   metrics_.deadline_slack.add(task.abs_deadline() - completion);
   metrics_.nodes_per_task.add(static_cast<double>(plan.nodes));
   metrics_.estimate_margin.add(estimate - actual);
@@ -230,9 +265,11 @@ void ClusterSimulator::commit_task(Time now, WaitingEntry entry) {
     // was committed until; hand the unused tail back. Pair sorted actual
     // completions with the nodes sorted by committed release so order
     // statistics keep every early release valid.
-    std::vector<Time> actual_sorted = timeline.completion;
+    std::vector<Time>& actual_sorted = actual_sorted_scratch_;
+    actual_sorted = timeline.completion;
     std::sort(actual_sorted.begin(), actual_sorted.end());
-    std::vector<cluster::NodeId> by_release = ids;
+    std::vector<cluster::NodeId>& by_release = by_release_scratch_;
+    by_release = ids;
     std::sort(by_release.begin(), by_release.end(), [&](cluster::NodeId a, cluster::NodeId b) {
       return cluster_.node(a).free_at() < cluster_.node(b).free_at();
     });
@@ -240,7 +277,9 @@ void ClusterSimulator::commit_task(Time now, WaitingEntry entry) {
       const Time at = std::min(actual_sorted[i], cluster_.node(by_release[i]).free_at());
       cluster_.release_early(by_release[i], at);
     }
+    return false;  // availability no longer matches the plan's releases
   }
+  return plan.node_ids.empty();
 }
 
 SimMetrics simulate(const SimulatorConfig& config, const std::string& algorithm_name,

@@ -11,6 +11,13 @@
 // Waiting tasks are re-planned on every arrival (TempTaskList = new +
 // waiting); committed tasks are immutable. Commit events are versioned so a
 // re-plan invalidates stale commitments in the event queue.
+//
+// Engine notes: the waiting queue is kept in policy order so the admission
+// controller's incremental mode can re-plan only from the new task's
+// insertion point (see sched/admission.hpp); arrivals are merged from the
+// (sorted) trace instead of being enqueued, so the event heap only carries
+// commit events; and run() resets per-run state in place, which lets one
+// simulator instance serve back-to-back sweep cells without reallocating.
 #pragma once
 
 #include <cstdint>
@@ -22,7 +29,7 @@
 #include "cluster/cluster.hpp"
 #include "sched/admission.hpp"
 #include "sched/registry.hpp"
-#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
 #include "sim/schedule_log.hpp"
 #include "workload/task.hpp"
@@ -49,6 +56,16 @@ struct SimulatorConfig {
   /// Check actual rollouts against estimates/deadlines (cheap; keep on).
   bool validate = true;
 
+  /// Use the incremental admission session for non-calendar rules (schedules
+  /// are identical to the full Figure-2 re-plan; see sched/admission.hpp).
+  /// Off: every arrival runs the full stateless test - the reference mode
+  /// the property tests compare against.
+  bool incremental_admission = true;
+
+  /// Debug: assert on every arrival that the incremental outcome matches
+  /// the full Figure-2 test bit-for-bit (throws std::logic_error if not).
+  bool cross_check_admission = false;
+
   /// When non-null, every committed per-node reservation is appended to
   /// this log (Gantt export; see sim/schedule_log.hpp). Not owned.
   ScheduleLog* schedule_log = nullptr;
@@ -70,7 +87,8 @@ class ClusterSimulator {
 
   /// Simulates `tasks` (must be sorted by arrival time; ids unique).
   /// `horizon` is the nominal TotalSimulationTime used for utilization
-  /// accounting (arrivals beyond it should not be in `tasks`).
+  /// accounting (arrivals beyond it should not be in `tasks`). May be
+  /// called repeatedly; per-run state is reset in place.
   SimMetrics run(const std::vector<workload::Task>& tasks, Time horizon);
 
  private:
@@ -80,24 +98,43 @@ class ClusterSimulator {
     std::uint64_t version = 0;
   };
 
-  void handle_arrival(Engine& engine, const workload::Task& task);
-  void handle_commit(Engine& engine, cluster::TaskId id, std::uint64_t version);
-  void commit_task(Time now, WaitingEntry entry);
-  void adopt_schedule(Engine& engine, std::vector<sched::ScheduledTask> schedule);
+  /// Commit event payload: versions invalidate superseded plans.
+  struct CommitEvent {
+    cluster::TaskId id = cluster::kNoTask;
+    std::uint64_t version = 0;
+  };
+
+  void handle_arrival(const workload::Task& task);
+  void handle_commit(cluster::TaskId id, std::uint64_t version);
+  /// Returns true when the cluster's post-commit availability equals the
+  /// plan's releases exactly (no early release), i.e. the admission session
+  /// may advance instead of invalidating.
+  bool commit_task(Time now, const WaitingEntry& entry);
+  void adopt_schedule(std::size_t reused_prefix,
+                      std::vector<sched::ScheduledTask>& schedule);
 
   SimulatorConfig config_;
   const sched::Algorithm* algorithm_;
   sched::AdmissionController controller_;
 
-  // Per-run state (reset by run()).
+  // Per-run state (reset in place by run()).
   cluster::Cluster cluster_;
   /// Committed reservations with gap information; engaged only when the
   /// algorithm's rule uses_calendar() (backfilling comparators).
   std::optional<cluster::NodeCalendar> calendar_;
-  std::vector<WaitingEntry> waiting_;
+  std::vector<WaitingEntry> waiting_;  ///< policy order (see sched/policy.hpp)
+  EventQueue<CommitEvent> queue_;
+  Time now_ = 0.0;
   std::uint64_t next_version_ = 1;
   Time channel_free_ = 0.0;  // shared-link mode only
   SimMetrics metrics_;
+
+  // Scratch reused across arrivals/commits (no steady-state allocation).
+  std::vector<const workload::Task*> waiting_view_;
+  std::vector<Time> free_scratch_;
+  std::vector<cluster::NodeId> ids_scratch_;
+  std::vector<cluster::NodeId> by_release_scratch_;
+  std::vector<Time> actual_sorted_scratch_;
 };
 
 /// Convenience: run one named algorithm over a trace.

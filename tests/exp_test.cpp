@@ -66,12 +66,27 @@ TEST(Runner, ProducesOnePointPerLoadAndAlgorithm) {
   const SweepResult result = run_sweep(tiny_sweep());
   ASSERT_EQ(result.curves.size(), 2u);
   for (const CurveResult& curve : result.curves) {
-    ASSERT_EQ(curve.reject_ratio.size(), 2u);
-    ASSERT_EQ(curve.raw.size(), 4u);  // 2 loads x 2 runs
-    for (const auto& ci : curve.reject_ratio) {
+    ASSERT_EQ(curve.reject_ratio().size(), 2u);
+    for (const auto& ci : curve.reject_ratio()) {
       EXPECT_GE(ci.mean, 0.0);
       EXPECT_LE(ci.mean, 1.0);
       EXPECT_EQ(ci.samples, 2u);
+    }
+    // The full metric table is populated for every metric.
+    for (const MetricSeries& series : curve.metrics) {
+      ASSERT_EQ(series.raw.size(), 4u);  // 2 loads x 2 runs
+      ASSERT_EQ(series.per_load.size(), 2u);
+    }
+    // A reproduction sweep never misses deadlines or violates Theorem 4.
+    for (double v : curve.series(SweepMetric::kDeadlineMisses).raw) EXPECT_EQ(v, 0.0);
+    for (double v : curve.series(SweepMetric::kTheorem4Violations).raw) EXPECT_EQ(v, 0.0);
+    // Utilization and response metrics carry plausible values.
+    for (const auto& ci : curve.series(SweepMetric::kUtilization).per_load) {
+      EXPECT_GE(ci.mean, 0.0);
+      EXPECT_LE(ci.mean, 1.0 + 1e-9);
+    }
+    for (const auto& ci : curve.series(SweepMetric::kMeanResponse).per_load) {
+      EXPECT_GE(ci.mean, 0.0);
     }
   }
   EXPECT_GT(result.wall_seconds, 0.0);
@@ -84,8 +99,12 @@ TEST(Runner, DeterministicAcrossPoolSizes) {
   util::ThreadPool pool(4);
   const SweepResult parallel = run_sweep(tiny_sweep(), &pool);
   for (std::size_t a = 0; a < 2; ++a) {
-    for (std::size_t i = 0; i < sequential.curves[a].raw.size(); ++i) {
-      EXPECT_DOUBLE_EQ(sequential.curves[a].raw[i], parallel.curves[a].raw[i]);
+    for (std::size_t m = 0; m < kSweepMetricCount; ++m) {
+      const MetricSeries& s = sequential.curves[a].metrics[m];
+      const MetricSeries& p = parallel.curves[a].metrics[m];
+      for (std::size_t i = 0; i < s.raw.size(); ++i) {
+        EXPECT_DOUBLE_EQ(s.raw[i], p.raw[i]);
+      }
     }
   }
 }

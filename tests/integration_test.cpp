@@ -163,8 +163,8 @@ TEST(Harness, PairedSweepConfirmsWinnerPointwise) {
   spec.sim_time = 400000.0;
   const exp::SweepResult result = exp::run_sweep(spec);
   for (std::size_t l = 0; l < spec.loads.size(); ++l) {
-    EXPECT_LE(result.curves[1].reject_ratio[l].mean,
-              result.curves[0].reject_ratio[l].mean + 0.01)
+    EXPECT_LE(result.curves[1].reject_ratio()[l].mean,
+              result.curves[0].reject_ratio()[l].mean + 0.01)
         << "load " << spec.loads[l];
   }
 }
