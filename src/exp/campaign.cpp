@@ -1,0 +1,389 @@
+#include "exp/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+
+#include "exp/runner.hpp"
+#include "sched/registry.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace rtdls::exp {
+
+Campaign::Campaign(std::vector<FigureSpec> figures) : figures_(std::move(figures)) {
+  offsets_.push_back(0);
+  for (std::size_t f = 0; f < figures_.size(); ++f) {
+    for (std::size_t p = 0; p < figures_[f].panels.size(); ++p) {
+      const SweepSpec& spec = figures_[f].panels[p];
+      if (spec.loads.empty()) {
+        throw std::invalid_argument("campaign: sweep '" + spec.id + "': no loads");
+      }
+      if (spec.algorithms.empty()) {
+        throw std::invalid_argument("campaign: sweep '" + spec.id + "': no algorithms");
+      }
+      if (spec.runs == 0) {
+        throw std::invalid_argument("campaign: sweep '" + spec.id + "': runs must be >= 1");
+      }
+      sweeps_.push_back(spec);
+      panel_of_.emplace_back(f, p);
+      offsets_.push_back(offsets_.back() +
+                         spec.loads.size() * spec.runs * spec.algorithms.size());
+    }
+  }
+}
+
+CellRef Campaign::cell(std::size_t index) const {
+  // offsets_ is [0, end_of_sweep_0, ...]; the owning sweep is the last
+  // offset <= index.
+  const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), index);
+  if (it == offsets_.begin() || index >= cell_count()) {
+    throw std::out_of_range("Campaign::cell: index " + std::to_string(index) + " out of range");
+  }
+  CellRef ref;
+  ref.index = index;
+  ref.sweep = static_cast<std::size_t>(it - offsets_.begin()) - 1;
+  const SweepSpec& spec = sweeps_[ref.sweep];
+  const std::size_t local = index - offsets_[ref.sweep];
+  const std::size_t algs = spec.algorithms.size();
+  ref.algorithm = local % algs;
+  const std::size_t trace = local / algs;  // load * runs + run
+  ref.run = trace % spec.runs;
+  ref.load = trace / spec.runs;
+  return ref;
+}
+
+ShardSelection parse_shard(const std::string& text) {
+  const std::size_t slash = text.find('/');
+  unsigned long long index = 0;
+  unsigned long long count = 0;
+  if (slash == std::string::npos || !util::parse_u64(text.substr(0, slash), index) ||
+      !util::parse_u64(text.substr(slash + 1), count)) {
+    throw std::invalid_argument("parse_shard: expected i/m (e.g. 0/4), got '" + text + "'");
+  }
+  if (count == 0 || index >= count) {
+    throw std::invalid_argument("parse_shard: shard " + text + " out of range (0-based)");
+  }
+  return ShardSelection{static_cast<std::size_t>(index), static_cast<std::size_t>(count)};
+}
+
+namespace {
+
+/// One reusable simulation context: the algorithm instance (rules may keep
+/// mutable scratch, so instances are never shared across threads) plus a
+/// simulator whose run() resets state in place.
+struct SimSlot {
+  sched::Algorithm algorithm;
+  sim::ClusterSimulator simulator;
+
+  SimSlot(const sim::SimulatorConfig& config, sched::Algorithm alg)
+      : algorithm(std::move(alg)), simulator(config, algorithm) {}
+};
+
+/// Per-algorithm free lists of SimSlots for one sweep. Workers check a slot
+/// out per cell and return it afterwards, so a campaign allocates at most
+/// (algorithms x concurrent workers) simulators per sweep and every
+/// simulator serves many back-to-back cells. Results cannot depend on which
+/// slot serves which cell: run() fully resets per-run state.
+class SlotPool {
+ public:
+  SlotPool(const sim::SimulatorConfig& config, const std::vector<std::string>& names)
+      : config_(config), names_(names), free_(names.size()) {}
+
+  std::unique_ptr<SimSlot> acquire(std::size_t algorithm) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto& stack = free_[algorithm];
+      if (!stack.empty()) {
+        std::unique_ptr<SimSlot> slot = std::move(stack.back());
+        stack.pop_back();
+        return slot;
+      }
+    }
+    return std::make_unique<SimSlot>(config_, sched::make_algorithm(names_[algorithm]));
+  }
+
+  void release(std::size_t algorithm, std::unique_ptr<SimSlot> slot) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_[algorithm].push_back(std::move(slot));
+  }
+
+ private:
+  sim::SimulatorConfig config_;
+  const std::vector<std::string>& names_;
+  std::mutex mutex_;
+  std::vector<std::vector<std::unique_ptr<SimSlot>>> free_;
+};
+
+}  // namespace
+
+void run_campaign(const Campaign& campaign, const CampaignOptions& options, ResultSink& sink) {
+  const ShardSelection shard = options.shard;
+  if (shard.count == 0) throw std::invalid_argument("run_campaign: shard count must be >= 1");
+  if (shard.index >= shard.count) {
+    throw std::invalid_argument("run_campaign: shard index out of range");
+  }
+
+  const std::vector<SweepSpec>& sweeps = campaign.sweeps();
+
+  // This shard's stripe of the global cell queue.
+  std::vector<std::size_t> work;
+  const std::size_t total = campaign.cell_count();
+  work.reserve(total / shard.count + 1);
+  for (std::size_t i = shard.index; i < total; i += shard.count) work.push_back(i);
+
+  // Per-sweep simulator configuration and reusable simulator slots.
+  std::vector<sim::SimulatorConfig> configs(sweeps.size());
+  std::vector<std::unique_ptr<SlotPool>> pools(sweeps.size());
+  for (std::size_t s = 0; s < sweeps.size(); ++s) {
+    configs[s].params = sweeps[s].cluster;
+    configs[s].release_policy = sweeps[s].release_policy;
+    configs[s].shared_link = sweeps[s].shared_link;
+    configs[s].output_ratio = sweeps[s].output_ratio;
+    pools[s] = std::make_unique<SlotPool>(configs[s], sweeps[s].algorithms);
+  }
+
+  // One workload trace per (sweep, load, run), shared by every algorithm of
+  // that sweep present in this shard (the paper's paired comparison: same
+  // trace, different algorithms). Traces are a pure function of
+  // (spec, load, run), so lazily generating each in whichever cell needs it
+  // first cannot change results; each is freed after its last shard cell,
+  // so peak trace memory tracks the in-flight cells, not the whole
+  // campaign (at paper scale a full trace set is large).
+  std::vector<std::size_t> trace_offsets(sweeps.size() + 1, 0);
+  for (std::size_t s = 0; s < sweeps.size(); ++s) {
+    trace_offsets[s + 1] = trace_offsets[s] + sweeps[s].loads.size() * sweeps[s].runs;
+  }
+  const std::size_t trace_count = trace_offsets.back();
+  std::vector<std::vector<workload::Task>> traces(trace_count);
+  const auto trace_once = std::make_unique<std::once_flag[]>(trace_count);
+  const auto cells_left = std::make_unique<std::atomic<std::size_t>[]>(trace_count);
+  for (std::size_t t = 0; t < trace_count; ++t) cells_left[t].store(0, std::memory_order_relaxed);
+  auto trace_id = [&](const CellRef& ref) {
+    return trace_offsets[ref.sweep] + ref.load * sweeps[ref.sweep].runs + ref.run;
+  };
+  for (std::size_t i : work) {
+    cells_left[trace_id(campaign.cell(i))].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::mutex progress_mutex;
+  std::size_t done = 0;
+
+  auto run_cell = [&](std::size_t w) {
+    const CellRef ref = campaign.cell(work[w]);
+    const SweepSpec& spec = sweeps[ref.sweep];
+    const std::size_t t = trace_id(ref);
+    std::call_once(trace_once[t], [&] {
+      traces[t] =
+          workload::generate_workload(cell_workload(spec, spec.loads[ref.load], ref.run));
+    });
+
+    std::unique_ptr<SimSlot> slot = pools[ref.sweep]->acquire(ref.algorithm);
+    const sim::SimMetrics metrics = slot->simulator.run(traces[t], spec.sim_time);
+    pools[ref.sweep]->release(ref.algorithm, std::move(slot));
+    if (cells_left[t].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::vector<workload::Task>().swap(traces[t]);
+    }
+
+    if (metrics.theorem4_violations != 0 && spec.halt_on_theorem4) {
+      throw std::logic_error("campaign: Theorem 4 violated in sweep '" + spec.id +
+                             "' algorithm " + spec.algorithms[ref.algorithm] +
+                             " (set SweepSpec::halt_on_theorem4 = false to record instead)");
+    }
+
+    CellResult cell;
+    cell.ref = ref;
+    cell.metrics[static_cast<std::size_t>(SweepMetric::kRejectRatio)] = metrics.reject_ratio();
+    cell.metrics[static_cast<std::size_t>(SweepMetric::kMeanResponse)] =
+        metrics.response_time.mean();
+    cell.metrics[static_cast<std::size_t>(SweepMetric::kMeanWait)] = metrics.wait_time.mean();
+    cell.metrics[static_cast<std::size_t>(SweepMetric::kUtilization)] = metrics.utilization();
+    cell.metrics[static_cast<std::size_t>(SweepMetric::kDeadlineMisses)] =
+        static_cast<double>(metrics.deadline_misses);
+    cell.metrics[static_cast<std::size_t>(SweepMetric::kTheorem4Violations)] =
+        static_cast<double>(metrics.theorem4_violations);
+    sink.consume(campaign, cell);
+
+    if (options.progress) {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      options.progress(ref, ++done, work.size());
+    }
+  };
+
+  if (options.pool != nullptr) {
+    options.pool->parallel_for(work.size(), run_cell);
+  } else {
+    for (std::size_t w = 0; w < work.size(); ++w) run_cell(w);
+  }
+  sink.close();
+}
+
+AggregateSink::AggregateSink(const Campaign& campaign) {
+  results_.reserve(campaign.sweeps().size());
+  for (const SweepSpec& spec : campaign.sweeps()) {
+    SweepResult result;
+    result.spec = spec;
+    result.curves.resize(spec.algorithms.size());
+    for (std::size_t a = 0; a < spec.algorithms.size(); ++a) {
+      result.curves[a].algorithm = spec.algorithms[a];
+      for (MetricSeries& series : result.curves[a].metrics) {
+        series.raw.assign(spec.loads.size() * spec.runs, 0.0);
+        series.per_load.resize(spec.loads.size());
+      }
+    }
+    results_.push_back(std::move(result));
+  }
+}
+
+void AggregateSink::consume(const Campaign&, const CellResult& cell) {
+  // Every cell owns exactly one raw[] slot per metric, so concurrent
+  // consume() calls never touch the same memory and need no lock.
+  SweepResult& result = results_[cell.ref.sweep];
+  const std::size_t sample = cell.ref.load * result.spec.runs + cell.ref.run;
+  CurveResult& curve = result.curves[cell.ref.algorithm];
+  for (std::size_t m = 0; m < kSweepMetricCount; ++m) {
+    curve.metrics[m].raw[sample] = cell.metrics[m];
+  }
+}
+
+std::vector<SweepResult> AggregateSink::take(double wall_seconds) {
+  // Aggregate every (algorithm, metric, load) over the runs in run order
+  // with a streaming accumulator; order is fixed, so aggregation is
+  // deterministic regardless of cell completion order.
+  for (SweepResult& result : results_) {
+    const std::size_t loads = result.spec.loads.size();
+    const std::size_t runs = result.spec.runs;
+    for (CurveResult& curve : result.curves) {
+      for (MetricSeries& series : curve.metrics) {
+        for (std::size_t l = 0; l < loads; ++l) {
+          stats::RunningStats acc;
+          for (std::size_t r = 0; r < runs; ++r) acc.add(series.raw[l * runs + r]);
+          series.per_load[l] = stats::mean_confidence_interval(acc, result.spec.confidence);
+        }
+      }
+    }
+    result.wall_seconds = wall_seconds;
+  }
+  return std::move(results_);
+}
+
+std::vector<std::string> CellCsvSink::header() {
+  std::vector<std::string> header{"cell", "sweep_id", "sweep",     "load_index",
+                                  "run",  "algorithm", "load"};
+  for (std::size_t m = 0; m < kSweepMetricCount; ++m) {
+    header.emplace_back(sweep_metric_name(static_cast<SweepMetric>(m)));
+  }
+  return header;
+}
+
+CellCsvSink::CellCsvSink(const std::string& path) : path_(path), file_(path) {
+  if (!file_) throw std::runtime_error("CellCsvSink: cannot open " + path);
+  util::CsvWriter writer(file_);
+  writer.write_row(header());
+  file_.flush();
+}
+
+void CellCsvSink::consume(const Campaign& campaign, const CellResult& cell) {
+  const SweepSpec& spec = campaign.sweeps()[cell.ref.sweep];
+  std::vector<std::string> row;
+  row.reserve(7 + kSweepMetricCount);
+  row.push_back(std::to_string(cell.ref.index));
+  row.push_back(spec.id);
+  row.push_back(std::to_string(cell.ref.sweep));
+  row.push_back(std::to_string(cell.ref.load));
+  row.push_back(std::to_string(cell.ref.run));
+  row.push_back(spec.algorithms[cell.ref.algorithm]);
+  row.push_back(util::format_roundtrip(spec.loads[cell.ref.load]));
+  for (std::size_t m = 0; m < kSweepMetricCount; ++m) {
+    row.push_back(util::format_roundtrip(cell.metrics[m]));
+  }
+  // Append and flush per cell: a killed shard keeps everything it finished,
+  // and `tail -f` shows live progress.
+  std::lock_guard<std::mutex> lock(mutex_);
+  util::CsvWriter writer(file_);
+  writer.write_row(row);
+  file_.flush();
+}
+
+void CellCsvSink::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!file_.is_open()) return;
+  file_.close();
+  if (!file_) throw std::runtime_error("CellCsvSink: error writing " + path_);
+}
+
+namespace {
+
+[[noreturn]] void merge_fail(const std::string& path, std::size_t row, const std::string& what) {
+  throw std::runtime_error("merge_cell_files: " + path + " row " + std::to_string(row) + ": " +
+                           what);
+}
+
+}  // namespace
+
+std::vector<SweepResult> merge_cell_files(const Campaign& campaign,
+                                          const std::vector<std::string>& paths) {
+  AggregateSink sink(campaign);
+  const std::size_t total = campaign.cell_count();
+  std::vector<char> seen(total, 0);
+  const std::vector<std::string> expected_header = CellCsvSink::header();
+
+  for (const std::string& path : paths) {
+    const auto rows = util::parse_csv_file(path);
+    if (rows.empty() || rows.front() != expected_header) {
+      throw std::runtime_error("merge_cell_files: " + path + " is not a campaign cell file");
+    }
+    for (std::size_t r = 1; r < rows.size(); ++r) {
+      const std::vector<std::string>& row = rows[r];
+      if (row.size() != expected_header.size()) merge_fail(path, r, "wrong field count");
+
+      unsigned long long index = 0;
+      if (!util::parse_u64(row[0], index) || index >= total) {
+        merge_fail(path, r, "bad cell index '" + row[0] + "'");
+      }
+      const CellRef ref = campaign.cell(static_cast<std::size_t>(index));
+      const SweepSpec& spec = campaign.sweeps()[ref.sweep];
+      // Cross-check the human-readable columns against what this campaign
+      // says cell `index` is: catches merging shards of a different plan.
+      if (row[1] != spec.id || row[2] != std::to_string(ref.sweep) ||
+          row[3] != std::to_string(ref.load) || row[4] != std::to_string(ref.run) ||
+          row[5] != spec.algorithms[ref.algorithm]) {
+        merge_fail(path, r, "cell " + row[0] + " does not belong to this campaign (sweep '" +
+                                row[1] + "' algorithm " + row[5] + ")");
+      }
+      double load = 0.0;
+      if (!util::parse_double(row[6], load) || load != spec.loads[ref.load]) {
+        merge_fail(path, r, "load mismatch for cell " + row[0]);
+      }
+      if (seen[index] != 0) merge_fail(path, r, "duplicate cell " + row[0]);
+      seen[index] = 1;
+
+      CellResult cell;
+      cell.ref = ref;
+      for (std::size_t m = 0; m < kSweepMetricCount; ++m) {
+        if (!util::parse_double(row[7 + m], cell.metrics[m])) {
+          merge_fail(path, r, "bad metric value '" + row[7 + m] + "'");
+        }
+      }
+      sink.consume(campaign, cell);
+    }
+  }
+
+  std::size_t missing = 0;
+  std::size_t first_missing = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (seen[i] == 0) {
+      if (missing == 0) first_missing = i;
+      ++missing;
+    }
+  }
+  if (missing != 0) {
+    throw std::runtime_error("merge_cell_files: " + std::to_string(missing) + " of " +
+                             std::to_string(total) + " cells missing (first: cell " +
+                             std::to_string(first_missing) + "); pass every shard's cell file");
+  }
+  return sink.take();
+}
+
+}  // namespace rtdls::exp

@@ -1,0 +1,173 @@
+// Campaigns: any set of figures flattened into one deterministic cell-level
+// work queue (sweep x load x run x algorithm), executed on the shared
+// ThreadPool with shard selection and streamed through ResultSinks.
+//
+// Cell identity is the backbone: every cell has a stable global index
+// (sweep-major, then (load * runs + run) * algorithms + algorithm, matching
+// the classic run_sweep cell order), results are pure functions of
+// (spec, load, run, algorithm) with per-cell seeding identical to
+// run_sweep's, and shards stripe cells by index (cell i runs in shard
+// i % shard_count). A sharded run merged with merge_cell_files is therefore
+// bit-identical to the unsharded run, raw samples and final CSVs included.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exp/figure.hpp"
+#include "util/thread_pool.hpp"
+
+namespace rtdls::exp {
+
+/// Position of one cell in a campaign's (sweep x load x run x algorithm)
+/// grid. `index` is the stable global cell index used for shard striping
+/// and for cell-file merging.
+struct CellRef {
+  std::size_t index = 0;
+  std::size_t sweep = 0;      ///< flattened sweep position (figure order)
+  std::size_t load = 0;       ///< index into spec.loads
+  std::size_t run = 0;        ///< run index (the RNG stream)
+  std::size_t algorithm = 0;  ///< index into spec.algorithms
+};
+
+/// Metrics of one completed cell, in SweepMetric order.
+struct CellResult {
+  CellRef ref;
+  std::array<double, kSweepMetricCount> metrics{};
+};
+
+/// A validated experiment plan: figures flattened into an ordered sweep
+/// list with precomputed cell offsets.
+class Campaign {
+ public:
+  /// Validates every panel (non-empty loads/algorithms, runs >= 1); throws
+  /// std::invalid_argument otherwise.
+  explicit Campaign(std::vector<FigureSpec> figures);
+
+  const std::vector<FigureSpec>& figures() const { return figures_; }
+
+  /// Panels of all figures, flattened in figure order.
+  const std::vector<SweepSpec>& sweeps() const { return sweeps_; }
+
+  /// (figure, panel) position of flattened sweep `sweep`.
+  std::pair<std::size_t, std::size_t> panel_of(std::size_t sweep) const {
+    return panel_of_[sweep];
+  }
+
+  /// Total cells across all sweeps.
+  std::size_t cell_count() const { return offsets_.back(); }
+
+  /// First global cell index of a sweep.
+  std::size_t sweep_offset(std::size_t sweep) const { return offsets_[sweep]; }
+
+  /// Decodes a global cell index.
+  CellRef cell(std::size_t index) const;
+
+ private:
+  std::vector<FigureSpec> figures_;
+  std::vector<SweepSpec> sweeps_;
+  std::vector<std::pair<std::size_t, std::size_t>> panel_of_;
+  std::vector<std::size_t> offsets_;  ///< per-sweep cell offsets + total
+};
+
+/// Receives completed cells. consume() may be called concurrently from
+/// worker threads; implementations synchronize internally. close() is
+/// called once after the last cell of a run.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void consume(const Campaign& campaign, const CellResult& cell) = 0;
+  virtual void close() {}
+};
+
+/// Stripe of the cell queue executed by one process: cells whose
+/// index % count == index_.
+struct ShardSelection {
+  std::size_t index = 0;
+  std::size_t count = 1;
+
+  bool contains(std::size_t cell) const { return cell % count == index; }
+};
+
+/// Parses "i/m" (0-based shard i of m); throws std::invalid_argument.
+ShardSelection parse_shard(const std::string& text);
+
+struct CampaignOptions {
+  ShardSelection shard;               ///< default: the whole queue
+  util::ThreadPool* pool = nullptr;   ///< null: sequential execution
+  /// Called after each completed cell with the number done so far and the
+  /// total cells in this shard. Serialized (never concurrent).
+  std::function<void(const CellRef&, std::size_t done, std::size_t total)> progress;
+};
+
+/// Executes the campaign's cell queue (or one shard of it) and streams
+/// every completed cell into `sink`. Deterministic per cell regardless of
+/// pool size or sharding.
+void run_campaign(const Campaign& campaign, const CampaignOptions& options, ResultSink& sink);
+
+/// In-memory aggregation into SweepResults, reproducing run_sweep
+/// bit-for-bit: cells land in their raw[] slots, take() computes the
+/// per-load confidence intervals in the same fixed order.
+class AggregateSink : public ResultSink {
+ public:
+  explicit AggregateSink(const Campaign& campaign);
+  void consume(const Campaign& campaign, const CellResult& cell) override;
+
+  /// Aggregates and returns the per-sweep results (campaign sweep order),
+  /// stamping `wall_seconds` on each. Call once, after run_campaign.
+  std::vector<SweepResult> take(double wall_seconds = 0.0);
+
+ private:
+  std::vector<SweepResult> results_;
+};
+
+/// Streaming per-cell CSV sink for shard outputs: one row per cell,
+/// appended (and flushed) as cells complete, doubles written bit-exactly.
+/// Row order follows completion and is not deterministic; merging restores
+/// canonical order by cell index.
+class CellCsvSink : public ResultSink {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CellCsvSink(const std::string& path);
+  void consume(const Campaign& campaign, const CellResult& cell) override;
+  void close() override;
+
+  /// The header row every cell file starts with.
+  static std::vector<std::string> header();
+
+ private:
+  std::string path_;
+  std::ofstream file_;
+  std::mutex mutex_;
+};
+
+/// Fans one cell stream out to several sinks (e.g. aggregate and stream
+/// cells in the same run).
+class TeeSink : public ResultSink {
+ public:
+  explicit TeeSink(std::vector<ResultSink*> sinks) : sinks_(std::move(sinks)) {}
+  void consume(const Campaign& campaign, const CellResult& cell) override {
+    for (ResultSink* sink : sinks_) sink->consume(campaign, cell);
+  }
+  void close() override {
+    for (ResultSink* sink : sinks_) sink->close();
+  }
+
+ private:
+  std::vector<ResultSink*> sinks_;
+};
+
+/// Folds shard cell files back into per-sweep results. Every campaign cell
+/// must appear exactly once across `paths`; missing, duplicate, or
+/// mismatching cells (wrong sweep id / algorithm / load for their index)
+/// throw std::runtime_error. The returned results are bit-identical to an
+/// unsharded run (wall_seconds excepted, which is 0 for merged results).
+std::vector<SweepResult> merge_cell_files(const Campaign& campaign,
+                                          const std::vector<std::string>& paths);
+
+}  // namespace rtdls::exp

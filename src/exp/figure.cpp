@@ -47,15 +47,21 @@ ShapeCheck check_winner(const SweepResult& panel, const std::string& winner) {
 
 }  // namespace
 
+std::vector<ShapeCheck> evaluate_checks(const std::vector<SweepResult>& panels) {
+  std::vector<ShapeCheck> checks;
+  for (const SweepResult& panel : panels) {
+    if (!panel.spec.expected_winner.empty()) {
+      checks.push_back(check_winner(panel, panel.spec.expected_winner));
+    }
+  }
+  return checks;
+}
+
 FigureResult run_figure(const FigureSpec& spec, util::ThreadPool* pool) {
   FigureResult result;
   result.spec = spec;
   result.panels = run_sweeps(spec.panels, pool);
-  for (const SweepResult& panel : result.panels) {
-    if (!panel.spec.expected_winner.empty()) {
-      result.checks.push_back(check_winner(panel, panel.spec.expected_winner));
-    }
-  }
+  result.checks = evaluate_checks(result.panels);
   return result;
 }
 

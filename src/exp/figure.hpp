@@ -32,6 +32,11 @@ struct FigureResult {
   std::vector<ShapeCheck> checks;
 };
 
+/// Evaluates the per-panel winner expectations against already-executed
+/// panel results - shared by run_figure and the campaign CLI, so merged
+/// shard results get the same PASS/WARN verdicts.
+std::vector<ShapeCheck> evaluate_checks(const std::vector<SweepResult>& panels);
+
 /// Runs all panels and evaluates the winner expectation per panel.
 FigureResult run_figure(const FigureSpec& spec, util::ThreadPool* pool = nullptr);
 

@@ -1,5 +1,6 @@
 #include "exp/registry.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 namespace rtdls::exp {
@@ -294,21 +295,67 @@ FigureSpec ablation_output(const Scale& scale) {
   return figure;
 }
 
+namespace {
+
+/// The figure inventory: one row per paper figure / ablation, in paper
+/// order. figure_ids(), find_figure() and the bulk accessors all read this
+/// table, so the id list cannot drift from the construction functions.
+struct FigureEntry {
+  const char* id;
+  FigureSpec (*make)(const Scale&);
+  bool paper;  ///< part of the paper's Figures 3-16 (vs ablation/extension)
+};
+
+constexpr FigureEntry kInventory[] = {
+    {"fig03", &fig03_baseline, true},
+    {"fig04", &fig04_dcratio_edf, true},
+    {"fig05", &fig05_usersplit_edf, true},
+    {"fig06", &fig06_avgsigma_edf, true},
+    {"fig07", &fig07_cms_edf, true},
+    {"fig08", &fig08_cps_edf, true},
+    {"fig09", &fig09_dcratio_fifo, true},
+    {"fig10", &fig10_avgsigma_fifo, true},
+    {"fig11", &fig11_cms_fifo, true},
+    {"fig12", &fig12_cps_fifo, true},
+    {"fig13", &fig13_usersplit_avgsigma_edf, true},
+    {"fig14", &fig14_usersplit_cps_edf, true},
+    {"fig15", &fig15_usersplit_avgsigma_fifo, true},
+    {"fig16", &fig16_usersplit_cps_fifo, true},
+    {"ablation_release", &ablation_release_policy, false},
+    {"ablation_multiround", &ablation_multiround, false},
+    {"ablation_opr_an", &ablation_opr_an, false},
+    {"ablation_backfill", &ablation_backfill, false},
+    {"ablation_output", &ablation_output, false},
+};
+
+}  // namespace
+
 std::vector<FigureSpec> paper_figures(const Scale& scale) {
-  return {fig03_baseline(scale),
-          fig04_dcratio_edf(scale),
-          fig05_usersplit_edf(scale),
-          fig06_avgsigma_edf(scale),
-          fig07_cms_edf(scale),
-          fig08_cps_edf(scale),
-          fig09_dcratio_fifo(scale),
-          fig10_avgsigma_fifo(scale),
-          fig11_cms_fifo(scale),
-          fig12_cps_fifo(scale),
-          fig13_usersplit_avgsigma_edf(scale),
-          fig14_usersplit_cps_edf(scale),
-          fig15_usersplit_avgsigma_fifo(scale),
-          fig16_usersplit_cps_fifo(scale)};
+  std::vector<FigureSpec> figures;
+  for (const FigureEntry& entry : kInventory) {
+    if (entry.paper) figures.push_back(entry.make(scale));
+  }
+  return figures;
+}
+
+std::vector<FigureSpec> all_figures(const Scale& scale) {
+  std::vector<FigureSpec> figures;
+  for (const FigureEntry& entry : kInventory) figures.push_back(entry.make(scale));
+  return figures;
+}
+
+std::vector<std::string> figure_ids() {
+  std::vector<std::string> ids;
+  for (const FigureEntry& entry : kInventory) ids.emplace_back(entry.id);
+  return ids;
+}
+
+FigureSpec find_figure(const std::string& id, const Scale& scale) {
+  for (const FigureEntry& entry : kInventory) {
+    if (id == entry.id) return entry.make(scale);
+  }
+  throw std::invalid_argument("find_figure: unknown figure id '" + id +
+                              "' (see exp::figure_ids())");
 }
 
 }  // namespace rtdls::exp

@@ -39,4 +39,16 @@ FigureSpec ablation_output(const Scale& scale);          ///< output-data transf
 /// All paper figures, in order.
 std::vector<FigureSpec> paper_figures(const Scale& scale);
 
+/// Paper figures followed by every ablation above, in inventory order.
+std::vector<FigureSpec> all_figures(const Scale& scale);
+
+/// Ids of every figure in the inventory ("fig03".."fig16", "ablation_*"),
+/// without constructing any spec. CLI help and lookup both use this list,
+/// so it cannot drift from what find_figure accepts.
+std::vector<std::string> figure_ids();
+
+/// Builds the one figure with the given id; throws std::invalid_argument
+/// for ids not in figure_ids().
+FigureSpec find_figure(const std::string& id, const Scale& scale);
+
 }  // namespace rtdls::exp

@@ -1,12 +1,8 @@
 #include "exp/runner.hpp"
 
-#include <atomic>
 #include <chrono>
-#include <memory>
-#include <mutex>
-#include <stdexcept>
 
-#include "sched/registry.hpp"
+#include "exp/campaign.hpp"
 #include "util/log.hpp"
 
 namespace rtdls::exp {
@@ -26,168 +22,51 @@ workload::WorkloadParams cell_workload(const SweepSpec& spec, double load,
 
 namespace {
 
-/// One reusable simulation context: the algorithm instance (rules may keep
-/// mutable scratch, so instances are never shared across threads) plus a
-/// simulator whose run() resets state in place.
-struct SimSlot {
-  sched::Algorithm algorithm;
-  sim::ClusterSimulator simulator;
-
-  SimSlot(const sim::SimulatorConfig& config, sched::Algorithm alg)
-      : algorithm(std::move(alg)), simulator(config, algorithm) {}
-};
-
-/// Per-algorithm free lists of SimSlots. Workers check a slot out per cell
-/// and return it afterwards, so a sweep allocates at most
-/// (algorithms x concurrent workers) simulators and every simulator serves
-/// many back-to-back cells. Results cannot depend on which slot serves
-/// which cell: run() fully resets per-run state.
-class SlotPool {
- public:
-  SlotPool(const sim::SimulatorConfig& config, const std::vector<std::string>& names)
-      : config_(config), names_(names), free_(names.size()) {}
-
-  std::unique_ptr<SimSlot> acquire(std::size_t algorithm) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      auto& stack = free_[algorithm];
-      if (!stack.empty()) {
-        std::unique_ptr<SimSlot> slot = std::move(stack.back());
-        stack.pop_back();
-        return slot;
-      }
-    }
-    return std::make_unique<SimSlot>(config_, sched::make_algorithm(names_[algorithm]));
+/// Wraps each sweep in a single-panel figure so a sweep list maps 1:1 onto
+/// campaign sweeps.
+Campaign campaign_of(const std::vector<SweepSpec>& specs) {
+  std::vector<FigureSpec> figures;
+  figures.reserve(specs.size());
+  for (const SweepSpec& spec : specs) {
+    FigureSpec figure;
+    figure.id = spec.id;
+    figure.title = spec.title;
+    figure.panels.push_back(spec);
+    figures.push_back(std::move(figure));
   }
+  return Campaign(std::move(figures));
+}
 
-  void release(std::size_t algorithm, std::unique_ptr<SimSlot> slot) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    free_[algorithm].push_back(std::move(slot));
+std::vector<SweepResult> run_as_campaign(const std::vector<SweepSpec>& specs,
+                                         util::ThreadPool* pool) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const Campaign campaign = campaign_of(specs);
+  CampaignOptions options;
+  options.pool = pool;
+  AggregateSink sink(campaign);
+  run_campaign(campaign, options, sink);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  std::vector<SweepResult> results = sink.take(wall);
+  if (results.size() == 1) {
+    RTDLS_LOG(kInfo) << "sweep " << results.front().spec.id << " done in " << wall << "s";
+  } else {
+    RTDLS_LOG(kInfo) << results.size() << " sweeps done in " << wall << "s";
   }
-
- private:
-  sim::SimulatorConfig config_;
-  const std::vector<std::string>& names_;
-  std::mutex mutex_;
-  std::vector<std::vector<std::unique_ptr<SimSlot>>> free_;
-};
+  return results;
+}
 
 }  // namespace
 
 SweepResult run_sweep(const SweepSpec& spec, util::ThreadPool* pool) {
-  if (spec.loads.empty()) throw std::invalid_argument("run_sweep: no loads");
-  if (spec.algorithms.empty()) throw std::invalid_argument("run_sweep: no algorithms");
-  if (spec.runs == 0) throw std::invalid_argument("run_sweep: runs must be >= 1");
-
-  const auto wall_start = std::chrono::steady_clock::now();
-
-  const std::size_t loads = spec.loads.size();
-  const std::size_t runs = spec.runs;
-  const std::size_t algs = spec.algorithms.size();
-
-  SweepResult result;
-  result.spec = spec;
-  result.curves.resize(algs);
-  for (std::size_t a = 0; a < algs; ++a) {
-    result.curves[a].algorithm = spec.algorithms[a];
-    for (MetricSeries& series : result.curves[a].metrics) {
-      series.raw.assign(loads * runs, 0.0);
-      series.per_load.resize(loads);
-    }
-  }
-
-  sim::SimulatorConfig sim_config;
-  sim_config.params = spec.cluster;
-  sim_config.release_policy = spec.release_policy;
-  sim_config.shared_link = spec.shared_link;
-  sim_config.output_ratio = spec.output_ratio;
-
-  // One workload trace per (load, run), shared by every algorithm (the
-  // paper's paired comparison: same trace, different algorithms). Traces
-  // are a pure function of (spec, load, run), so lazily generating each in
-  // whichever cell needs it first cannot change results; each is freed
-  // after its last cell, so peak trace memory tracks the in-flight cells,
-  // not the whole sweep (at paper scale a full trace set is large).
-  const std::size_t trace_count = loads * runs;
-  std::vector<std::vector<workload::Task>> traces(trace_count);
-  const auto trace_once = std::make_unique<std::once_flag[]>(trace_count);
-  const auto cells_left = std::make_unique<std::atomic<std::size_t>[]>(trace_count);
-  for (std::size_t t = 0; t < trace_count; ++t) {
-    cells_left[t].store(algs, std::memory_order_relaxed);
-  }
-  auto trace_for = [&](std::size_t t) -> const std::vector<workload::Task>& {
-    std::call_once(trace_once[t], [&] {
-      traces[t] = workload::generate_workload(
-          cell_workload(spec, spec.loads[t / runs], t % runs));
-    });
-    return traces[t];
-  };
-
-  // The full (load x run x algorithm) grid, one cell per task. Every cell
-  // writes only its own raw[] slot, so the pooled and the serial execution
-  // produce bit-identical results regardless of scheduling order.
-  SlotPool slots(sim_config, spec.algorithms);
-  auto run_cell = [&](std::size_t cell) {
-    const std::size_t a = cell % algs;
-    const std::size_t trace_index = cell / algs;
-    const std::size_t sample = trace_index;  // load * runs + run
-
-    std::unique_ptr<SimSlot> slot = slots.acquire(a);
-    const sim::SimMetrics metrics = slot->simulator.run(trace_for(trace_index), spec.sim_time);
-    slots.release(a, std::move(slot));
-    if (cells_left[trace_index].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::vector<workload::Task>().swap(traces[trace_index]);
-    }
-
-    if (metrics.theorem4_violations != 0 && spec.halt_on_theorem4) {
-      throw std::logic_error("run_sweep: Theorem 4 violated in " + spec.algorithms[a] +
-                             " (set SweepSpec::halt_on_theorem4 = false to record instead)");
-    }
-
-    CurveResult& curve = result.curves[a];
-    curve.series(SweepMetric::kRejectRatio).raw[sample] = metrics.reject_ratio();
-    curve.series(SweepMetric::kMeanResponse).raw[sample] = metrics.response_time.mean();
-    curve.series(SweepMetric::kMeanWait).raw[sample] = metrics.wait_time.mean();
-    curve.series(SweepMetric::kUtilization).raw[sample] = metrics.utilization();
-    curve.series(SweepMetric::kDeadlineMisses).raw[sample] =
-        static_cast<double>(metrics.deadline_misses);
-    curve.series(SweepMetric::kTheorem4Violations).raw[sample] =
-        static_cast<double>(metrics.theorem4_violations);
-  };
-
-  const std::size_t cells = loads * runs * algs;
-  if (pool != nullptr) {
-    pool->parallel_for(cells, run_cell);
-  } else {
-    for (std::size_t cell = 0; cell < cells; ++cell) run_cell(cell);
-  }
-
-  // Aggregate every (algorithm, metric, load) over the runs in run order with a
-  // streaming accumulator; order is fixed, so aggregation is deterministic.
-  for (std::size_t a = 0; a < algs; ++a) {
-    for (MetricSeries& series : result.curves[a].metrics) {
-      for (std::size_t l = 0; l < loads; ++l) {
-        stats::RunningStats acc;
-        for (std::size_t r = 0; r < runs; ++r) acc.add(series.raw[l * runs + r]);
-        series.per_load[l] = stats::mean_confidence_interval(acc, spec.confidence);
-      }
-    }
-  }
-
-  result.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
-  RTDLS_LOG(kInfo) << "sweep " << spec.id << " done in " << result.wall_seconds << "s";
-  return result;
+  std::vector<SweepResult> results = run_as_campaign({spec}, pool);
+  return std::move(results.front());
 }
 
 std::vector<SweepResult> run_sweeps(const std::vector<SweepSpec>& specs,
                                     util::ThreadPool* pool) {
-  std::vector<SweepResult> results;
-  results.reserve(specs.size());
-  for (const SweepSpec& spec : specs) {
-    results.push_back(run_sweep(spec, pool));
-  }
-  return results;
+  if (specs.empty()) return {};
+  return run_as_campaign(specs, pool);
 }
 
 }  // namespace rtdls::exp

@@ -5,6 +5,14 @@
 //
 // Cells run in parallel on a shared ThreadPool; determinism comes from
 // seeding each cell by its run index, never from execution order.
+//
+// Both entry points are thin wrappers over exp/campaign.hpp: run_sweep is a
+// one-sweep campaign with an AggregateSink, run_sweeps a multi-sweep one
+// (so cells of different sweeps interleave on the pool instead of
+// barriering between sweeps). Every metric is bit-identical to the
+// historical per-sweep runner; the only semantic change is wall_seconds,
+// which for run_sweeps is the whole batch's wall time stamped on every
+// result (interleaved sweeps have no meaningful per-sweep wall).
 #pragma once
 
 #include "exp/spec.hpp"

@@ -86,6 +86,13 @@ long long CliParser::get_int(const std::string& name, long long fallback) const 
   return static_cast<long long>(value);
 }
 
+std::uint64_t CliParser::get_uint64(const std::string& name, std::uint64_t fallback) const {
+  const auto raw = get(name);
+  if (!raw) return fallback;
+  unsigned long long value = 0;
+  return parse_u64(*raw, value) ? static_cast<std::uint64_t>(value) : fallback;
+}
+
 bool CliParser::get_flag(const std::string& name) const {
   const auto raw = get(name);
   return raw.has_value() && *raw == "1";

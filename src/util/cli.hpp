@@ -5,6 +5,7 @@
 // experiment sweeps fail loudly rather than silently using defaults.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -35,6 +36,9 @@ class CliParser {
   /// Numeric accessors with fallbacks.
   double get_double(const std::string& name, double fallback) const;
   long long get_int(const std::string& name, long long fallback) const;
+  /// Full-width unsigned accessor: 64-bit values (RNG seeds) survive the
+  /// round trip that get_int's signed cast would truncate.
+  std::uint64_t get_uint64(const std::string& name, std::uint64_t fallback) const;
   bool get_flag(const std::string& name) const;
 
   /// Positional (non-option) arguments in order.

@@ -1,6 +1,10 @@
 #include "util/csv.hpp"
 
-#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
 
 namespace rtdls::util {
 
@@ -31,12 +35,10 @@ void CsvWriter::write_row(const std::vector<std::string>& fields) {
 void CsvWriter::write_numeric_row(const std::vector<double>& values) {
   std::vector<std::string> fields;
   fields.reserve(values.size());
-  char buffer[64];
   for (double v : values) {
-    // %.17g guarantees bit-exact double round-trips (trace replay relies
-    // on reloaded workloads being identical to the generated ones).
-    std::snprintf(buffer, sizeof(buffer), "%.17g", v);
-    fields.emplace_back(buffer);
+    // Bit-exact double round-trips (trace replay relies on reloaded
+    // workloads being identical to the generated ones).
+    fields.push_back(format_roundtrip(v));
   }
   write_row(fields);
 }
@@ -102,6 +104,14 @@ std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
     end_row();
   }
   return rows;
+}
+
+std::vector<std::vector<std::string>> parse_csv_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("parse_csv_file: cannot open " + path);
+  std::ostringstream text;
+  text << file.rdbuf();
+  return parse_csv(text.str());
 }
 
 }  // namespace rtdls::util

@@ -38,4 +38,8 @@ class CsvWriter {
 /// commas/quotes/newlines. Intended for reading back files we wrote.
 std::vector<std::vector<std::string>> parse_csv(const std::string& text);
 
+/// Reads and parses a CSV file; throws std::runtime_error if it cannot be
+/// opened. Used by the campaign shard-merge tooling.
+std::vector<std::vector<std::string>> parse_csv_file(const std::string& path);
+
 }  // namespace rtdls::util

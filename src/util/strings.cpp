@@ -46,6 +46,12 @@ std::string format_double(double value, int precision) {
   return buffer;
 }
 
+std::string format_roundtrip(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
 std::string join(const std::vector<std::string>& parts, std::string_view sep) {
   std::string out;
   for (size_t i = 0; i < parts.size(); ++i) {

@@ -23,6 +23,11 @@ bool starts_with(std::string_view s, std::string_view prefix);
 /// trailing zeros ("0.25", "1", "0.121").
 std::string format_double(double value, int precision = 6);
 
+/// Formats a double so that parse_double round-trips it bit-exactly
+/// ("%.17g"); used wherever results are persisted and re-read (CSV cells,
+/// campaign spec files).
+std::string format_roundtrip(double value);
+
 /// Joins `parts` with `sep`.
 std::string join(const std::vector<std::string>& parts, std::string_view sep);
 

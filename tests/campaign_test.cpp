@@ -1,0 +1,392 @@
+// Tests for the campaign layer: spec-file round-trips, the cell-level work
+// queue, shard striping, streaming sinks, and shard-merge determinism
+// against the classic run_sweep path.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "exp/campaign.hpp"
+#include "exp/registry.hpp"
+#include "exp/report.hpp"
+#include "exp/spec_io.hpp"
+
+namespace rtdls::exp {
+namespace {
+
+SweepSpec tiny_sweep_a() {
+  return SweepBuilder("camp_a", "tiny EDF pair")
+      .cluster(16, 1.0, 100.0)
+      .loads({0.3, 0.9})
+      .algorithms({"EDF-OPR-MN", "EDF-DLT"})
+      .runs(2)
+      .sim_time(60000.0)
+      .expected_winner("EDF-DLT")
+      .build();
+}
+
+SweepSpec tiny_sweep_b() {
+  // Deliberately different shape: 3 loads, 3 algorithms, other parameters.
+  return SweepBuilder("camp_b", "tiny UserSplit comparison")
+      .cluster(8, 2.0, 50.0)
+      .dc_ratio(10.0)
+      .avg_sigma(400.0)
+      .loads({0.2, 0.5, 0.8})
+      .algorithms({"EDF-OPR-MN", "EDF-DLT", "EDF-UserSplit"})
+      .runs(2)
+      .sim_time(60000.0)
+      .seed(991)
+      .build();
+}
+
+Campaign tiny_campaign() {
+  return Campaign({FigureBuilder("fig_a", "figure a").panel(tiny_sweep_a()).build(),
+                   FigureBuilder("fig_b", "figure b").panel(tiny_sweep_b()).build()});
+}
+
+std::string temp_dir(const std::string& name) {
+  const auto dir = std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good()) << path;
+  std::ostringstream text;
+  text << file.rdbuf();
+  return text.str();
+}
+
+// --- spec serialization ----------------------------------------------------
+
+TEST(SpecIo, SweepRoundTripPreservesEveryField) {
+  SweepSpec spec = tiny_sweep_b();
+  spec.release_policy = sim::ReleasePolicy::kActual;
+  spec.shared_link = true;
+  spec.output_ratio = 0.05;
+  spec.halt_on_theorem4 = false;
+  spec.confidence = 0.99;
+  spec.seed = 0xDEADBEEFCAFE1234ull;  // needs all 64 bits
+
+  const std::string text = serialize_sweep(spec);
+  const std::vector<FigureSpec> parsed = parse_campaign(text);
+  ASSERT_EQ(parsed.size(), 1u);  // top-level sweep becomes its own figure
+  ASSERT_EQ(parsed[0].panels.size(), 1u);
+  const SweepSpec& back = parsed[0].panels[0];
+
+  EXPECT_EQ(back.id, spec.id);
+  EXPECT_EQ(back.title, spec.title);
+  EXPECT_EQ(back.cluster.node_count, spec.cluster.node_count);
+  EXPECT_EQ(back.cluster.cms, spec.cluster.cms);
+  EXPECT_EQ(back.cluster.cps, spec.cluster.cps);
+  EXPECT_EQ(back.avg_sigma, spec.avg_sigma);
+  EXPECT_EQ(back.dc_ratio, spec.dc_ratio);
+  EXPECT_EQ(back.loads, spec.loads);
+  EXPECT_EQ(back.algorithms, spec.algorithms);
+  EXPECT_EQ(back.runs, spec.runs);
+  EXPECT_EQ(back.sim_time, spec.sim_time);
+  EXPECT_EQ(back.seed, spec.seed);
+  EXPECT_EQ(back.confidence, spec.confidence);
+  EXPECT_EQ(back.release_policy, spec.release_policy);
+  EXPECT_EQ(back.shared_link, spec.shared_link);
+  EXPECT_EQ(back.output_ratio, spec.output_ratio);
+  EXPECT_EQ(back.halt_on_theorem4, spec.halt_on_theorem4);
+  EXPECT_EQ(back.expected_winner, spec.expected_winner);
+}
+
+TEST(SpecIo, CampaignRoundTripIsTextuallyStable) {
+  // parse(serialize(x)) then serialize again: identical text, so plans can
+  // be regenerated and diffed without churn.
+  const std::vector<FigureSpec> figures = tiny_campaign().figures();
+  const std::string text = serialize_campaign(figures);
+  const std::string again = serialize_campaign(parse_campaign(text));
+  EXPECT_EQ(text, again);
+}
+
+TEST(SpecIo, PaperFiguresSurviveRoundTrip) {
+  // The whole registry inventory is serializable: parse → serialize is a
+  // fixed point for every paper figure and ablation.
+  Scale scale;
+  scale.runs = 2;
+  scale.sim_time = 60000.0;
+  const std::string text = serialize_campaign(all_figures(scale));
+  EXPECT_EQ(text, serialize_campaign(parse_campaign(text)));
+}
+
+TEST(SpecIo, UseReferencesResolveThroughRegistry) {
+  Scale scale;
+  scale.runs = 2;
+  scale.sim_time = 60000.0;
+  const auto resolver = [&scale](const std::string& id) { return find_figure(id, scale); };
+  const auto figures = parse_campaign("[figure]\nuse = fig05\n", resolver);
+  ASSERT_EQ(figures.size(), 1u);
+  EXPECT_EQ(figures[0].id, "fig05");
+  EXPECT_EQ(figures[0].panels.size(), 2u);
+  EXPECT_EQ(figures[0].panels[0].runs, 2u);
+}
+
+TEST(SpecIo, ParseErrorsAreLoud) {
+  EXPECT_THROW(parse_campaign("[sweep]\nid = x\nbogus_key = 1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_campaign("id = orphan\n"), std::invalid_argument);
+  EXPECT_THROW(parse_campaign("[sweep]\ntitle = missing id\n"), std::invalid_argument);
+  EXPECT_THROW(parse_campaign("[figure]\nid = empty_figure\n"), std::invalid_argument);
+  EXPECT_THROW(parse_campaign("[sweep]\nid = x\nloads = 0.1, zebra\n"), std::invalid_argument);
+  EXPECT_THROW(parse_campaign("[sweep]\nid = x\nrelease = sometimes\n"), std::invalid_argument);
+  // `use` without a resolver cannot be honored.
+  EXPECT_THROW(parse_campaign("[figure]\nuse = fig03\n"), std::invalid_argument);
+  // `use` mixed with panels is ambiguous.
+  EXPECT_THROW(parse_campaign("[figure]\nid = f\nuse = fig03\n",
+                              [](const std::string&) { return FigureSpec{}; }),
+               std::invalid_argument);
+  // A [sweep] under a `use` figure must fail loudly, not silently vanish.
+  EXPECT_THROW(parse_campaign("[figure]\nuse = fig03\n[sweep]\nid = extra\nloads = 0.5\n"
+                              "algorithms = EDF-DLT\n",
+                              [](const std::string&) { return FigureSpec{}; }),
+               std::invalid_argument);
+}
+
+TEST(SpecIo, BuilderValidates) {
+  EXPECT_THROW(SweepBuilder("x").build(), std::invalid_argument);  // no loads
+  EXPECT_THROW(SweepBuilder("x").loads({0.5}).build(), std::invalid_argument);
+  EXPECT_THROW(
+      SweepBuilder("x").loads({0.5}).algorithms({"EDF-DLT"}).runs(0).build(),
+      std::invalid_argument);
+  EXPECT_THROW(FigureBuilder("f", "t").build(), std::invalid_argument);  // no panels
+  const SweepSpec ok = SweepBuilder("x").loads({0.5}).algorithms({"EDF-DLT"}).build();
+  EXPECT_EQ(ok.loads.size(), 1u);
+}
+
+// --- the cell queue --------------------------------------------------------
+
+TEST(Campaign, CellDecodeRoundTrip) {
+  const Campaign campaign = tiny_campaign();
+  // 2 loads x 2 runs x 2 algs + 3 loads x 2 runs x 3 algs = 8 + 18.
+  ASSERT_EQ(campaign.cell_count(), 26u);
+  ASSERT_EQ(campaign.sweeps().size(), 2u);
+  EXPECT_EQ(campaign.sweep_offset(1), 8u);
+  EXPECT_EQ(campaign.panel_of(1), (std::pair<std::size_t, std::size_t>{1, 0}));
+
+  // Every index decodes to in-range coordinates, cell order matches the
+  // classic run_sweep order ((load * runs + run) * algs + alg), and indices
+  // are unique.
+  for (std::size_t i = 0; i < campaign.cell_count(); ++i) {
+    const CellRef ref = campaign.cell(i);
+    EXPECT_EQ(ref.index, i);
+    const SweepSpec& spec = campaign.sweeps()[ref.sweep];
+    EXPECT_LT(ref.load, spec.loads.size());
+    EXPECT_LT(ref.run, spec.runs);
+    EXPECT_LT(ref.algorithm, spec.algorithms.size());
+    const std::size_t local =
+        (ref.load * spec.runs + ref.run) * spec.algorithms.size() + ref.algorithm;
+    EXPECT_EQ(campaign.sweep_offset(ref.sweep) + local, i);
+  }
+  EXPECT_THROW(campaign.cell(26), std::out_of_range);
+}
+
+TEST(Campaign, ValidatesPanels) {
+  FigureSpec figure = FigureBuilder("f", "t").panel(tiny_sweep_a()).build();
+  figure.panels[0].loads.clear();
+  EXPECT_THROW(Campaign({figure}), std::invalid_argument);
+  figure = FigureBuilder("f", "t").panel(tiny_sweep_a()).build();
+  figure.panels[0].algorithms.clear();
+  EXPECT_THROW(Campaign({figure}), std::invalid_argument);
+  figure = FigureBuilder("f", "t").panel(tiny_sweep_a()).build();
+  figure.panels[0].runs = 0;
+  EXPECT_THROW(Campaign({figure}), std::invalid_argument);
+}
+
+TEST(Campaign, ParseShard) {
+  const ShardSelection shard = parse_shard("2/5");
+  EXPECT_EQ(shard.index, 2u);
+  EXPECT_EQ(shard.count, 5u);
+  EXPECT_TRUE(shard.contains(7));
+  EXPECT_FALSE(shard.contains(8));
+  EXPECT_THROW(parse_shard("5/5"), std::invalid_argument);  // 0-based
+  EXPECT_THROW(parse_shard("0/0"), std::invalid_argument);
+  EXPECT_THROW(parse_shard("1"), std::invalid_argument);
+  EXPECT_THROW(parse_shard("a/b"), std::invalid_argument);
+}
+
+TEST(Campaign, ProgressCallbackCoversEveryShardCell) {
+  const Campaign campaign = tiny_campaign();
+  CampaignOptions options;
+  options.shard = ShardSelection{1, 2};
+  std::size_t calls = 0;
+  std::size_t last_done = 0;
+  options.progress = [&](const CellRef& ref, std::size_t done, std::size_t total) {
+    EXPECT_EQ(total, 13u);  // 26 cells striped over 2 shards
+    EXPECT_EQ(ref.index % 2, 1u);
+    ++calls;
+    last_done = done;
+  };
+  AggregateSink sink(campaign);
+  run_campaign(campaign, options, sink);
+  EXPECT_EQ(calls, 13u);
+  EXPECT_EQ(last_done, 13u);
+}
+
+// --- determinism: sharding and merging reproduce run_sweep -----------------
+
+TEST(Campaign, ShardAndMergeReproducesRunSweepBitForBit) {
+  const std::string dir = temp_dir("rtdls_campaign_merge");
+  const Campaign campaign = tiny_campaign();
+
+  // Reference: the classic public API, one sweep at a time, with a pool.
+  util::ThreadPool pool(4);
+  const SweepResult ref_a = run_sweep(tiny_sweep_a(), &pool);
+  const SweepResult ref_b = run_sweep(tiny_sweep_b(), &pool);
+  const std::string csv_a = write_sweep_csv(dir + "/ref", ref_a);
+  const std::string csv_b = write_sweep_csv(dir + "/ref", ref_b);
+
+  // Sharded: stripe the cell queue over two "machines", each streaming its
+  // cells to disk, then fold the shard files back together.
+  std::vector<std::string> shard_files;
+  for (std::size_t shard = 0; shard < 2; ++shard) {
+    const std::string path = dir + "/shard" + std::to_string(shard) + ".csv";
+    CampaignOptions options;
+    options.shard = ShardSelection{shard, 2};
+    options.pool = &pool;
+    CellCsvSink sink(path);
+    run_campaign(campaign, options, sink);
+    shard_files.push_back(path);
+  }
+  const std::vector<SweepResult> merged = merge_cell_files(campaign, shard_files);
+  ASSERT_EQ(merged.size(), 2u);
+
+  // Raw samples and aggregates are bit-identical.
+  const SweepResult* refs[] = {&ref_a, &ref_b};
+  for (std::size_t s = 0; s < 2; ++s) {
+    const SweepResult& ref = *refs[s];
+    const SweepResult& got = merged[s];
+    ASSERT_EQ(got.curves.size(), ref.curves.size());
+    for (std::size_t a = 0; a < ref.curves.size(); ++a) {
+      EXPECT_EQ(got.curves[a].algorithm, ref.curves[a].algorithm);
+      for (std::size_t m = 0; m < kSweepMetricCount; ++m) {
+        const MetricSeries& rs = ref.curves[a].metrics[m];
+        const MetricSeries& gs = got.curves[a].metrics[m];
+        ASSERT_EQ(gs.raw.size(), rs.raw.size());
+        for (std::size_t i = 0; i < rs.raw.size(); ++i) EXPECT_EQ(gs.raw[i], rs.raw[i]);
+        for (std::size_t l = 0; l < rs.per_load.size(); ++l) {
+          EXPECT_EQ(gs.per_load[l].mean, rs.per_load[l].mean);
+          EXPECT_EQ(gs.per_load[l].half_width, rs.per_load[l].half_width);
+        }
+      }
+    }
+  }
+
+  // And the final CSVs are byte-identical.
+  EXPECT_EQ(slurp(write_sweep_csv(dir + "/merged", merged[0])), slurp(csv_a));
+  EXPECT_EQ(slurp(write_sweep_csv(dir + "/merged", merged[1])), slurp(csv_b));
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Campaign, RunSweepsMatchesPerSweepRuns) {
+  // The multi-sweep campaign path (one interleaved cell queue) returns the
+  // same numbers as independent per-sweep runs.
+  const std::vector<SweepResult> together = run_sweeps({tiny_sweep_a(), tiny_sweep_b()});
+  const SweepResult alone_a = run_sweep(tiny_sweep_a());
+  ASSERT_EQ(together.size(), 2u);
+  for (std::size_t m = 0; m < kSweepMetricCount; ++m) {
+    const MetricSeries& ts = together[0].curves[1].metrics[m];
+    const MetricSeries& as = alone_a.curves[1].metrics[m];
+    for (std::size_t i = 0; i < as.raw.size(); ++i) EXPECT_EQ(ts.raw[i], as.raw[i]);
+  }
+}
+
+TEST(Campaign, TeeSinkFeedsAggregateAndCellFile) {
+  const std::string dir = temp_dir("rtdls_campaign_tee");
+  const std::string path = dir + "/cells.csv";
+  const Campaign campaign = tiny_campaign();
+  AggregateSink aggregate(campaign);
+  {
+    CellCsvSink cells(path);
+    std::vector<ResultSink*> sinks{&aggregate, &cells};
+    TeeSink tee(sinks);
+    run_campaign(campaign, CampaignOptions{}, tee);
+  }
+  // The streamed file alone reconstructs what the aggregate saw.
+  const std::vector<SweepResult> from_file = merge_cell_files(campaign, {path});
+  const std::vector<SweepResult> direct = aggregate.take();
+  ASSERT_EQ(from_file.size(), direct.size());
+  for (std::size_t s = 0; s < direct.size(); ++s) {
+    for (std::size_t a = 0; a < direct[s].curves.size(); ++a) {
+      const auto& want = direct[s].curves[a].series(SweepMetric::kRejectRatio).raw;
+      const auto& got = from_file[s].curves[a].series(SweepMetric::kRejectRatio).raw;
+      for (std::size_t i = 0; i < want.size(); ++i) EXPECT_EQ(got[i], want[i]);
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Campaign, MergeRejectsMissingDuplicateAndForeignCells) {
+  const std::string dir = temp_dir("rtdls_campaign_badmerge");
+  const Campaign campaign = tiny_campaign();
+  const std::string shard0 = dir + "/shard0.csv";
+  {
+    CampaignOptions options;
+    options.shard = ShardSelection{0, 2};
+    CellCsvSink sink(shard0);
+    run_campaign(campaign, options, sink);
+  }
+  // Half the cells are missing.
+  EXPECT_THROW(merge_cell_files(campaign, {shard0}), std::runtime_error);
+  // The same shard twice: duplicates.
+  EXPECT_THROW(merge_cell_files(campaign, {shard0, shard0}), std::runtime_error);
+  // A cell file from a different campaign: id cross-check fails.
+  const Campaign other({FigureBuilder("f", "t").panel(tiny_sweep_b()).build()});
+  const std::string other_cells = dir + "/other.csv";
+  {
+    CellCsvSink sink(other_cells);
+    run_campaign(other, CampaignOptions{}, sink);
+  }
+  EXPECT_THROW(merge_cell_files(campaign, {other_cells, shard0}), std::runtime_error);
+  // Not a cell file at all.
+  const std::string junk = dir + "/junk.csv";
+  std::ofstream(junk) << "a,b,c\n1,2,3\n";
+  EXPECT_THROW(merge_cell_files(campaign, {junk}), std::runtime_error);
+  EXPECT_THROW(merge_cell_files(campaign, {dir + "/does_not_exist.csv"}), std::runtime_error);
+  std::filesystem::remove_all(dir);
+}
+
+// --- registry lookups ------------------------------------------------------
+
+TEST(Campaign, RegistryLookupMatchesInventory) {
+  Scale scale;
+  scale.runs = 2;
+  scale.sim_time = 60000.0;
+  const std::vector<std::string> ids = figure_ids();
+  ASSERT_EQ(ids.size(), 19u);  // figures 3-16 + 5 ablations
+  const std::vector<FigureSpec> figures = all_figures(scale);
+  ASSERT_EQ(figures.size(), ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(figures[i].id, ids[i]);
+    const FigureSpec found = find_figure(ids[i], scale);
+    EXPECT_EQ(found.id, ids[i]);
+    EXPECT_EQ(found.panels.size(), figures[i].panels.size());
+  }
+  EXPECT_EQ(paper_figures(scale).size(), 14u);
+  EXPECT_THROW(find_figure("fig99", scale), std::invalid_argument);
+}
+
+TEST(Campaign, WholePaperPlanFlattens) {
+  // The headline use case: every paper figure plus every ablation in one
+  // queue, sharded 4 ways with nothing lost.
+  Scale scale;
+  scale.runs = 2;
+  scale.sim_time = 60000.0;
+  const Campaign campaign(all_figures(scale));
+  EXPECT_GT(campaign.cell_count(), 1000u);
+  std::size_t striped = 0;
+  for (std::size_t shard = 0; shard < 4; ++shard) {
+    const std::size_t total = campaign.cell_count();
+    striped += total / 4 + (shard < total % 4 ? 1 : 0);
+  }
+  EXPECT_EQ(striped, campaign.cell_count());
+}
+
+}  // namespace
+}  // namespace rtdls::exp

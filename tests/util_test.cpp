@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "util/ascii_plot.hpp"
@@ -80,6 +82,14 @@ TEST(Strings, ParseU64) {
   EXPECT_FALSE(parse_u64("-1", v));
   EXPECT_FALSE(parse_u64("1.5", v));
   EXPECT_FALSE(parse_u64("", v));
+}
+
+TEST(Strings, FormatRoundtripIsBitExact) {
+  for (double value : {0.1, 1.0 / 3.0, 2'000'000.0, 1e-17, -0.0, 12345.678901234567}) {
+    double back = 0.0;
+    ASSERT_TRUE(parse_double(format_roundtrip(value), back)) << value;
+    EXPECT_EQ(back, value);
+  }
 }
 
 // --- env ---------------------------------------------------------------------
@@ -163,6 +173,25 @@ TEST(Csv, ParseMissingTrailingNewline) {
   ASSERT_EQ(rows[0].size(), 2u);
 }
 
+TEST(Csv, ParseCsvFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rtdls_util_csv_test.csv").string();
+  {
+    std::ofstream file(path);
+    CsvWriter writer(file);
+    writer.write_row({"h1", "h2"});
+    writer.write_numeric_row({0.25, 1e-9});
+  }
+  const auto rows = parse_csv_file(path);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "h1");
+  double v = 0.0;
+  ASSERT_TRUE(parse_double(rows[1][1], v));
+  EXPECT_EQ(v, 1e-9);
+  std::filesystem::remove(path);
+  EXPECT_THROW(parse_csv_file(path), std::runtime_error);
+}
+
 // --- cli ---------------------------------------------------------------------
 
 CliParser make_parser() {
@@ -216,6 +245,20 @@ TEST(Cli, FlagWithValueFails) {
   CliParser cli = make_parser();
   const char* argv[] = {"prog", "--verbose=1"};
   EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, GetUint64KeepsFullWidth) {
+  CliParser cli;
+  cli.add_option({"seed", "RNG seed", "42", false});
+  // Larger than any signed 32/63-bit value: must survive the round trip.
+  const char* argv[] = {"prog", "--seed", "18446744073709551615"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_uint64("seed", 0), 18446744073709551615ull);
+  const char* defaults[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, defaults));
+  EXPECT_EQ(cli.get_uint64("seed", 0), 42u);
+  cli.add_option({"other", "no default", "", false});
+  EXPECT_EQ(cli.get_uint64("other", 7), 7u);
 }
 
 TEST(Cli, UsageMentionsOptions) {

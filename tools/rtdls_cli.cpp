@@ -5,14 +5,29 @@
 //   rtdls_cli simulate --trace trace.csv --algorithm EDF-DLT [...]
 //   rtdls_cli sweep --algorithms EDF-OPR-MN,EDF-DLT [...]    load sweep
 //   rtdls_cli figure --id fig03 [...]          reproduce one paper figure
+//   rtdls_cli campaign <list|run|shard|merge>  multi-figure experiment plans
+//
+// A campaign is any set of figures flattened into one deterministic
+// cell-level work queue. One machine runs it whole (`campaign run
+// --figures all`); a fleet stripes it (`campaign shard --shard i/m --cells
+// shard_i.csv` per machine, then `campaign merge --cells
+// shard_0.csv,...`) and the merged CSVs are byte-identical to the
+// single-process run. Plans come from the built-in figure inventory
+// (--figures) or from declarative spec files (--spec, see exp/spec_io.hpp).
 //
 // Run any subcommand with --help for its options.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
 #include <string>
 
+#include "exp/campaign.hpp"
 #include "exp/registry.hpp"
 #include "exp/report.hpp"
+#include "exp/spec_io.hpp"
 #include "sched/registry.hpp"
 #include "sim/simulator.hpp"
 #include "util/cli.hpp"
@@ -45,8 +60,20 @@ workload::WorkloadParams workload_from_cli(const util::CliParser& cli) {
   params.avg_sigma = cli.get_double("sigma", 200.0);
   params.dc_ratio = cli.get_double("dcratio", 2.0);
   params.total_time = cli.get_double("simtime", 1'000'000.0);
-  params.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  params.seed = cli.get_uint64("seed", 42);
   return params;
+}
+
+void add_sim_config_options(util::CliParser& cli) {
+  cli.add_option({"release", "estimate|actual node release", "estimate", false});
+  cli.add_option({"output-ratio", "result volume fraction delta", "0", false});
+  cli.add_option({"shared-link", "model a shared head-node link", "", true});
+}
+
+sim::ReleasePolicy release_from_cli(const util::CliParser& cli) {
+  return util::to_lower(cli.get("release").value_or("estimate")) == "actual"
+             ? sim::ReleasePolicy::kActual
+             : sim::ReleasePolicy::kEstimate;
 }
 
 int cmd_algorithms() {
@@ -89,9 +116,7 @@ int cmd_simulate(int argc, const char* const* argv) {
   add_workload_options(cli);
   cli.add_option({"trace", "input trace CSV (else generated)", "", false});
   cli.add_option({"algorithm", "algorithm name", "EDF-DLT", false});
-  cli.add_option({"release", "estimate|actual node release", "estimate", false});
-  cli.add_option({"output-ratio", "result volume fraction delta", "0", false});
-  cli.add_option({"shared-link", "model a shared head-node link", "", true});
+  add_sim_config_options(cli);
   if (!cli.parse(argc, argv) || cli.get_flag("help")) {
     std::fputs(cli.usage("rtdls_cli simulate").c_str(), stderr);
     return cli.get_flag("help") ? 0 : 1;
@@ -106,9 +131,7 @@ int cmd_simulate(int argc, const char* const* argv) {
 
   sim::SimulatorConfig config;
   config.params = params.cluster;
-  config.release_policy = util::to_lower(cli.get("release").value_or("estimate")) == "actual"
-                              ? sim::ReleasePolicy::kActual
-                              : sim::ReleasePolicy::kEstimate;
+  config.release_policy = release_from_cli(cli);
   config.output_ratio = cli.get_double("output-ratio", 0.0);
   config.shared_link = cli.get_flag("shared-link");
 
@@ -126,6 +149,9 @@ int cmd_sweep(int argc, const char* const* argv) {
   cli.add_option({"algorithms", "comma-separated names", "EDF-OPR-MN,EDF-DLT", false});
   cli.add_option({"runs", "runs per point", "5", false});
   cli.add_option({"csv-dir", "directory for CSV/gnuplot output", "results", false});
+  add_sim_config_options(cli);
+  cli.add_option({"halt-on-theorem4", "abort on a Theorem-4 violation; 0 records it in the "
+                  "theorem4_violations series instead (ablation-style runs)", "1", false});
   if (!cli.parse(argc, argv) || cli.get_flag("help")) {
     std::fputs(cli.usage("rtdls_cli sweep").c_str(), stderr);
     return cli.get_flag("help") ? 0 : 1;
@@ -141,6 +167,10 @@ int cmd_sweep(int argc, const char* const* argv) {
   spec.runs = static_cast<std::size_t>(cli.get_int("runs", 5));
   spec.sim_time = params.total_time;
   spec.seed = params.seed;
+  spec.release_policy = release_from_cli(cli);
+  spec.output_ratio = cli.get_double("output-ratio", 0.0);
+  spec.shared_link = cli.get_flag("shared-link");
+  spec.halt_on_theorem4 = cli.get_int("halt-on-theorem4", 1) != 0;
   for (const std::string& name : util::split(cli.get("algorithms").value(), ',')) {
     spec.algorithms.push_back(std::string(util::trim(name)));
   }
@@ -152,36 +182,249 @@ int cmd_sweep(int argc, const char* const* argv) {
   return 0;
 }
 
+void print_figure_ids(std::FILE* out) {
+  std::fputs("ids:", out);
+  for (const std::string& id : exp::figure_ids()) std::fprintf(out, " %s", id.c_str());
+  std::fputc('\n', out);
+}
+
 int cmd_figure(int argc, const char* const* argv) {
   util::CliParser cli;
-  cli.add_option({"id", "figure id (fig03..fig16, ablation_*)", "fig03", false});
+  cli.add_option({"id", "figure id (see `rtdls_cli campaign list`)", "fig03", false});
   cli.add_option({"help", "show usage", "", true});
   if (!cli.parse(argc, argv) || cli.get_flag("help")) {
     std::fputs(cli.usage("rtdls_cli figure").c_str(), stderr);
-    std::fputs("ids: fig03 fig04 fig05 fig06 fig07 fig08 fig09 fig10 fig11 fig12\n",
-               stderr);
-    std::fputs("     fig13 fig14 fig15 fig16 ablation_release ablation_multiround\n",
-               stderr);
-    std::fputs("     ablation_opr_an ablation_backfill ablation_output\n", stderr);
+    print_figure_ids(stderr);
     return cli.get_flag("help") ? 0 : 1;
   }
   const std::string id = cli.get("id").value();
   const exp::Scale scale = exp::Scale::from_env();
-
-  std::vector<exp::FigureSpec> figures = exp::paper_figures(scale);
-  figures.push_back(exp::ablation_release_policy(scale));
-  figures.push_back(exp::ablation_multiround(scale));
-  figures.push_back(exp::ablation_opr_an(scale));
-  figures.push_back(exp::ablation_backfill(scale));
-  figures.push_back(exp::ablation_output(scale));
-  for (const exp::FigureSpec& figure : figures) {
-    if (figure.id == id) {
-      exp::report_figure(figure);
-      return 0;
-    }
+  try {
+    exp::report_figure(exp::find_figure(id, scale));
+  } catch (const std::invalid_argument&) {
+    std::fprintf(stderr, "unknown figure id '%s'\n", id.c_str());
+    print_figure_ids(stderr);
+    return 1;
   }
-  std::fprintf(stderr, "unknown figure id '%s'\n", id.c_str());
-  return 1;
+  return 0;
+}
+
+// --- campaign ---------------------------------------------------------------
+
+void add_campaign_plan_options(util::CliParser& cli) {
+  cli.add_option({"figures", "comma-separated figure ids, or `paper` / `all`", "", false});
+  cli.add_option({"spec", "campaign spec file (see exp/spec_io.hpp)", "", false});
+  cli.add_option({"help", "show usage", "", true});
+}
+
+/// Builds the experiment plan from --spec or --figures (exactly one).
+exp::Campaign campaign_from_cli(const util::CliParser& cli, const exp::Scale& scale) {
+  const std::string spec_path = cli.get("spec").value_or("");
+  const std::string figure_list = cli.get("figures").value_or("");
+  if (!spec_path.empty() && !figure_list.empty()) {
+    throw std::invalid_argument("campaign: pass --spec or --figures, not both");
+  }
+  if (!spec_path.empty()) {
+    std::ifstream file(spec_path);
+    if (!file) throw std::runtime_error("campaign: cannot open spec file " + spec_path);
+    std::ostringstream text;
+    text << file.rdbuf();
+    return exp::Campaign(exp::parse_campaign(
+        text.str(), [&scale](const std::string& id) { return exp::find_figure(id, scale); }));
+  }
+  if (figure_list.empty()) {
+    throw std::invalid_argument("campaign: pass --figures id[,id...] (or `paper`/`all`) "
+                                "or --spec file");
+  }
+  if (figure_list == "all") return exp::Campaign(exp::all_figures(scale));
+  if (figure_list == "paper") return exp::Campaign(exp::paper_figures(scale));
+  std::vector<exp::FigureSpec> figures;
+  for (const std::string& id : util::split(figure_list, ',')) {
+    figures.push_back(exp::find_figure(std::string(util::trim(id)), scale));
+  }
+  return exp::Campaign(std::move(figures));
+}
+
+/// Renders results figure by figure, writes the final CSV/gnuplot files,
+/// prints the shape checks. Shared by `campaign run` and `campaign merge`,
+/// so a merged fleet run is reported exactly like a single-process one.
+int report_campaign(const exp::Campaign& campaign, const std::vector<exp::SweepResult>& results,
+                    const std::string& dir, bool quiet) {
+  int failures = 0;
+  std::size_t sweep = 0;
+  for (const exp::FigureSpec& figure : campaign.figures()) {
+    std::printf("=== %s: %s ===\n", figure.id.c_str(), figure.title.c_str());
+    const std::vector<exp::SweepResult> panels(
+        results.begin() + static_cast<std::ptrdiff_t>(sweep),
+        results.begin() + static_cast<std::ptrdiff_t>(sweep + figure.panels.size()));
+    sweep += figure.panels.size();
+    for (const exp::SweepResult& panel : panels) {
+      if (!quiet) std::fputs(exp::render_sweep(panel).c_str(), stdout);
+      const std::string csv = exp::write_sweep_csv(dir, panel);
+      const std::string gp = exp::write_sweep_gnuplot(dir, panel);
+      std::printf("csv: %s   gnuplot: %s\n", csv.c_str(), gp.c_str());
+    }
+    for (const exp::ShapeCheck& check : exp::evaluate_checks(panels)) {
+      std::printf("[%s] %s  (%s)\n", check.passed ? "PASS" : "WARN",
+                  check.description.c_str(), check.detail.c_str());
+      if (!check.passed) ++failures;
+    }
+    std::fputc('\n', stdout);
+  }
+  std::fflush(stdout);
+  return failures;
+}
+
+exp::CampaignOptions campaign_options(const util::CliParser& cli, util::ThreadPool& pool) {
+  exp::CampaignOptions options;
+  options.pool = &pool;
+  if (cli.get_flag("progress")) {
+    options.progress = [](const exp::CellRef&, std::size_t done, std::size_t total) {
+      std::fprintf(stderr, "\rcampaign: %zu/%zu cells", done, total);
+      if (done == total) std::fputc('\n', stderr);
+      std::fflush(stderr);
+    };
+  }
+  return options;
+}
+
+std::size_t campaign_jobs(const util::CliParser& cli, const exp::Scale& scale) {
+  const std::size_t jobs = static_cast<std::size_t>(cli.get_int("jobs", 0));
+  return jobs != 0 ? jobs : scale.jobs;
+}
+
+int cmd_campaign_list() {
+  const exp::Scale scale = exp::Scale::from_env();
+  std::printf("%-22s %7s  %s\n", "id", "panels", "title");
+  for (const std::string& id : exp::figure_ids()) {
+    const exp::FigureSpec figure = exp::find_figure(id, scale);
+    std::printf("%-22s %7zu  %s\n", figure.id.c_str(), figure.panels.size(),
+                figure.title.c_str());
+  }
+  std::puts("(`--figures paper` = fig03..fig16, `--figures all` = + ablations)");
+  return 0;
+}
+
+int cmd_campaign_run(int argc, const char* const* argv) {
+  util::CliParser cli;
+  add_campaign_plan_options(cli);
+  cli.add_option({"csv-dir", "directory for final CSV/gnuplot output", "results", false});
+  cli.add_option({"cells", "also stream per-cell results to this CSV file", "", false});
+  cli.add_option({"jobs", "worker threads (default: RTDLS_JOBS/hardware)", "0", false});
+  cli.add_option({"progress", "print live cell progress to stderr", "", true});
+  cli.add_option({"quiet", "skip tables/charts; print file paths and checks only", "", true});
+  if (!cli.parse(argc, argv) || cli.get_flag("help")) {
+    std::fputs(cli.usage("rtdls_cli campaign run").c_str(), stderr);
+    return cli.get_flag("help") ? 0 : 1;
+  }
+  const exp::Scale scale = exp::Scale::from_env();
+  const exp::Campaign campaign = campaign_from_cli(cli, scale);
+  util::ThreadPool pool(campaign_jobs(cli, scale));
+  const exp::CampaignOptions options = campaign_options(cli, pool);
+
+  exp::AggregateSink aggregate(campaign);
+  std::vector<exp::ResultSink*> sinks{&aggregate};
+  std::unique_ptr<exp::CellCsvSink> cells;
+  if (const std::string path = cli.get("cells").value_or(""); !path.empty()) {
+    cells = std::make_unique<exp::CellCsvSink>(path);
+    sinks.push_back(cells.get());
+  }
+  exp::TeeSink tee(sinks);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  exp::run_campaign(campaign, options, tee);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  const int failures = report_campaign(campaign, aggregate.take(wall),
+                                       cli.get("csv-dir").value(), cli.get_flag("quiet"));
+  std::printf("campaign: %zu cells in %.3fs", campaign.cell_count(), wall);
+  if (failures != 0) std::printf(", %d shape check(s) below expectation at this scale", failures);
+  std::fputc('\n', stdout);
+  return 0;
+}
+
+int cmd_campaign_shard(int argc, const char* const* argv) {
+  util::CliParser cli;
+  add_campaign_plan_options(cli);
+  cli.add_option({"shard", "this machine's stripe i/m of the cell queue (0-based)", "", false});
+  cli.add_option({"cells", "output per-cell CSV file for this shard", "", false});
+  cli.add_option({"jobs", "worker threads (default: RTDLS_JOBS/hardware)", "0", false});
+  cli.add_option({"progress", "print live cell progress to stderr", "", true});
+  if (!cli.parse(argc, argv) || cli.get_flag("help")) {
+    std::fputs(cli.usage("rtdls_cli campaign shard").c_str(), stderr);
+    return cli.get_flag("help") ? 0 : 1;
+  }
+  const std::string shard_text = cli.get("shard").value_or("");
+  const std::string cells_path = cli.get("cells").value_or("");
+  if (shard_text.empty() || cells_path.empty()) {
+    throw std::invalid_argument("campaign shard: --shard i/m and --cells file are required");
+  }
+  const exp::Scale scale = exp::Scale::from_env();
+  const exp::Campaign campaign = campaign_from_cli(cli, scale);
+  util::ThreadPool pool(campaign_jobs(cli, scale));
+  exp::CampaignOptions options = campaign_options(cli, pool);
+  options.shard = exp::parse_shard(shard_text);
+
+  exp::CellCsvSink sink(cells_path);
+  const auto wall_start = std::chrono::steady_clock::now();
+  exp::run_campaign(campaign, options, sink);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  const std::size_t total = campaign.cell_count();
+  const std::size_t mine =
+      total / options.shard.count + (options.shard.index < total % options.shard.count ? 1 : 0);
+  std::printf("shard %zu/%zu: %zu of %zu cells -> %s (%.3fs)\n", options.shard.index,
+              options.shard.count, mine, total, cells_path.c_str(), wall);
+  return 0;
+}
+
+int cmd_campaign_merge(int argc, const char* const* argv) {
+  util::CliParser cli;
+  add_campaign_plan_options(cli);
+  cli.add_option({"cells", "comma-separated shard cell files (every shard)", "", false});
+  cli.add_option({"csv-dir", "directory for final CSV/gnuplot output", "results", false});
+  cli.add_option({"quiet", "skip tables/charts; print file paths and checks only", "", true});
+  if (!cli.parse(argc, argv) || cli.get_flag("help")) {
+    std::fputs(cli.usage("rtdls_cli campaign merge").c_str(), stderr);
+    return cli.get_flag("help") ? 0 : 1;
+  }
+  const std::string cells = cli.get("cells").value_or("");
+  if (cells.empty()) {
+    throw std::invalid_argument("campaign merge: --cells file[,file...] is required");
+  }
+  const exp::Scale scale = exp::Scale::from_env();
+  const exp::Campaign campaign = campaign_from_cli(cli, scale);
+  std::vector<std::string> paths;
+  for (const std::string& path : util::split(cells, ',')) {
+    paths.push_back(std::string(util::trim(path)));
+  }
+  const std::vector<exp::SweepResult> results = exp::merge_cell_files(campaign, paths);
+  const int failures = report_campaign(campaign, results, cli.get("csv-dir").value(),
+                                       cli.get_flag("quiet"));
+  std::printf("merged %zu cells from %zu shard file(s)", campaign.cell_count(), paths.size());
+  if (failures != 0) std::printf(", %d shape check(s) below expectation at this scale", failures);
+  std::fputc('\n', stdout);
+  return 0;
+}
+
+int cmd_campaign(int argc, const char* const* argv) {
+  const char* verb = argc >= 2 ? argv[1] : "";
+  if (std::strcmp(verb, "list") == 0) return cmd_campaign_list();
+  if (std::strcmp(verb, "run") == 0) return cmd_campaign_run(argc - 1, argv + 1);
+  if (std::strcmp(verb, "shard") == 0) return cmd_campaign_shard(argc - 1, argv + 1);
+  if (std::strcmp(verb, "merge") == 0) return cmd_campaign_merge(argc - 1, argv + 1);
+  std::fputs(
+      "usage: rtdls_cli campaign <verb> [options]\n"
+      "verbs:\n"
+      "  list    the figure inventory (ids usable with --figures / spec `use =`)\n"
+      "  run     execute a whole campaign: final CSVs, charts, shape checks\n"
+      "  shard   execute stripe i/m of the cell queue into a per-cell CSV\n"
+      "  merge   fold every shard's cell file into the final CSVs/checks\n"
+      "plans: --figures fig03,fig08 | --figures paper | --figures all | --spec plan.spec\n",
+      stderr);
+  return verb[0] == '\0' ? 1 : (std::strcmp(verb, "--help") == 0 ? 0 : 1);
 }
 
 void print_usage() {
@@ -192,7 +435,8 @@ void print_usage() {
       "  generate     generate a workload trace CSV\n"
       "  simulate     run one algorithm over a trace or generated workload\n"
       "  sweep        reject-ratio load sweep for a set of algorithms\n"
-      "  figure       reproduce a paper figure / ablation by id\n",
+      "  figure       reproduce a paper figure / ablation by id\n"
+      "  campaign     run/shard/merge multi-figure experiment plans\n",
       stderr);
 }
 
@@ -210,6 +454,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
     if (command == "sweep") return cmd_sweep(argc - 1, argv + 1);
     if (command == "figure") return cmd_figure(argc - 1, argv + 1);
+    if (command == "campaign") return cmd_campaign(argc - 1, argv + 1);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
