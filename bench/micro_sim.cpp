@@ -67,36 +67,47 @@ void BM_FullSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_FullSimulation)->Arg(3)->Arg(8)->Arg(10);
 
-// The acceptance scenario for the incremental-admission refactor: a
-// high-load EDF sweep with loose deadlines (DCRatio 20), where the waiting
-// queue is deep and the Figure-2 re-plan of every waiting task dominates.
+// The acceptance scenario for the incremental-admission + availability-index
+// work: a high-load EDF sweep with loose deadlines (DCRatio 20), where the
+// waiting queue is deep and the Figure-2 re-plan of every waiting task
+// dominates. Args are (dc_ratio, node_count); the N=256/1024 variants stress
+// the per-plan availability handling (the index replaces the O(N log N)
+// re-sorts). The horizon shrinks with N so each variant simulates a
+// comparable number of arrivals (larger N -> shorter E -> faster arrivals).
 void BM_HighLoadSweep(benchmark::State& state) {
   const double dc_ratio = static_cast<double>(state.range(0));
+  const auto node_count = static_cast<std::size_t>(state.range(1));
+  const double horizon = 400000.0 * 16.0 / static_cast<double>(node_count);
   std::vector<std::vector<workload::Task>> traces;
   std::size_t total_tasks = 0;
   for (double load : {0.8, 1.0}) {
     workload::WorkloadParams params;
-    params.cluster = {.node_count = 16, .cms = 1.0, .cps = 100.0};
+    params.cluster = {.node_count = node_count, .cms = 1.0, .cps = 100.0};
     params.system_load = load;
     params.dc_ratio = dc_ratio;
-    params.total_time = 400000.0;
+    params.total_time = horizon;
     params.seed = 7;
     traces.push_back(workload::generate_workload(params));
     total_tasks += traces.back().size();
   }
   sim::SimulatorConfig config;
-  config.params = {.node_count = 16, .cms = 1.0, .cps = 100.0};
+  config.params = {.node_count = node_count, .cms = 1.0, .cps = 100.0};
 
   const sched::Algorithm algorithm = sched::make_algorithm("EDF-DLT");
   sim::ClusterSimulator simulator(config, algorithm);
   for (auto _ : state) {
     for (const auto& tasks : traces) {
-      benchmark::DoNotOptimize(simulator.run(tasks, 400000.0));
+      benchmark::DoNotOptimize(simulator.run(tasks, horizon));
     }
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * total_tasks));
 }
-BENCHMARK(BM_HighLoadSweep)->Arg(2)->Arg(20)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HighLoadSweep)
+    ->Args({2, 16})
+    ->Args({20, 16})
+    ->Args({20, 256})
+    ->Args({20, 1024})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_WorkloadGeneration(benchmark::State& state) {
   workload::WorkloadParams params;

@@ -1,0 +1,96 @@
+#include "cluster/availability_index.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <type_traits>
+
+namespace rtdls::cluster {
+
+void AvailabilityIndex::reset(std::size_t nodes) {
+  entries_.resize(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    entries_[i] = Entry{0.0, static_cast<NodeId>(i)};
+  }
+}
+
+static_assert(std::is_trivially_copyable_v<AvailabilityIndex::Entry>,
+              "update() repositions entries with memmove");
+
+void AvailabilityIndex::update(NodeId node, Time from, Time to) {
+  const auto it = std::lower_bound(entries_.begin(), entries_.end(), Entry{from, node}, less);
+  if (it == entries_.end() || it->node != node || it->free_at != from) {
+    throw std::logic_error("AvailabilityIndex::update: entry not found (index desync)");
+  }
+  // Reposition with a raw shift: a commit typically moves one entry across
+  // a large slice of the array (free-now -> released-last), and memmove on
+  // the trivially-copyable entries is several times faster there than
+  // std::rotate's element cycle.
+  const Entry moved{to, node};
+  if (to > from) {
+    const auto dest = std::lower_bound(it + 1, entries_.end(), moved, less);
+    std::memmove(&*it, &*it + 1, static_cast<std::size_t>(dest - it - 1) * sizeof(Entry));
+    *(dest - 1) = moved;
+  } else if (to < from) {
+    const auto dest = std::lower_bound(entries_.begin(), it, moved, less);
+    std::memmove(&*dest + 1, &*dest, static_cast<std::size_t>(it - dest) * sizeof(Entry));
+    *dest = moved;
+  } else {
+    it->free_at = to;
+  }
+}
+
+std::size_t AvailabilityIndex::available_by(Time t) const {
+  const auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), t,
+      [](Time value, const Entry& entry) { return value < entry.free_at; });
+  return static_cast<std::size_t>(it - entries_.begin());
+}
+
+Time AvailabilityIndex::kth_free_time(std::size_t k) const {
+  if (k >= entries_.size()) {
+    throw std::invalid_argument("AvailabilityIndex::kth_free_time: k out of range");
+  }
+  return entries_[k].free_at;
+}
+
+void AvailabilityIndex::availability_into(Time now, std::vector<Time>& out) const {
+  const std::size_t floored = available_by(now);
+  out.resize(entries_.size());
+  std::fill(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(floored), now);
+  for (std::size_t i = floored; i < entries_.size(); ++i) out[i] = entries_[i].free_at;
+}
+
+void AvailabilityIndex::earliest_free_nodes_into(Time now, std::size_t n,
+                                                 std::vector<NodeId>& out) const {
+  if (n > entries_.size()) {
+    throw std::invalid_argument("AvailabilityIndex::earliest_free_nodes: n exceeds size");
+  }
+  const std::size_t floored = available_by(now);
+  const std::size_t take = std::min(n, floored);
+  out.resize(floored);
+  for (std::size_t i = 0; i < floored; ++i) out[i] = entries_[i].node;
+  // All floored nodes tie at `now`, so only their n smallest ids are needed.
+  if (take < floored) {
+    std::nth_element(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(take), out.end());
+  }
+  std::sort(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(take));
+  out.resize(take);
+  // Past the floor the index order (free_at, then id) is the answer order.
+  for (std::size_t i = floored; out.size() < n; ++i) out.push_back(entries_[i].node);
+}
+
+bool AvailabilityIndex::consistent_with(const std::vector<Time>& free_times) const {
+  if (entries_.size() != free_times.size()) return false;
+  std::vector<bool> seen(free_times.size(), false);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& entry = entries_[i];
+    if (entry.node >= free_times.size() || seen[entry.node]) return false;
+    seen[entry.node] = true;
+    if (entry.free_at != free_times[entry.node]) return false;
+    if (i > 0 && !less(entries_[i - 1], entry)) return false;
+  }
+  return true;
+}
+
+}  // namespace rtdls::cluster

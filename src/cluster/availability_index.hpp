@@ -1,0 +1,92 @@
+// Sorted free-time index over a cluster's nodes.
+//
+// The Figure-2 admission test consumes the cluster's availability as the
+// sorted vector of node release times on every arrival; rebuilding that
+// vector with a full sort is O(N log N) per plan and is the large-N
+// bottleneck named in ROADMAP. This index keeps the (free_at, node) pairs
+// permanently sorted and repositions exactly one entry per node mutation
+// (commit / early release), so snapshot reads degrade to an O(N) copy and
+// rank queries to an O(log N) binary search.
+//
+// Invariants (checked by consistent_with / the index tests):
+//  * entries() is strictly ordered by (free_at, node) - the node id breaks
+//    ties, so iteration order is deterministic and matches the admission
+//    path's historical stable_sort tie-breaking;
+//  * there is exactly one entry per node id in [0, size());
+//  * every entry's free_at equals the owning Node's free_at() - the Node
+//    remains the source of truth, the index is a mirror the Cluster updates
+//    inside the same mutation that bumps its availability version.
+//
+// A Fenwick count over bucketed release times was considered for the
+// first-crossing queries and rejected: release times are unbounded
+// continuous doubles, so bucketing would either quantize (breaking the
+// bit-identical-schedules requirement) or need periodic rebuilds; on a
+// permanently sorted vector the same queries are exact O(log N) binary
+// searches (available_by / kth_free_time), and the n_min first crossing in
+// the partition rules gallops on the sorted state directly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/types.hpp"
+
+namespace rtdls::cluster {
+
+class AvailabilityIndex {
+ public:
+  /// One indexed node: its current release time and identity.
+  struct Entry {
+    Time free_at = 0.0;
+    NodeId node = 0;
+  };
+
+  /// (Re)builds the index for `nodes` nodes, all free at time 0 (the
+  /// cluster's initial / post-reset state). Keeps allocations.
+  void reset(std::size_t nodes);
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Entries sorted ascending by (free_at, node).
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Repositions `node` after its release time changed from `from` to `to`.
+  /// `from` must be the node's currently indexed time (throws
+  /// std::logic_error otherwise - a desynced index is a bug, not a state).
+  void update(NodeId node, Time from, Time to);
+
+  /// Number of nodes with free_at <= t: the paper's AN(t) ("available
+  /// nodes by t") quantity. O(log N).
+  std::size_t available_by(Time t) const;
+
+  /// k-th smallest release time (0-based): the instant k+1 nodes are
+  /// simultaneously available. k must be < size().
+  Time kth_free_time(std::size_t k) const;
+
+  /// Writes the sorted availability snapshot floored at `now` into `out`:
+  /// bit-identical to sorting max(free_at, now) over all nodes, without the
+  /// sort (the floored prefix collapses to `now`; the rest is already
+  /// ordered). O(N) copy.
+  void availability_into(Time now, std::vector<Time>& out) const;
+
+  /// Ids of the `n` earliest-available nodes at `now`, ties broken by id:
+  /// bit-identical to a stable sort of all ids by (max(free_at, now), id).
+  /// Nodes already free at `now` all tie, so the floored prefix is reduced
+  /// to its n smallest ids via a partial selection instead of a full sort.
+  /// n must not exceed size().
+  void earliest_free_nodes_into(Time now, std::size_t n, std::vector<NodeId>& out) const;
+
+  /// Debug/tests: true iff the invariants hold against the authoritative
+  /// per-node release times (free_times[i] = node i's free_at()).
+  bool consistent_with(const std::vector<Time>& free_times) const;
+
+ private:
+  static bool less(const Entry& a, const Entry& b) {
+    if (a.free_at != b.free_at) return a.free_at < b.free_at;
+    return a.node < b.node;
+  }
+
+  std::vector<Entry> entries_;  ///< sorted by (free_at, node)
+};
+
+}  // namespace rtdls::cluster

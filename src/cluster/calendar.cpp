@@ -70,9 +70,17 @@ std::vector<Time> NodeCalendar::candidate_times(Time from) const {
     }
   }
   std::sort(times.begin(), times.end());
-  times.erase(std::unique(times.begin(), times.end(),
-                          [](Time a, Time b) { return std::abs(a - b) <= kEps; }),
-              times.end());
+  // Anchor-based dedupe: |a-b| <= kEps is not transitive, so handing it to
+  // std::unique is unspecified - depending on which elements the
+  // implementation compares, a chain of near-equal edges (each within kEps
+  // of its neighbour) could collapse into one candidate arbitrarily far
+  // from the dropped edges. Comparing against the last KEPT time instead
+  // guarantees every dropped edge lies within kEps of a surviving anchor.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (kept == 0 || times[i] > times[kept - 1] + kEps) times[kept++] = times[i];
+  }
+  times.resize(kept);
   return times;
 }
 

@@ -1,7 +1,5 @@
 #include "cluster/cluster.hpp"
 
-#include <algorithm>
-#include <numeric>
 #include <stdexcept>
 
 namespace rtdls::cluster {
@@ -12,10 +10,12 @@ Cluster::Cluster(ClusterParams params) : params_(params) {
   for (std::size_t i = 0; i < params_.node_count; ++i) {
     nodes_.emplace_back(static_cast<NodeId>(i));
   }
+  index_.reset(params_.node_count);
 }
 
 void Cluster::reset() {
   for (Node& node : nodes_) node.reset();
+  index_.reset(nodes_.size());
   ++version_;
 }
 
@@ -27,12 +27,7 @@ AvailabilityView Cluster::availability(Time now) const {
 }
 
 void Cluster::availability_into(Time now, std::vector<Time>& out) const {
-  out.clear();
-  out.reserve(nodes_.size());
-  for (const Node& node : nodes_) {
-    out.push_back(std::max(node.free_at(), now));
-  }
-  std::sort(out.begin(), out.end());
+  index_.availability_into(now, out);
 }
 
 std::vector<NodeId> Cluster::earliest_free_nodes(Time now, std::size_t n) const {
@@ -46,24 +41,22 @@ void Cluster::earliest_free_nodes_into(Time now, std::size_t n,
   if (n > nodes_.size()) {
     throw std::invalid_argument("Cluster::earliest_free_nodes: n exceeds cluster size");
   }
-  out.resize(nodes_.size());
-  std::iota(out.begin(), out.end(), 0);
-  std::stable_sort(out.begin(), out.end(), [&](NodeId a, NodeId b) {
-    const Time fa = std::max(nodes_[a].free_at(), now);
-    const Time fb = std::max(nodes_[b].free_at(), now);
-    if (fa != fb) return fa < fb;
-    return a < b;
-  });
-  out.resize(n);
+  index_.earliest_free_nodes_into(now, n, out);
 }
 
 void Cluster::commit(NodeId id, TaskId task, Time usable_from, Time start, Time end) {
-  nodes_.at(id).commit(task, usable_from, start, end);
+  Node& node = nodes_.at(id);
+  const Time before = node.free_at();
+  node.commit(task, usable_from, start, end);
+  index_.update(id, before, node.free_at());
   ++version_;
 }
 
 void Cluster::release_early(NodeId id, Time at) {
-  nodes_.at(id).release_early(at);
+  Node& node = nodes_.at(id);
+  const Time before = node.free_at();
+  node.release_early(at);
+  index_.update(id, before, node.free_at());
   ++version_;
 }
 
@@ -77,6 +70,13 @@ Time Cluster::total_idle_gap_time() const {
   Time total = 0.0;
   for (const Node& node : nodes_) total += node.idle_gap_time();
   return total;
+}
+
+bool Cluster::index_consistent() const {
+  std::vector<Time> free_times;
+  free_times.reserve(nodes_.size());
+  for (const Node& node : nodes_) free_times.push_back(node.free_at());
+  return index_.consistent_with(free_times);
 }
 
 }  // namespace rtdls::cluster

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "cluster/availability_index.hpp"
 #include "cluster/node.hpp"
 #include "cluster/types.hpp"
 
@@ -45,7 +46,8 @@ class Cluster {
   /// Builds the availability snapshot at time `now`.
   AvailabilityView availability(Time now) const;
 
-  /// Same snapshot written into `out` (capacity reused; hot path).
+  /// Same snapshot written into `out` (capacity reused; hot path). Served
+  /// from the sorted free-time index: an O(N) copy, no per-call sort.
   void availability_into(Time now, std::vector<Time>& out) const;
 
   /// Ids of the `n` earliest-available nodes at `now` (ties broken by id so
@@ -66,9 +68,19 @@ class Cluster {
   Time total_busy_time() const;
   Time total_idle_gap_time() const;
 
+  /// The sorted free-time index backing the availability reads; exposed for
+  /// rank queries (AvailabilityIndex::available_by / kth_free_time) and the
+  /// index-consistency tests.
+  const AvailabilityIndex& index() const { return index_; }
+
+  /// Debug/tests: true iff the index invariants hold against every node's
+  /// authoritative free_at().
+  bool index_consistent() const;
+
  private:
   ClusterParams params_;
   std::vector<Node> nodes_;
+  AvailabilityIndex index_;
   std::uint64_t version_ = 0;
 };
 

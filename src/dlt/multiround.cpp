@@ -15,7 +15,8 @@ Time MultiRoundSchedule::task_completion() const {
 
 MultiRoundSchedule build_multiround_schedule(const ClusterParams& params, double sigma,
                                              std::vector<Time> available,
-                                             std::size_t rounds) {
+                                             std::size_t rounds,
+                                             Time channel_available) {
   if (!params.valid()) throw std::invalid_argument("multiround: invalid cluster params");
   if (!(sigma > 0.0)) throw std::invalid_argument("multiround: sigma must be > 0");
   if (available.empty()) throw std::invalid_argument("multiround: need >= 1 node");
@@ -29,8 +30,8 @@ MultiRoundSchedule build_multiround_schedule(const ClusterParams& params, double
   schedule.initial_available = available;
   schedule.rounds.reserve(rounds);
 
-  std::vector<Time> node_free = available;  // sorted each round below
-  Time channel_free = 0.0;                  // single sequential channel
+  std::vector<Time> node_free = available;   // sorted each round below
+  Time channel_free = channel_available;     // single sequential channel
 
   for (std::size_t r = 0; r < rounds; ++r) {
     std::sort(node_free.begin(), node_free.end());
@@ -55,6 +56,7 @@ MultiRoundSchedule build_multiround_schedule(const ClusterParams& params, double
     schedule.rounds.push_back(std::move(plan));
   }
   schedule.node_completion = node_free;
+  schedule.channel_busy_until = channel_free;
   return schedule;
 }
 

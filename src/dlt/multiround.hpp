@@ -33,6 +33,7 @@ struct MultiRoundSchedule {
   std::vector<Time> initial_available;  ///< r_i, sorted ascending
   std::vector<RoundPlan> rounds;
   std::vector<Time> node_completion;    ///< per node, completion of its last chunk
+  Time channel_busy_until = 0.0;        ///< end of the last installment transmission
 
   /// Exact task completion time (max over nodes, last round).
   Time task_completion() const;
@@ -42,9 +43,15 @@ struct MultiRoundSchedule {
 /// `available`, using `rounds` uniform installments. rounds == 1 degenerates
 /// to the single-round heterogeneous-model schedule (with the exact timeline
 /// instead of the r_n + E_hat upper bound).
+///
+/// `channel_available`: earliest time the head node's link may serve this
+/// task. Planning assumes a dedicated channel (0); the shared-link execution
+/// rollout passes the global channel-free time so installments wait for the
+/// link instead of double-booking it.
 /// Preconditions: valid params, sigma > 0, >= 1 node, rounds >= 1.
 MultiRoundSchedule build_multiround_schedule(const ClusterParams& params, double sigma,
                                              std::vector<Time> available,
-                                             std::size_t rounds);
+                                             std::size_t rounds,
+                                             Time channel_available = 0.0);
 
 }  // namespace rtdls::dlt

@@ -150,6 +150,10 @@ class AdmissionController {
   std::vector<Time> work_state_;
   std::vector<TaskPlan> scratch_plans_;
   std::vector<Time> scratch_rows_;
+  /// apply_plan's merge buffer; mutable so the const (stateless) test()
+  /// reuses it too. Consistent with the single-thread affinity of the
+  /// controller (like the rules' plan scratch, one instance per simulator).
+  mutable std::vector<Time> merge_scratch_;
 };
 
 }  // namespace rtdls::sched

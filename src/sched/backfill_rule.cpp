@@ -41,11 +41,21 @@ class OprMnBackfillRule final : public PartitionRule {
         // n_min only grows with t: no later candidate can need fewer nodes.
         return PlanResult::infeasible(dlt::Infeasibility::kNeedsMoreNodes);
       }
-      const std::size_t m = need.nodes;
-      const double duration =
+      std::size_t m = need.nodes;
+      double duration =
           dlt::homogeneous_execution_time(request.params, task.sigma(), m);
       if (t + duration > deadline + 1e-9) {
-        return PlanResult::infeasible(dlt::Infeasibility::kNeedsMoreNodes);
+        // n_min's "accept n-1 within 1e-12 relative slack" nudge can make
+        // E(m) overshoot the deadline by more than the 1e-9 tolerance at
+        // large time magnitudes. That makes only this node count tight, not
+        // the whole scan hopeless: one extra node restores the un-nudged
+        // bound; failing even that, try the next edge rather than reject.
+        if (m >= calendar.size()) continue;
+        const double retry =
+            dlt::homogeneous_execution_time(request.params, task.sigma(), m + 1);
+        if (t + retry > deadline + 1e-9) continue;
+        m += 1;
+        duration = retry;
       }
 
       // Are m nodes simultaneously free over [t, t + duration)?

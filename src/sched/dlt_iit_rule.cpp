@@ -82,6 +82,34 @@ class DltIitRule final : public PartitionRule {
 
 namespace detail {
 
+namespace {
+
+/// The linear scan returns the reason found at the FIRST infeasible
+/// position; feasibility is monotone in rn (the slack and gamma only shrink
+/// as rn grows), so that position is recovered by binary search over
+/// (first_feasible, known_infeasible]. `known_reason` is the reason already
+/// evaluated at the `infeasible` endpoint, so the common case (the range is
+/// a single position) costs no extra n_min evaluation.
+std::pair<std::size_t, dlt::Infeasibility> first_infeasible_reason(
+    const cluster::ClusterParams& params, double sigma, Time deadline,
+    const std::vector<Time>& free_times, std::size_t feasible, std::size_t infeasible,
+    dlt::Infeasibility known_reason) {
+  std::size_t lo = feasible + 1;
+  std::size_t hi = infeasible;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (dlt::minimum_nodes(params, sigma, deadline, free_times[mid - 1]).feasible()) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == infeasible) return {0, known_reason};
+  return {0, dlt::minimum_nodes(params, sigma, deadline, free_times[lo - 1]).reason};
+}
+
+}  // namespace
+
 std::pair<std::size_t, dlt::Infeasibility> resolve_node_count(
     NodeSearch search, const cluster::ClusterParams& params, double sigma, Time deadline,
     const std::vector<Time>& free_times) {
@@ -93,14 +121,35 @@ std::pair<std::size_t, dlt::Infeasibility> resolve_node_count(
     if (need.nodes > cluster_size) return {0, dlt::Infeasibility::kNeedsMoreNodes};
     return {need.nodes, dlt::Infeasibility::kNone};
   }
-  for (std::size_t n = 1; n <= cluster_size; ++n) {
+  // Galloping least-fixed-point search, outcome-identical to the linear
+  // n = 1..N scan. n_min_tilde(rn) is nondecreasing in rn and
+  // rn(n) = free_times[n-1] is nondecreasing in n, so from a failing n with
+  // m = n_min_tilde(rn(n)) > n every n' in (n, m) also fails
+  // (n_min_tilde(rn(n')) >= m > n') and the search jumps straight to m:
+  // O(log N)-ish evaluations on real availability states instead of O(N).
+  std::size_t feasible_up_to = 0;  // largest position known feasible
+  std::size_t n = 1;
+  while (n <= cluster_size) {
     const dlt::NminResult need =
         dlt::minimum_nodes(params, sigma, deadline, free_times[n - 1]);
     if (!need.feasible()) {
-      // gamma and the slack only shrink as rn grows: no larger n helps.
-      return {0, need.reason};
+      return first_infeasible_reason(params, sigma, deadline, free_times, feasible_up_to, n,
+                                     need.reason);
     }
     if (need.nodes <= n) return {need.nodes, dlt::Infeasibility::kNone};
+    feasible_up_to = n;
+    if (need.nodes > cluster_size) {
+      // No position can succeed any more; the scan would still surface an
+      // infeasibility if rn crosses the threshold before N.
+      const dlt::NminResult at_end =
+          dlt::minimum_nodes(params, sigma, deadline, free_times[cluster_size - 1]);
+      if (!at_end.feasible()) {
+        return first_infeasible_reason(params, sigma, deadline, free_times, feasible_up_to,
+                                       cluster_size, at_end.reason);
+      }
+      return {0, dlt::Infeasibility::kNeedsMoreNodes};
+    }
+    n = need.nodes;
   }
   return {0, dlt::Infeasibility::kNeedsMoreNodes};
 }

@@ -29,50 +29,46 @@ class MultiRoundRule final : public PartitionRule {
     const std::vector<Time>& free_times = *request.free_times;
     const Time deadline = task.abs_deadline();
 
-    for (std::size_t n = 1; n <= free_times.size(); ++n) {
-      const Time rn = free_times[n - 1];
-      const dlt::NminResult need = dlt::minimum_nodes(request.params, task.sigma(),
-                                                      deadline, rn);
-      if (!need.feasible()) return PlanResult::infeasible(need.reason);
-      if (need.nodes > n) continue;
+    // Same n_min first-crossing as the single-round rules; the shared
+    // resolver gallops on the sorted availability instead of scanning.
+    const auto [assigned, reason] = detail::resolve_node_count(
+        NodeSearch::kIterative, request.params, task.sigma(), deadline, free_times);
+    if (reason != dlt::Infeasibility::kNone) return PlanResult::infeasible(reason);
 
-      const std::size_t assigned = need.nodes;
-      std::vector<Time> available(free_times.begin(),
-                                  free_times.begin() + static_cast<std::ptrdiff_t>(assigned));
-      const dlt::MultiRoundSchedule schedule = dlt::build_multiround_schedule(
-          request.params, task.sigma(), available, rounds_);
-      const Time est = schedule.task_completion();
-      if (est > deadline + 1e-9) {
-        // R installments happened to be slower here; the single-round plan
-        // is guaranteed feasible with this node count.
-        return fallback_->plan(request);
-      }
-
-      PlanResult result;
-      TaskPlan& plan = result.plan;
-      plan.task = task.id;
-      plan.nodes = assigned;
-      plan.available = schedule.initial_available;
-      plan.reserve_from = schedule.initial_available;
-      // Exact per-node finishes. Rounds may permute node identity (each
-      // installment re-sorts by availability), so pair the sorted release
-      // multiset with the sorted availability: since every node finishes no
-      // earlier than it became available, order statistics keep
-      // node_release[i] >= available[i].
-      plan.node_release = schedule.node_completion;
-      std::sort(plan.node_release.begin(), plan.node_release.end());
-      // Aggregate per-node fraction across installments (for reporting).
-      plan.alpha.assign(assigned, 0.0);
-      for (const dlt::RoundPlan& round : schedule.rounds) {
-        for (std::size_t i = 0; i < assigned; ++i) {
-          plan.alpha[i] += round.alpha[i] / static_cast<double>(schedule.rounds.size());
-        }
-      }
-      plan.est_completion = est;
-      plan.rounds = rounds_;
-      return result;
+    std::vector<Time> available(free_times.begin(),
+                                free_times.begin() + static_cast<std::ptrdiff_t>(assigned));
+    const dlt::MultiRoundSchedule schedule = dlt::build_multiround_schedule(
+        request.params, task.sigma(), available, rounds_);
+    const Time est = schedule.task_completion();
+    if (est > deadline + 1e-9) {
+      // R installments happened to be slower here; the single-round plan
+      // is guaranteed feasible with this node count.
+      return fallback_->plan(request);
     }
-    return PlanResult::infeasible(dlt::Infeasibility::kNeedsMoreNodes);
+
+    PlanResult result;
+    TaskPlan& plan = result.plan;
+    plan.task = task.id;
+    plan.nodes = assigned;
+    plan.available = schedule.initial_available;
+    plan.reserve_from = schedule.initial_available;
+    // Exact per-node finishes. Rounds may permute node identity (each
+    // installment re-sorts by availability), so pair the sorted release
+    // multiset with the sorted availability: since every node finishes no
+    // earlier than it became available, order statistics keep
+    // node_release[i] >= available[i].
+    plan.node_release = schedule.node_completion;
+    std::sort(plan.node_release.begin(), plan.node_release.end());
+    // Aggregate per-node fraction across installments (for reporting).
+    plan.alpha.assign(assigned, 0.0);
+    for (const dlt::RoundPlan& round : schedule.rounds) {
+      for (std::size_t i = 0; i < assigned; ++i) {
+        plan.alpha[i] += round.alpha[i] / static_cast<double>(schedule.rounds.size());
+      }
+    }
+    plan.est_completion = est;
+    plan.rounds = rounds_;
+    return result;
   }
 
   std::string_view name() const override { return name_; }

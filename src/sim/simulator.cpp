@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "dlt/homogeneous.hpp"
+#include "dlt/multiround.hpp"
 #include "sim/exec_model.hpp"
 #include "util/log.hpp"
 
@@ -214,8 +215,18 @@ bool ClusterSimulator::commit_task(Time now, const WaitingEntry& entry) {
   if (plan.rounds > 1) {
     timeline.tx_start = plan.reserve_from;
     timeline.tx_end = plan.reserve_from;
-    timeline.completion = plan.node_release;
-    if (config_.shared_link) channel_free_ = plan.est_completion;
+    if (config_.shared_link) {
+      // The plan's MR timeline assumed a dedicated channel; re-roll the
+      // installments against the channel's current occupancy so a busy
+      // shared link delays them instead of being double-booked.
+      const dlt::MultiRoundSchedule rolled = dlt::build_multiround_schedule(
+          config_.params, task.sigma(), plan.available, plan.rounds, channel_free_);
+      timeline.completion = rolled.node_completion;
+      std::sort(timeline.completion.begin(), timeline.completion.end());
+      channel_free_ = rolled.channel_busy_until;
+    } else {
+      timeline.completion = plan.node_release;
+    }
     actual = timeline.task_completion();
   } else if (config_.output_ratio > 0.0) {
     const Time channel_at = config_.shared_link ? channel_free_ : 0.0;

@@ -1,0 +1,233 @@
+// Tests for cluster::AvailabilityIndex (the sorted free-time index behind
+// Cluster's availability reads): unit equivalence against the brute-force
+// sort it replaced, index-consistency invariants across commit /
+// release_early / mid-run reset, and large-N (512 nodes) property tests
+// asserting the incremental admission path stays bit-identical to the
+// stateless Figure-2 reference on top of the index.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "sim/schedule_log.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generator.hpp"
+#include "workload/rng.hpp"
+
+namespace rtdls {
+namespace {
+
+using cluster::NodeId;
+using cluster::Time;
+
+/// The pre-index availability computation: sort max(free_at, now).
+std::vector<Time> reference_availability(const cluster::Cluster& c, Time now) {
+  std::vector<Time> out;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    out.push_back(std::max(c.node(static_cast<NodeId>(i)).free_at(), now));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// The pre-index node selection: stable sort of ids by (floored time, id).
+std::vector<NodeId> reference_earliest(const cluster::Cluster& c, Time now, std::size_t n) {
+  std::vector<NodeId> ids(c.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::stable_sort(ids.begin(), ids.end(), [&](NodeId a, NodeId b) {
+    const Time fa = std::max(c.node(a).free_at(), now);
+    const Time fb = std::max(c.node(b).free_at(), now);
+    if (fa != fb) return fa < fb;
+    return a < b;
+  });
+  ids.resize(n);
+  return ids;
+}
+
+void expect_index_matches_reference(const cluster::Cluster& c, Time now) {
+  ASSERT_TRUE(c.index_consistent());
+  std::vector<Time> availability;
+  c.availability_into(now, availability);
+  const std::vector<Time> expected = reference_availability(c, now);
+  ASSERT_EQ(availability.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(availability[i], expected[i]) << "position " << i << " at now=" << now;
+  }
+  for (std::size_t n : {std::size_t{1}, c.size() / 2, c.size()}) {
+    if (n == 0) continue;
+    std::vector<NodeId> ids;
+    c.earliest_free_nodes_into(now, n, ids);
+    EXPECT_EQ(ids, reference_earliest(c, now, n)) << "n=" << n << " now=" << now;
+  }
+}
+
+TEST(AvailabilityIndex, InitialStateIsAllFreeInIdOrder) {
+  cluster::Cluster c({.node_count = 8, .cms = 1.0, .cps = 100.0});
+  ASSERT_TRUE(c.index_consistent());
+  EXPECT_EQ(c.index().available_by(0.0), 8u);
+  EXPECT_EQ(c.index().kth_free_time(0), 0.0);
+  EXPECT_EQ(c.index().kth_free_time(7), 0.0);
+  expect_index_matches_reference(c, 0.0);
+}
+
+TEST(AvailabilityIndex, TracksRandomCommitReleaseSequences) {
+  // Randomized sequences of the three mutations the index must mirror,
+  // cross-checked against the brute-force sort after every step.
+  cluster::Cluster c({.node_count = 24, .cms = 1.0, .cps = 100.0});
+  workload::Xoshiro256StarStar rng(12345);
+  std::vector<Time> committed_until(24, 0.0);
+  Time now = 0.0;
+  for (int step = 0; step < 400; ++step) {
+    const auto node = static_cast<NodeId>(rng() % 24);
+    const double action = rng.next_double();
+    if (action < 0.70) {
+      // Commit the node to a new interval after its current release.
+      const Time start = std::max(committed_until[node], now) + rng.next_double() * 50.0;
+      const Time end = start + 1.0 + rng.next_double() * 500.0;
+      c.commit(node, static_cast<cluster::TaskId>(step), start, start, end);
+      committed_until[node] = end;
+    } else if (action < 0.85) {
+      // Release it early somewhere inside its committed window.
+      const Time at = committed_until[node] * (0.5 + 0.5 * rng.next_double());
+      c.release_early(node, at);
+      committed_until[node] = at;
+    } else {
+      now += rng.next_double() * 100.0;
+    }
+    expect_index_matches_reference(c, now);
+  }
+}
+
+TEST(AvailabilityIndex, MidRunResetRestoresTheInitialIndex) {
+  cluster::Cluster c({.node_count = 16, .cms = 1.0, .cps = 100.0});
+  for (NodeId id = 0; id < 16; ++id) {
+    c.commit(id, 1, 0.0, 0.0, 100.0 + 10.0 * static_cast<double>(id));
+  }
+  expect_index_matches_reference(c, 50.0);
+  const std::uint64_t version_before = c.version();
+  c.reset();
+  EXPECT_GT(c.version(), version_before);  // resets must invalidate sessions
+  ASSERT_TRUE(c.index_consistent());
+  EXPECT_EQ(c.index().available_by(0.0), 16u);
+  expect_index_matches_reference(c, 0.0);
+  // And the index keeps working after the reset (back-to-back sweep cells).
+  c.commit(3, 2, 0.0, 0.0, 42.0);
+  expect_index_matches_reference(c, 0.0);
+}
+
+TEST(AvailabilityIndex, RankQueriesMatchTheSnapshot) {
+  cluster::Cluster c({.node_count = 8, .cms = 1.0, .cps = 100.0});
+  for (NodeId id = 0; id < 8; ++id) {
+    c.commit(id, 1, 0.0, 0.0, 100.0 * static_cast<double>(id + 1));
+  }
+  EXPECT_EQ(c.index().available_by(0.0), 0u);
+  EXPECT_EQ(c.index().available_by(100.0), 1u);
+  EXPECT_EQ(c.index().available_by(350.0), 3u);
+  EXPECT_EQ(c.index().available_by(800.0), 8u);
+  // kth_free_time(k) is availability()[k] whenever now precedes every
+  // release (the instant k+1 nodes are simultaneously available).
+  const auto view = c.availability(0.0);
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_EQ(c.index().kth_free_time(k), view.times[k]);
+  }
+}
+
+TEST(AvailabilityIndex, DesyncedUpdateThrows) {
+  cluster::Cluster c({.node_count = 4, .cms = 1.0, .cps = 100.0});
+  cluster::AvailabilityIndex index;
+  index.reset(4);
+  EXPECT_THROW(index.update(2, 5.0, 10.0), std::logic_error);  // wrong `from`
+  EXPECT_THROW(index.update(9, 0.0, 10.0), std::logic_error);  // unknown node
+  index.update(2, 0.0, 10.0);
+  EXPECT_EQ(index.available_by(0.0), 3u);
+}
+
+// --- large-N incremental-vs-full property tests ------------------------------
+
+workload::WorkloadParams large_cluster_params(std::uint64_t seed, double load,
+                                              double dc_ratio) {
+  workload::WorkloadParams params;
+  params.cluster = {.node_count = 512, .cms = 1.0, .cps = 100.0};
+  params.system_load = load;
+  params.dc_ratio = dc_ratio;
+  params.total_time = 30000.0;
+  params.seed = seed;
+  return params;
+}
+
+/// Incremental session (with the controller's full-test cross-check armed,
+/// which throws on any divergence) vs the stateless Figure-2 reference:
+/// every counter and every committed reservation must agree bit for bit.
+void expect_identical_schedules_at_512(const std::string& algorithm,
+                                       const workload::WorkloadParams& params,
+                                       sim::ReleasePolicy release_policy) {
+  const auto tasks = workload::generate_workload(params);
+
+  sim::ScheduleLog incremental_log;
+  sim::SimulatorConfig incremental_config;
+  incremental_config.params = params.cluster;
+  incremental_config.release_policy = release_policy;
+  incremental_config.incremental_admission = true;
+  incremental_config.cross_check_admission = true;
+  incremental_config.schedule_log = &incremental_log;
+
+  sim::ScheduleLog full_log;
+  sim::SimulatorConfig full_config = incremental_config;
+  full_config.incremental_admission = false;
+  full_config.cross_check_admission = false;
+  full_config.schedule_log = &full_log;
+
+  const sim::SimMetrics inc =
+      sim::simulate(incremental_config, algorithm, tasks, params.total_time);
+  const sim::SimMetrics full =
+      sim::simulate(full_config, algorithm, tasks, params.total_time);
+
+  ASSERT_EQ(inc.accepted, full.accepted) << algorithm;
+  ASSERT_EQ(inc.rejected, full.rejected) << algorithm;
+  ASSERT_EQ(inc.reject_reasons, full.reject_reasons) << algorithm;
+  ASSERT_EQ(inc.deadline_misses, full.deadline_misses) << algorithm;
+  EXPECT_EQ(inc.response_time.mean(), full.response_time.mean()) << algorithm;
+  EXPECT_EQ(inc.busy_time, full.busy_time) << algorithm;
+  EXPECT_EQ(inc.idle_gap_time, full.idle_gap_time) << algorithm;
+
+  ASSERT_EQ(incremental_log.size(), full_log.size()) << algorithm;
+  for (std::size_t i = 0; i < incremental_log.size(); ++i) {
+    const sim::ScheduleEntry& a = incremental_log.entries()[i];
+    const sim::ScheduleEntry& b = full_log.entries()[i];
+    ASSERT_EQ(a.task, b.task) << algorithm << " entry " << i;
+    ASSERT_EQ(a.node, b.node) << algorithm << " entry " << i;
+    ASSERT_EQ(a.start, b.start) << algorithm << " entry " << i;
+    ASSERT_EQ(a.end, b.end) << algorithm << " entry " << i;
+    ASSERT_EQ(a.alpha, b.alpha) << algorithm << " entry " << i;
+  }
+}
+
+TEST(AvailabilityIndexLargeN, IncrementalMatchesFullAt512Nodes) {
+  // EDF/FIFO x DLT/MR2 at N=512: the indexed availability reads, the merge
+  // in apply_plan, and the galloping n_min search must leave the schedules
+  // bit-identical to the stateless reference (cross-check mode throws on
+  // the first divergent arrival).
+  const char* algorithms[] = {"EDF-DLT", "FIFO-DLT", "EDF-MR2", "FIFO-MR2"};
+  const std::uint64_t seeds[] = {1, 11};
+  for (const char* algorithm : algorithms) {
+    for (std::uint64_t seed : seeds) {
+      expect_identical_schedules_at_512(algorithm, large_cluster_params(seed, 1.0, 20.0),
+                                        sim::ReleasePolicy::kEstimate);
+    }
+  }
+}
+
+TEST(AvailabilityIndexLargeN, IncrementalMatchesFullUnderEarlyReleaseAt512Nodes) {
+  // kActual releases reposition index entries backwards (release_early);
+  // the availability version must still invalidate cleanly and the index
+  // must stay exact.
+  expect_identical_schedules_at_512("EDF-DLT", large_cluster_params(3, 1.1, 20.0),
+                                    sim::ReleasePolicy::kActual);
+  expect_identical_schedules_at_512("FIFO-MR2", large_cluster_params(5, 1.1, 20.0),
+                                    sim::ReleasePolicy::kActual);
+}
+
+}  // namespace
+}  // namespace rtdls

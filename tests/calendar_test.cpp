@@ -1,7 +1,11 @@
 // Tests for the reservation calendar (backfilling substrate).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <vector>
 
 #include "cluster/calendar.hpp"
 
@@ -83,6 +87,46 @@ TEST(Calendar, CandidateTimesAreEdges) {
   EXPECT_DOUBLE_EQ(times.back(), 25.0);
   // From a later origin, earlier edges are dropped.
   EXPECT_EQ(calendar.candidate_times(21.0).size(), 2u);  // {21, 25}
+}
+
+TEST(Calendar, ChainedEpsilonEdgesKeepAnchoredCandidates) {
+  // Regression: the old dedupe handed the non-transitive |a-b| <= kEps
+  // predicate to std::unique, whose behavior on non-equivalence relations
+  // is unspecified - a chain of edges each within kEps of its neighbour
+  // could collapse into one candidate arbitrarily far from the dropped
+  // edges. The anchor-based dedupe guarantees every dropped edge stays
+  // within kEps of a surviving candidate.
+  constexpr Time kEps = 1e-9;  // NodeCalendar's reservation tolerance
+  NodeCalendar calendar(4);
+  const Time base = 100.0;
+  const Time step = 0.6 * kEps;  // adjacent edges "equal", chain ends not
+  std::vector<Time> edges;
+  for (NodeId id = 0; id < 4; ++id) {
+    const Time start = base + static_cast<Time>(id) * step;
+    calendar.reserve(id, start, base + 50.0);
+    edges.push_back(start);
+    edges.push_back(base + 50.0);
+  }
+
+  const std::vector<Time> times = calendar.candidate_times(0.0);
+  // Every real edge lies within kEps of a surviving candidate.
+  for (Time edge : edges) {
+    Time nearest = std::numeric_limits<Time>::infinity();
+    for (Time t : times) nearest = std::min(nearest, std::abs(t - edge));
+    EXPECT_LE(nearest, kEps) << "edge " << edge << " lost by the dedupe";
+  }
+  // Surviving candidates are genuinely distinct (> kEps apart), sorted.
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_GT(times[i] - times[i - 1], kEps);
+  }
+  // The chain must NOT have collapsed to a single candidate: its span
+  // (1.8 * kEps) exceeds the tolerance, so at least two anchors survive
+  // inside [base, base + 3*step].
+  std::size_t anchors_in_chain = 0;
+  for (Time t : times) {
+    if (t >= base - kEps / 2 && t <= base + 3.0 * step + kEps / 2) ++anchors_in_chain;
+  }
+  EXPECT_GE(anchors_in_chain, 2u);
 }
 
 TEST(Calendar, EarliestWindowImmediateWhenEmpty) {

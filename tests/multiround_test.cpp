@@ -2,6 +2,7 @@
 // future work).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "dlt/het_model.hpp"
@@ -78,6 +79,46 @@ TEST(MultiRound, SingleNodeDegenerates) {
   // One node, R rounds: still transmit-then-compute sequentially; the total
   // is at least the single-round time (chunks serialize on the one node).
   EXPECT_GE(schedule.task_completion(), 10.0 + 200.0 * 101.0 - 1e-6);
+}
+
+TEST(MultiRound, BusyChannelDelaysTheTimeline) {
+  // Regression: the shared-link simulator used to stamp MR timelines from
+  // the plan (channel assumed free), double-booking a busy channel. The
+  // rollout must wait for channel_available before the first transmission.
+  const std::vector<cluster::Time> available = {0.0, 0.0, 0.0};
+  const MultiRoundSchedule free_channel =
+      build_multiround_schedule(paper_params(), 200.0, available, 3);
+  const cluster::Time wait = 500.0;
+  const MultiRoundSchedule busy_channel =
+      build_multiround_schedule(paper_params(), 200.0, available, 3, wait);
+
+  // No transmission may start before the channel frees.
+  EXPECT_GE(busy_channel.rounds.front().tx_start.front(), wait);
+  // All nodes were idle, so the whole timeline shifts by exactly the wait.
+  EXPECT_NEAR(busy_channel.task_completion(), free_channel.task_completion() + wait, 1e-9);
+  EXPECT_NEAR(busy_channel.channel_busy_until, free_channel.channel_busy_until + wait,
+              1e-9);
+  // Default argument preserves the historical dedicated-channel timeline.
+  const MultiRoundSchedule defaulted =
+      build_multiround_schedule(paper_params(), 200.0, available, 3, 0.0);
+  EXPECT_EQ(defaulted.task_completion(), free_channel.task_completion());
+}
+
+TEST(MultiRound, ChannelBusyUntilIsTheLastTransmissionEnd) {
+  const MultiRoundSchedule schedule =
+      build_multiround_schedule(paper_params(), 200.0, {0.0, 100.0, 400.0}, 4);
+  cluster::Time last_tx_end = 0.0;
+  const double installment = 200.0 / 4.0;
+  for (const RoundPlan& round : schedule.rounds) {
+    for (std::size_t i = 0; i < round.tx_start.size(); ++i) {
+      last_tx_end = std::max(last_tx_end,
+                             round.tx_start[i] + round.alpha[i] * installment *
+                                                     paper_params().cms);
+    }
+  }
+  EXPECT_NEAR(schedule.channel_busy_until, last_tx_end, 1e-9);
+  // The channel frees no later than the slowest node finishes computing.
+  EXPECT_LE(schedule.channel_busy_until, schedule.task_completion() + 1e-9);
 }
 
 TEST(MultiRound, InvalidInputsThrow) {

@@ -145,6 +145,30 @@ TEST(Simulator, SharedLinkCountsMissesInsteadOfViolations) {
   EXPECT_EQ(metrics.theorem4_violations, 0u);  // not checked in shared mode
 }
 
+TEST(Simulator, SharedLinkDelaysMultiRoundTasks) {
+  // Regression: multi-round commits used to stamp their timeline straight
+  // from the plan and overwrite channel_free_, so a busy shared channel was
+  // double-booked and the MR task's "actual" completion ignored the wait.
+  // Two single-node MR2 tasks distributing concurrently must now contend:
+  // the later commit's actual completion falls behind its dedicated-channel
+  // estimate (negative estimate margin).
+  const std::vector<workload::Task> tasks{make_task(0, 0.0, 200.0, 50000.0),
+                                          make_task(1, 0.0, 200.0, 50000.0)};
+
+  SimulatorConfig dedicated = default_config();
+  const SimMetrics baseline = simulate(dedicated, "EDF-MR2", tasks, 60000.0);
+  ASSERT_EQ(baseline.accepted, 2u);
+  EXPECT_GE(baseline.estimate_margin.min(), -1e-6);  // exact MR timelines: no slip
+
+  SimulatorConfig shared = default_config();
+  shared.shared_link = true;
+  const SimMetrics contended = simulate(shared, "EDF-MR2", tasks, 60000.0);
+  ASSERT_EQ(contended.accepted, 2u);
+  // One task waited for the other's installment transmissions.
+  EXPECT_LT(contended.estimate_margin.min(), -1.0);
+  EXPECT_EQ(contended.theorem4_violations, 0u);  // not counted in shared mode
+}
+
 TEST(Simulator, RejectRatioIncreasesWithLoad) {
   double previous = -1.0;
   for (double load : {0.2, 0.6, 1.0}) {
