@@ -2,6 +2,9 @@
 // throughput, a full admission test, and whole-simulation runs per second.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
+#include "cluster/speed_profile.hpp"
 #include "sched/admission.hpp"
 #include "sched/registry.hpp"
 #include "sim/event_queue.hpp"
@@ -107,6 +110,51 @@ BENCHMARK(BM_HighLoadSweep)
     ->Args({20, 16})
     ->Args({20, 256})
     ->Args({20, 1024})
+    ->Unit(benchmark::kMillisecond);
+
+// Heterogeneous-cluster acceptance scenario: the same high-load EDF sweep
+// through the het planning path (per-prefix generalized Eq.-1 partitions,
+// id-tracked admission state, per-slot rollouts). Args are
+// (speed CV x 100, node_count); cv=0 runs an all-equal profile - i.e. the
+// homogeneous fast path with the profile attached - so the het-vs-fast-path
+// overhead is the cv=0 vs BM_HighLoadSweep/20/<N> delta and the het planning
+// cost is the cv>0 vs cv=0 delta.
+void BM_HetSweep(benchmark::State& state) {
+  const double cv = static_cast<double>(state.range(0)) / 100.0;
+  const auto node_count = static_cast<std::size_t>(state.range(1));
+  const double horizon = 400000.0 * 16.0 / static_cast<double>(node_count);
+  std::vector<std::vector<workload::Task>> traces;
+  std::size_t total_tasks = 0;
+  for (double load : {0.8, 1.0}) {
+    workload::WorkloadParams params;
+    params.cluster = {.node_count = node_count, .cms = 1.0, .cps = 100.0};
+    params.system_load = load;
+    params.dc_ratio = 20.0;
+    params.total_time = horizon;
+    params.seed = 7;
+    traces.push_back(workload::generate_workload(params));
+    total_tasks += traces.back().size();
+  }
+  sim::SimulatorConfig config;
+  config.params = {.node_count = node_count, .cms = 1.0, .cps = 100.0};
+  config.params.speed_profile = std::make_shared<const cluster::SpeedProfile>(
+      cluster::SpeedProfile::log_normal(node_count, 100.0, cv, 13));
+
+  const sched::Algorithm algorithm = sched::make_algorithm("EDF-DLT");
+  sim::ClusterSimulator simulator(config, algorithm);
+  for (auto _ : state) {
+    for (const auto& tasks : traces) {
+      benchmark::DoNotOptimize(simulator.run(tasks, horizon));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * total_tasks));
+}
+BENCHMARK(BM_HetSweep)
+    ->Args({0, 16})
+    ->Args({40, 16})
+    ->Args({40, 64})
+    ->Args({40, 256})
+    ->Args({80, 64})
     ->Unit(benchmark::kMillisecond);
 
 void BM_WorkloadGeneration(benchmark::State& state) {

@@ -61,6 +61,19 @@ void AvailabilityIndex::availability_into(Time now, std::vector<Time>& out) cons
   for (std::size_t i = floored; i < entries_.size(); ++i) out[i] = entries_[i].free_at;
 }
 
+void AvailabilityIndex::availability_with_ids_into(Time now, std::vector<Time>& times,
+                                                   std::vector<NodeId>& ids) const {
+  const std::size_t floored = available_by(now);
+  times.resize(entries_.size());
+  ids.resize(entries_.size());
+  std::fill(times.begin(), times.begin() + static_cast<std::ptrdiff_t>(floored), now);
+  for (std::size_t i = 0; i < entries_.size(); ++i) ids[i] = entries_[i].node;
+  // The floored prefix all ties at `now`; sorting its ids yields the strict
+  // (floored time, id) order the heterogeneous state machinery relies on.
+  std::sort(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(floored));
+  for (std::size_t i = floored; i < entries_.size(); ++i) times[i] = entries_[i].free_at;
+}
+
 void AvailabilityIndex::earliest_free_nodes_into(Time now, std::size_t n,
                                                  std::vector<NodeId>& out) const {
   if (n > entries_.size()) {

@@ -35,7 +35,10 @@ namespace rtdls::cluster {
 
 class AvailabilityIndex {
  public:
-  /// One indexed node: its current release time and identity.
+  /// One indexed node: its current release time and identity. Per-node
+  /// speeds deliberately do NOT ride along: they are constant, so the
+  /// heterogeneous snapshot derives them from the id column instead of
+  /// fattening the entries this index memmoves on every reposition.
   struct Entry {
     Time free_at = 0.0;
     NodeId node = 0;
@@ -68,6 +71,17 @@ class AvailabilityIndex {
   /// sort (the floored prefix collapses to `now`; the rest is already
   /// ordered). O(N) copy.
   void availability_into(Time now, std::vector<Time>& out) const;
+
+  /// Same snapshot plus the matching node ids (ids[i] owns times[i]),
+  /// strictly ordered by (floored time, id): the floored prefix all ties at
+  /// `now`, so its ids are re-sorted ascending - the same order a pair sort
+  /// of (max(free_at, now), id) would produce. The heterogeneous planning
+  /// path consumes this: the id column is what lets rules look up per-node
+  /// cps and record the concrete nodes their alpha was computed for, and
+  /// the strict (time, id) order is the invariant the admission session's
+  /// functional state evolution preserves. O(N) plus the prefix id sort.
+  void availability_with_ids_into(Time now, std::vector<Time>& times,
+                                  std::vector<NodeId>& ids) const;
 
   /// Ids of the `n` earliest-available nodes at `now`, ties broken by id:
   /// bit-identical to a stable sort of all ids by (max(free_at, now), id).

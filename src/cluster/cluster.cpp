@@ -1,10 +1,11 @@
 #include "cluster/cluster.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace rtdls::cluster {
 
-Cluster::Cluster(ClusterParams params) : params_(params) {
+Cluster::Cluster(ClusterParams params) : params_(std::move(params)) {
   if (!params_.valid()) throw std::invalid_argument("Cluster: invalid parameters");
   nodes_.reserve(params_.node_count);
   for (std::size_t i = 0; i < params_.node_count; ++i) {
@@ -22,12 +23,25 @@ void Cluster::reset() {
 AvailabilityView Cluster::availability(Time now) const {
   AvailabilityView view;
   view.now = now;
-  availability_into(now, view.times);
+  if (params_.heterogeneous()) {
+    availability_with_ids_into(now, view.times, view.ids);
+    view.cps.resize(view.ids.size());
+    for (std::size_t i = 0; i < view.ids.size(); ++i) {
+      view.cps[i] = params_.node_cps(view.ids[i]);
+    }
+  } else {
+    availability_into(now, view.times);
+  }
   return view;
 }
 
 void Cluster::availability_into(Time now, std::vector<Time>& out) const {
   index_.availability_into(now, out);
+}
+
+void Cluster::availability_with_ids_into(Time now, std::vector<Time>& times,
+                                         std::vector<NodeId>& ids) const {
+  index_.availability_with_ids_into(now, times, ids);
 }
 
 std::vector<NodeId> Cluster::earliest_free_nodes(Time now, std::size_t n) const {

@@ -17,9 +17,17 @@ namespace rtdls::cluster {
 /// floored at `now` and sorted ascending, so `times[k-1]` is the instant at
 /// which k nodes are simultaneously available (and also the available time
 /// r_k of the k-th earliest node for IIT-utilizing partitioning).
+///
+/// Under a heterogeneous speed profile the snapshot additionally carries
+/// which node sits at each position and its unit processing cost: `ids[i]`
+/// owns `times[i]` and costs `cps[i]`, strictly ordered by (time, id). The
+/// id/cps columns are empty for homogeneous clusters, where positions are
+/// interchangeable.
 struct AvailabilityView {
   Time now = 0.0;
-  std::vector<Time> times;  ///< sorted ascending, size N
+  std::vector<Time> times;   ///< sorted ascending, size N
+  std::vector<NodeId> ids;   ///< het only: node at each position
+  std::vector<double> cps;   ///< het only: unit processing cost per position
 };
 
 /// Mutable cluster state.
@@ -49,6 +57,12 @@ class Cluster {
   /// Same snapshot written into `out` (capacity reused; hot path). Served
   /// from the sorted free-time index: an O(N) copy, no per-call sort.
   void availability_into(Time now, std::vector<Time>& out) const;
+
+  /// Snapshot plus the owning node ids in strict (time, id) order - the
+  /// heterogeneous planning/admission input (see
+  /// AvailabilityIndex::availability_with_ids_into).
+  void availability_with_ids_into(Time now, std::vector<Time>& times,
+                                  std::vector<NodeId>& ids) const;
 
   /// Ids of the `n` earliest-available nodes at `now` (ties broken by id so
   /// commitments are deterministic). `n` must not exceed size().

@@ -1,0 +1,281 @@
+#include "cluster/speed_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rtdls::cluster {
+
+namespace {
+
+/// splitmix64 (same construction as workload/rng.cpp, duplicated here so the
+/// cluster layer does not depend on the workload layer): bit-reproducible
+/// across platforms, unlike std:: distributions.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Uniform double in [0, 1) with 53 bits of precision.
+double next_double(std::uint64_t& state) {
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+/// Standard normal via Box-Muller (explicit formula, platform-stable).
+double next_normal(std::uint64_t& state) {
+  // u1 in (0, 1]: avoids log(0).
+  const double u1 = 1.0 - next_double(state);
+  const double u2 = next_double(state);
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(std::string("SpeedProfile: ") + what);
+}
+
+bool valid_cps(double value) { return std::isfinite(value) && value > 0.0; }
+
+std::string format_short(double value) {
+  std::ostringstream out;
+  out.precision(6);
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+SpeedProfile::SpeedProfile(std::vector<double> cps) : cps_(std::move(cps)) {
+  require(!cps_.empty(), "need >= 1 node");
+  for (double value : cps_) require(valid_cps(value), "every cps must be finite and > 0");
+}
+
+SpeedProfile SpeedProfile::homogeneous(std::size_t nodes, double cps) {
+  require(nodes > 0, "need >= 1 node");
+  require(valid_cps(cps), "cps must be finite and > 0");
+  return SpeedProfile(std::vector<double>(nodes, cps));
+}
+
+SpeedProfile SpeedProfile::uniform(std::size_t nodes, double lo, double hi,
+                                   std::uint64_t seed) {
+  require(nodes > 0, "need >= 1 node");
+  require(valid_cps(lo) && valid_cps(hi) && lo <= hi, "uniform needs 0 < lo <= hi");
+  std::uint64_t state = seed ^ 0x632BE59BD9B4E019ULL;
+  std::vector<double> cps(nodes);
+  for (double& value : cps) value = lo + (hi - lo) * next_double(state);
+  return SpeedProfile(std::move(cps));
+}
+
+SpeedProfile SpeedProfile::two_tier(std::size_t nodes, double fast_cps, double slow_cps,
+                                    double fast_fraction, std::uint64_t seed) {
+  require(nodes > 0, "need >= 1 node");
+  require(valid_cps(fast_cps) && valid_cps(slow_cps), "tier costs must be > 0");
+  require(fast_fraction >= 0.0 && fast_fraction <= 1.0, "fast_fraction must be in [0, 1]");
+  const std::size_t fast_count = static_cast<std::size_t>(
+      std::llround(fast_fraction * static_cast<double>(nodes)));
+  std::vector<double> cps(nodes, slow_cps);
+  std::fill(cps.begin(), cps.begin() + static_cast<std::ptrdiff_t>(fast_count), fast_cps);
+  // Fisher-Yates with the splitmix stream: which ids are fast is seeded.
+  std::uint64_t state = seed ^ 0x9E6C63D0876A9A35ULL;
+  for (std::size_t i = nodes - 1; i > 0; --i) {
+    const std::size_t j = static_cast<std::size_t>(splitmix64(state) % (i + 1));
+    std::swap(cps[i], cps[j]);
+  }
+  return SpeedProfile(std::move(cps));
+}
+
+SpeedProfile SpeedProfile::log_normal(std::size_t nodes, double mean_cps, double cv,
+                                      std::uint64_t seed) {
+  require(nodes > 0, "need >= 1 node");
+  require(valid_cps(mean_cps), "mean_cps must be finite and > 0");
+  require(std::isfinite(cv) && cv >= 0.0, "cv must be >= 0");
+  if (cv == 0.0) return homogeneous(nodes, mean_cps);
+  // X = exp(mu + s*Z) has mean exp(mu + s^2/2) and CV sqrt(exp(s^2) - 1).
+  const double s2 = std::log1p(cv * cv);
+  const double mu = std::log(mean_cps) - 0.5 * s2;
+  const double s = std::sqrt(s2);
+  std::uint64_t state = seed ^ 0xD1B54A32D192ED03ULL;
+  std::vector<double> cps(nodes);
+  for (double& value : cps) value = std::exp(mu + s * next_normal(state));
+  return SpeedProfile(std::move(cps));
+}
+
+SpeedProfile SpeedProfile::from_csv_text(std::string_view text) {
+  std::vector<double> cps;
+  std::size_t line_number = 0;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos || line[begin] == '#') continue;
+    char* end = nullptr;
+    const double value = std::strtod(line.c_str() + begin, &end);
+    const bool consumed =
+        end != line.c_str() + begin &&
+        line.find_first_not_of(" \t\r", static_cast<std::size_t>(end - line.c_str())) ==
+            std::string::npos;
+    if (!consumed || !valid_cps(value)) {
+      throw std::invalid_argument("SpeedProfile::from_csv: line " +
+                                  std::to_string(line_number) + ": bad cps value '" + line +
+                                  "'");
+    }
+    cps.push_back(value);
+  }
+  require(!cps.empty(), "csv profile has no values");
+  return SpeedProfile(std::move(cps));
+}
+
+SpeedProfile SpeedProfile::from_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("SpeedProfile::from_csv_file: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_csv_text(buffer.str());
+}
+
+double SpeedProfile::min_cps() const { return *std::min_element(cps_.begin(), cps_.end()); }
+
+double SpeedProfile::max_cps() const { return *std::max_element(cps_.begin(), cps_.end()); }
+
+double SpeedProfile::mean_cps() const {
+  double sum = 0.0;
+  for (double value : cps_) sum += value;
+  return sum / static_cast<double>(cps_.size());
+}
+
+double SpeedProfile::cv() const {
+  const double mean = mean_cps();
+  double var = 0.0;
+  for (double value : cps_) var += (value - mean) * (value - mean);
+  var /= static_cast<double>(cps_.size());
+  return std::sqrt(var) / mean;
+}
+
+bool SpeedProfile::heterogeneous() const {
+  return heterogeneous_against(cps_.front());
+}
+
+bool SpeedProfile::heterogeneous_against(double base) const {
+  for (double value : cps_) {
+    if (value != base) return true;
+  }
+  return false;
+}
+
+std::string SpeedProfile::describe() const {
+  std::ostringstream out;
+  if (!heterogeneous()) {
+    out << "homogeneous cps=" << format_short(cps_.front()) << " x" << cps_.size();
+  } else {
+    out << "het cps[" << format_short(min_cps()) << ", " << format_short(max_cps())
+        << "] mean=" << format_short(mean_cps()) << " cv=" << format_short(cv()) << " x"
+        << cps_.size();
+  }
+  return out.str();
+}
+
+namespace {
+
+[[noreturn]] void key_fail(std::string_view key, const std::string& why) {
+  throw std::invalid_argument("parse_speed_profile: '" + std::string(key) + "': " + why);
+}
+
+std::vector<std::string> split_args(std::string_view text) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end = comma == std::string_view::npos ? text.size() : comma;
+    std::size_t a = start;
+    std::size_t b = end;
+    while (a < b && (text[a] == ' ' || text[a] == '\t')) ++a;
+    while (b > a && (text[b - 1] == ' ' || text[b - 1] == '\t')) --b;
+    parts.emplace_back(text.substr(a, b - a));
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return parts;
+}
+
+double arg_double(std::string_view key, const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || text.empty()) {
+    key_fail(key, "bad number '" + text + "'");
+  }
+  return value;
+}
+
+std::uint64_t arg_seed(std::string_view key, const std::string& text) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || text.empty()) {
+    key_fail(key, "bad seed '" + text + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+SpeedProfile parse_speed_profile(std::string_view key, std::size_t nodes,
+                                 double base_cps) {
+  const std::size_t colon = key.find(':');
+  const std::string name(key.substr(0, colon));
+  const std::string_view rest = colon == std::string_view::npos
+                                    ? std::string_view{}
+                                    : key.substr(colon + 1);
+  if (name == "csv") {
+    if (rest.empty()) key_fail(key, "csv needs a path");
+    SpeedProfile profile = SpeedProfile::from_csv_file(std::string(rest));
+    if (profile.size() != nodes) {
+      key_fail(key, "csv has " + std::to_string(profile.size()) + " values for a " +
+                        std::to_string(nodes) + "-node cluster");
+    }
+    return profile;
+  }
+  const std::vector<std::string> args = split_args(rest);
+  auto want = [&](std::size_t lo, std::size_t hi) {
+    if (args.size() < lo || args.size() > hi || (args.size() == 1 && args[0].empty())) {
+      key_fail(key, "wrong argument count");
+    }
+  };
+  if (name == "uniform") {
+    want(2, 3);
+    const std::uint64_t seed = args.size() == 3 ? arg_seed(key, args[2]) : 0;
+    return SpeedProfile::uniform(nodes, arg_double(key, args[0]), arg_double(key, args[1]),
+                                 seed);
+  }
+  if (name == "two_tier") {
+    want(3, 4);
+    const std::uint64_t seed = args.size() == 4 ? arg_seed(key, args[3]) : 0;
+    return SpeedProfile::two_tier(nodes, arg_double(key, args[0]), arg_double(key, args[1]),
+                                  arg_double(key, args[2]), seed);
+  }
+  if (name == "lognormal") {
+    want(1, 2);
+    const std::uint64_t seed = args.size() == 2 ? arg_seed(key, args[1]) : 0;
+    return SpeedProfile::log_normal(nodes, base_cps, arg_double(key, args[0]), seed);
+  }
+  key_fail(key, "unknown generator (uniform|two_tier|lognormal|csv)");
+}
+
+// --- ClusterParams glue (declared in cluster/types.hpp) ---------------------
+
+bool ClusterParams::heterogeneous() const {
+  return speed_profile != nullptr && speed_profile->heterogeneous_against(cps);
+}
+
+double ClusterParams::node_cps(NodeId id) const {
+  return speed_profile != nullptr ? speed_profile->cps(id) : cps;
+}
+
+bool ClusterParams::profile_valid() const {
+  return speed_profile->size() == node_count;
+}
+
+}  // namespace rtdls::cluster

@@ -1,0 +1,105 @@
+// Per-node processing speeds: the heterogeneous-cluster subsystem.
+//
+// The paper's Section-2 construction (Eq. 1) builds an *equivalent
+// heterogeneous* cluster out of staggered release times on homogeneous
+// hardware; this module supplies the converse ingredient - genuinely
+// heterogeneous hardware - as a per-node Cps map. A SpeedProfile attached to
+// ClusterParams lifts the whole pipeline (availability, admission rules,
+// simulator, sweeps) onto per-node speeds; an absent or all-equal profile
+// leaves the homogeneous fast path bit-identical.
+//
+// Profiles come from named generators keyed by a compact string so sweep
+// spec files and the CLI can request them declaratively:
+//
+//   uniform:<lo>,<hi>[,<seed>]          cps_i ~ Uniform[lo, hi]
+//   two_tier:<fast>,<slow>,<frac>[,<seed>]
+//                                       round(frac*N) fast nodes (cost
+//                                       `fast`), the rest slow; the
+//                                       fast/slow assignment is a seeded
+//                                       shuffle over node ids
+//   lognormal:<cv>[,<seed>]             cps_i log-normal with mean = the
+//                                       cluster's base Cps and coefficient
+//                                       of variation `cv`
+//   csv:<path>                          one cps value per line (# comments)
+//
+// Generators draw from a self-contained splitmix64 stream (not std::
+// distributions) so profiles are bit-reproducible across platforms, like
+// the workload RNG.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/types.hpp"
+
+namespace rtdls::cluster {
+
+class SpeedProfile {
+ public:
+  SpeedProfile() = default;
+
+  /// Profile from explicit per-node costs. Throws std::invalid_argument
+  /// when empty or any cps is not finite and > 0.
+  explicit SpeedProfile(std::vector<double> cps);
+
+  // --- named generators ---
+
+  /// All nodes at `cps` (useful for the homogeneous-equivalence tests).
+  static SpeedProfile homogeneous(std::size_t nodes, double cps);
+
+  /// cps_i ~ Uniform[lo, hi], seeded.
+  static SpeedProfile uniform(std::size_t nodes, double lo, double hi,
+                              std::uint64_t seed);
+
+  /// round(fast_fraction * nodes) nodes at `fast_cps`, the rest at
+  /// `slow_cps`; which ids are fast is a seeded shuffle (so speed does not
+  /// correlate with node id). fast_fraction in [0, 1].
+  static SpeedProfile two_tier(std::size_t nodes, double fast_cps, double slow_cps,
+                               double fast_fraction, std::uint64_t seed);
+
+  /// Log-normal speeds with mean `mean_cps` and coefficient of variation
+  /// `cv` >= 0 (cv == 0 degenerates to homogeneous).
+  static SpeedProfile log_normal(std::size_t nodes, double mean_cps, double cv,
+                                 std::uint64_t seed);
+
+  /// One cps value per non-comment line.
+  static SpeedProfile from_csv_text(std::string_view text);
+  static SpeedProfile from_csv_file(const std::string& path);
+
+  // --- accessors ---
+
+  std::size_t size() const { return cps_.size(); }
+  bool empty() const { return cps_.empty(); }
+  double cps(NodeId id) const { return cps_[id]; }
+  const std::vector<double>& values() const { return cps_; }
+
+  double min_cps() const;
+  double max_cps() const;
+  double mean_cps() const;
+
+  /// Coefficient of variation (population stddev / mean); 0 when all equal.
+  double cv() const;
+
+  /// True when any two nodes differ.
+  bool heterogeneous() const;
+
+  /// True when any node's cps differs from `base` - the test that decides
+  /// whether the het planning paths engage (ClusterParams::heterogeneous).
+  bool heterogeneous_against(double base) const;
+
+  /// "uniform[52.1, 148]x16" style one-liner for reports.
+  std::string describe() const;
+
+ private:
+  std::vector<double> cps_;
+};
+
+/// Parses a profile key (grammar above) for a cluster of `nodes` nodes with
+/// base processing cost `base_cps` (the mean the lognormal generator
+/// preserves). Throws std::invalid_argument on malformed keys.
+SpeedProfile parse_speed_profile(std::string_view key, std::size_t nodes,
+                                 double base_cps);
+
+}  // namespace rtdls::cluster

@@ -17,12 +17,18 @@ std::vector<double> general_het_alpha(double cms, const std::vector<double>& cps
 
 void general_het_alpha_into(double cms, const std::vector<double>& cps_i,
                             std::vector<double>& out) {
+  general_het_alpha_into(cms, cps_i, cps_i.size(), out);
+}
+
+void general_het_alpha_into(double cms, const std::vector<double>& cps_i, std::size_t n,
+                            std::vector<double>& out) {
   if (!(cms > 0.0)) throw std::invalid_argument("general_het_alpha: cms must be > 0");
-  if (cps_i.empty()) throw std::invalid_argument("general_het_alpha: need >= 1 node");
-  for (double cps : cps_i) {
-    if (!(cps > 0.0)) throw std::invalid_argument("general_het_alpha: cps_i must be > 0");
+  if (n == 0 || n > cps_i.size()) {
+    throw std::invalid_argument("general_het_alpha: need 1 <= n <= cps_i.size()");
   }
-  const std::size_t n = cps_i.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(cps_i[i] > 0.0)) throw std::invalid_argument("general_het_alpha: cps_i must be > 0");
+  }
   // out[i] = prod_{j=2..i+1} X_j with X_j = cps_{j-1} / (cms + cps_j).
   out.assign(n, 0.0);
   out[0] = 1.0;
@@ -84,6 +90,43 @@ void build_het_partition_into(const ClusterParams& params, double sigma,
   out.execution_time = sigma * params.cms + out.alpha.back() * sigma * params.cps;
 }
 
+void build_het_partition_into(const ClusterParams& params, double sigma,
+                              const std::vector<Time>& available,
+                              const std::vector<double>& cps_actual, std::size_t n,
+                              HetPartition& out) {
+  if (!params.valid()) throw std::invalid_argument("het_partition: invalid cluster params");
+  if (!(sigma > 0.0)) throw std::invalid_argument("het_partition: sigma must be > 0");
+  if (n == 0 || n > available.size() || n > cps_actual.size()) {
+    throw std::invalid_argument("het_partition: need 1 <= n <= offered nodes");
+  }
+  assert(std::is_sorted(available.begin(),
+                        available.begin() + static_cast<std::ptrdiff_t>(n)) &&
+         "build_het_partition_into: available times must be sorted ascending");
+
+  out.available.assign(available.begin(),
+                       available.begin() + static_cast<std::ptrdiff_t>(n));
+  const Time rn = out.available.back();
+
+  // E_ref: the no-IIT reference of the generalized Eq. (1) - all n nodes
+  // allocated simultaneously at r_n with their actual speeds (out.alpha is
+  // scratch here and overwritten with the final partition below).
+  general_het_alpha_into(params.cms, cps_actual, n, out.alpha);
+  const double e_ref = sigma * params.cms + out.alpha.back() * sigma * cps_actual[n - 1];
+  out.homogeneous_time = e_ref;
+
+  // Generalized Eq. (1): an earlier-freeing node's model counterpart is
+  // faster in proportion to its head start. E_ref + (rn - ri) >= E_ref > 0.
+  out.cps_i.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.cps_i[i] = e_ref / (e_ref + (rn - out.available[i])) * cps_actual[i];
+  }
+
+  general_het_alpha_into(params.cms, out.cps_i, n, out.alpha);
+
+  // Eq. (6) analog: cps_tilde_n == cps_actual_n since r_n - r_n = 0.
+  out.execution_time = sigma * params.cms + out.alpha.back() * sigma * cps_actual[n - 1];
+}
+
 std::vector<Time> theorem4_completion_bounds(const ClusterParams& params, double sigma,
                                              const HetPartition& partition) {
   const std::size_t n = partition.nodes();
@@ -92,6 +135,20 @@ std::vector<Time> theorem4_completion_bounds(const ClusterParams& params, double
   for (std::size_t i = 0; i < n; ++i) {
     transmission_prefix += partition.alpha[i] * sigma * params.cms;
     bounds[i] = transmission_prefix + partition.alpha[i] * sigma * params.cps +
+                partition.available[i];
+  }
+  return bounds;
+}
+
+std::vector<Time> theorem4_completion_bounds(const ClusterParams& params, double sigma,
+                                             const HetPartition& partition,
+                                             const std::vector<double>& cps_actual) {
+  const std::size_t n = partition.nodes();
+  std::vector<Time> bounds(n);
+  double transmission_prefix = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    transmission_prefix += partition.alpha[i] * sigma * params.cms;
+    bounds[i] = transmission_prefix + partition.alpha[i] * sigma * cps_actual[i] +
                 partition.available[i];
   }
   return bounds;

@@ -36,6 +36,11 @@ std::vector<double> general_het_alpha(double cms, const std::vector<double>& cps
 void general_het_alpha_into(double cms, const std::vector<double>& cps_i,
                             std::vector<double>& out);
 
+/// Same kernel over the first `n` entries of `cps_i` only (the het planning
+/// scan evaluates growing prefixes of the availability-ordered speeds).
+void general_het_alpha_into(double cms, const std::vector<double>& cps_i, std::size_t n,
+                            std::vector<double>& out);
+
 /// Execution time of the general heterogeneous partition (Eq. 6 with
 /// arbitrary Cps_i): sigma*cms + alpha_n*sigma*cps_n.
 double general_het_execution_time(double cms, const std::vector<double>& cps_i,
@@ -70,6 +75,25 @@ void build_het_partition_into(const ClusterParams& params, double sigma,
                               const std::vector<Time>& available, std::size_t n,
                               HetPartition& out);
 
+/// Generalized Eq. (1) for a genuinely heterogeneous cluster: the offered
+/// nodes have *actual* unit costs `cps_actual[i]` (aligned with `available`,
+/// both availability-ordered, first `n` entries used). The construction
+/// replaces the homogeneous reference E with
+///   E_ref = no-IIT het execution time (all n allocated at r_n with their
+///           actual speeds; Eq. 3-6 on cps_actual), and
+///   cps_tilde_i = E_ref / (E_ref + (r_n - r_i)) * cps_actual_i,
+/// then partitions with general_het_alpha on cps_tilde and estimates
+///   E_hat = sigma*Cms + alpha_n*sigma*cps_actual_n   (cps_tilde_n == actual).
+/// The Theorem-4 argument survives verbatim (cps_tilde_i <= cps_actual_i and
+/// E_hat <= E_ref by speed monotonicity), so executing alpha on the real
+/// nodes - each starting at its own r_i at its actual speed - completes no
+/// later than r_n + E_hat; the simulator validates this for every commit.
+/// out.homogeneous_time holds E_ref, out.cps_i the equivalent costs.
+void build_het_partition_into(const ClusterParams& params, double sigma,
+                              const std::vector<Time>& available,
+                              const std::vector<double>& cps_actual, std::size_t n,
+                              HetPartition& out);
+
 /// Upper bound on node i's *actual* completion time in the homogeneous
 /// cluster (proof of Theorem 4):
 ///   t_act_i <= sum_{j<=i} alpha_j*sigma*Cms + alpha_i*sigma*Cps + r_i.
@@ -77,5 +101,12 @@ void build_het_partition_into(const ClusterParams& params, double sigma,
 /// (the theorem; validated by tests and by the simulator's exec model).
 std::vector<Time> theorem4_completion_bounds(const ClusterParams& params, double sigma,
                                              const HetPartition& partition);
+
+/// Generalized bound for a genuinely heterogeneous partition: node i's
+/// actual completion is at most
+///   sum_{j<=i} alpha_j*sigma*Cms + alpha_i*sigma*cps_actual_i + r_i.
+std::vector<Time> theorem4_completion_bounds(const ClusterParams& params, double sigma,
+                                             const HetPartition& partition,
+                                             const std::vector<double>& cps_actual);
 
 }  // namespace rtdls::dlt

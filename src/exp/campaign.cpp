@@ -127,17 +127,31 @@ void run_campaign(const Campaign& campaign, const CampaignOptions& options, Resu
 
   const std::vector<SweepSpec>& sweeps = campaign.sweeps();
 
-  // This shard's stripe of the global cell queue.
+  // This shard's stripe of the global cell queue - or, in resume mode, the
+  // caller's explicit cell list.
   std::vector<std::size_t> work;
   const std::size_t total = campaign.cell_count();
-  work.reserve(total / shard.count + 1);
-  for (std::size_t i = shard.index; i < total; i += shard.count) work.push_back(i);
+  if (options.cells != nullptr) {
+    work = *options.cells;
+    for (std::size_t cell : work) {
+      if (cell >= total) {
+        throw std::invalid_argument("run_campaign: explicit cell " + std::to_string(cell) +
+                                    " out of range");
+      }
+    }
+  } else {
+    work.reserve(total / shard.count + 1);
+    for (std::size_t i = shard.index; i < total; i += shard.count) work.push_back(i);
+  }
 
   // Per-sweep simulator configuration and reusable simulator slots.
   std::vector<sim::SimulatorConfig> configs(sweeps.size());
   std::vector<std::unique_ptr<SlotPool>> pools(sweeps.size());
   for (std::size_t s = 0; s < sweeps.size(); ++s) {
-    configs[s].params = sweeps[s].cluster;
+    // Materializes the sweep's het_profile key into a speed profile; the
+    // workload params (cell_workload) keep the scalar cluster so load
+    // calibration is profile-independent.
+    configs[s].params = sweeps[s].materialized_cluster();
     configs[s].release_policy = sweeps[s].release_policy;
     configs[s].shared_link = sweeps[s].shared_link;
     configs[s].output_ratio = sweeps[s].output_ratio;
@@ -277,11 +291,15 @@ std::vector<std::string> CellCsvSink::header() {
   return header;
 }
 
-CellCsvSink::CellCsvSink(const std::string& path) : path_(path), file_(path) {
+CellCsvSink::CellCsvSink(const std::string& path, bool append)
+    : path_(path),
+      file_(path, append ? std::ios::out | std::ios::app : std::ios::out) {
   if (!file_) throw std::runtime_error("CellCsvSink: cannot open " + path);
-  util::CsvWriter writer(file_);
-  writer.write_row(header());
-  file_.flush();
+  if (!append) {
+    util::CsvWriter writer(file_);
+    writer.write_row(header());
+    file_.flush();
+  }
 }
 
 void CellCsvSink::consume(const Campaign& campaign, const CellResult& cell) {
@@ -316,8 +334,58 @@ void CellCsvSink::close() {
 namespace {
 
 [[noreturn]] void merge_fail(const std::string& path, std::size_t row, const std::string& what) {
-  throw std::runtime_error("merge_cell_files: " + path + " row " + std::to_string(row) + ": " +
-                           what);
+  throw std::runtime_error("campaign cell file: " + path + " row " + std::to_string(row) +
+                           ": " + what);
+}
+
+/// Parses and validates one campaign cell file against the plan, marking
+/// covered cells in `seen` (duplicates and cross-plan cells throw) and
+/// forwarding each row to `sink` when non-null. Shared by merge (full
+/// coverage required afterwards) and resume (partial coverage expected).
+void scan_cell_file(const Campaign& campaign, const std::string& path,
+                    std::vector<char>& seen, ResultSink* sink) {
+  const std::size_t total = campaign.cell_count();
+  const std::vector<std::string> expected_header = CellCsvSink::header();
+  const auto rows = util::parse_csv_file(path);
+  if (rows.empty() || rows.front() != expected_header) {
+    throw std::runtime_error("campaign cell file: " + path + " is not a campaign cell file");
+  }
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const std::vector<std::string>& row = rows[r];
+    if (row.size() != expected_header.size()) merge_fail(path, r, "wrong field count");
+
+    unsigned long long index = 0;
+    if (!util::parse_u64(row[0], index) || index >= total) {
+      merge_fail(path, r, "bad cell index '" + row[0] + "'");
+    }
+    const CellRef ref = campaign.cell(static_cast<std::size_t>(index));
+    const SweepSpec& spec = campaign.sweeps()[ref.sweep];
+    // Cross-check the human-readable columns against what this campaign
+    // says cell `index` is: catches merging shards of a different plan.
+    if (row[1] != spec.id || row[2] != std::to_string(ref.sweep) ||
+        row[3] != std::to_string(ref.load) || row[4] != std::to_string(ref.run) ||
+        row[5] != spec.algorithms[ref.algorithm]) {
+      merge_fail(path, r, "cell " + row[0] + " does not belong to this campaign (sweep '" +
+                              row[1] + "' algorithm " + row[5] + ")");
+    }
+    double load = 0.0;
+    if (!util::parse_double(row[6], load) || load != spec.loads[ref.load]) {
+      merge_fail(path, r, "load mismatch for cell " + row[0]);
+    }
+    if (seen[index] != 0) merge_fail(path, r, "duplicate cell " + row[0]);
+    seen[index] = 1;
+
+    if (sink != nullptr) {
+      CellResult cell;
+      cell.ref = ref;
+      for (std::size_t m = 0; m < kSweepMetricCount; ++m) {
+        if (!util::parse_double(row[7 + m], cell.metrics[m])) {
+          merge_fail(path, r, "bad metric value '" + row[7 + m] + "'");
+        }
+      }
+      sink->consume(campaign, cell);
+    }
+  }
 }
 
 }  // namespace
@@ -327,48 +395,7 @@ std::vector<SweepResult> merge_cell_files(const Campaign& campaign,
   AggregateSink sink(campaign);
   const std::size_t total = campaign.cell_count();
   std::vector<char> seen(total, 0);
-  const std::vector<std::string> expected_header = CellCsvSink::header();
-
-  for (const std::string& path : paths) {
-    const auto rows = util::parse_csv_file(path);
-    if (rows.empty() || rows.front() != expected_header) {
-      throw std::runtime_error("merge_cell_files: " + path + " is not a campaign cell file");
-    }
-    for (std::size_t r = 1; r < rows.size(); ++r) {
-      const std::vector<std::string>& row = rows[r];
-      if (row.size() != expected_header.size()) merge_fail(path, r, "wrong field count");
-
-      unsigned long long index = 0;
-      if (!util::parse_u64(row[0], index) || index >= total) {
-        merge_fail(path, r, "bad cell index '" + row[0] + "'");
-      }
-      const CellRef ref = campaign.cell(static_cast<std::size_t>(index));
-      const SweepSpec& spec = campaign.sweeps()[ref.sweep];
-      // Cross-check the human-readable columns against what this campaign
-      // says cell `index` is: catches merging shards of a different plan.
-      if (row[1] != spec.id || row[2] != std::to_string(ref.sweep) ||
-          row[3] != std::to_string(ref.load) || row[4] != std::to_string(ref.run) ||
-          row[5] != spec.algorithms[ref.algorithm]) {
-        merge_fail(path, r, "cell " + row[0] + " does not belong to this campaign (sweep '" +
-                                row[1] + "' algorithm " + row[5] + ")");
-      }
-      double load = 0.0;
-      if (!util::parse_double(row[6], load) || load != spec.loads[ref.load]) {
-        merge_fail(path, r, "load mismatch for cell " + row[0]);
-      }
-      if (seen[index] != 0) merge_fail(path, r, "duplicate cell " + row[0]);
-      seen[index] = 1;
-
-      CellResult cell;
-      cell.ref = ref;
-      for (std::size_t m = 0; m < kSweepMetricCount; ++m) {
-        if (!util::parse_double(row[7 + m], cell.metrics[m])) {
-          merge_fail(path, r, "bad metric value '" + row[7 + m] + "'");
-        }
-      }
-      sink.consume(campaign, cell);
-    }
-  }
+  for (const std::string& path : paths) scan_cell_file(campaign, path, seen, &sink);
 
   std::size_t missing = 0;
   std::size_t first_missing = 0;
@@ -381,9 +408,22 @@ std::vector<SweepResult> merge_cell_files(const Campaign& campaign,
   if (missing != 0) {
     throw std::runtime_error("merge_cell_files: " + std::to_string(missing) + " of " +
                              std::to_string(total) + " cells missing (first: cell " +
-                             std::to_string(first_missing) + "); pass every shard's cell file");
+                             std::to_string(first_missing) +
+                             "); pass every shard's cell file, or fill the gaps with "
+                             "`rtdls_cli campaign resume`");
   }
   return sink.take();
+}
+
+std::vector<std::size_t> missing_cells(const Campaign& campaign,
+                                       const std::vector<std::string>& paths) {
+  std::vector<char> seen(campaign.cell_count(), 0);
+  for (const std::string& path : paths) scan_cell_file(campaign, path, seen, nullptr);
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    if (seen[i] == 0) missing.push_back(i);
+  }
+  return missing;
 }
 
 }  // namespace rtdls::exp

@@ -100,6 +100,9 @@ ShardSelection parse_shard(const std::string& text);
 struct CampaignOptions {
   ShardSelection shard;               ///< default: the whole queue
   util::ThreadPool* pool = nullptr;   ///< null: sequential execution
+  /// Explicit cell-index work list overriding the shard striping (resume
+  /// mode runs exactly the missing cells). Not owned; must outlive the run.
+  const std::vector<std::size_t>* cells = nullptr;
   /// Called after each completed cell with the number done so far and the
   /// total cells in this shard. Serialized (never concurrent).
   std::function<void(const CellRef&, std::size_t done, std::size_t total)> progress;
@@ -133,7 +136,11 @@ class AggregateSink : public ResultSink {
 class CellCsvSink : public ResultSink {
  public:
   /// Opens `path` for writing; throws std::runtime_error on failure.
-  explicit CellCsvSink(const std::string& path);
+  /// `append` reopens an existing cell file and adds rows after what it
+  /// already holds instead of truncating (resume mode; the caller is
+  /// responsible for having validated the existing content, e.g. via
+  /// missing_cells).
+  explicit CellCsvSink(const std::string& path, bool append = false);
   void consume(const Campaign& campaign, const CellResult& cell) override;
   void close() override;
 
@@ -169,5 +176,12 @@ class TeeSink : public ResultSink {
 /// unsharded run (wall_seconds excepted, which is 0 for merged results).
 std::vector<SweepResult> merge_cell_files(const Campaign& campaign,
                                           const std::vector<std::string>& paths);
+
+/// Diffs existing cell files against the plan: the global indices of every
+/// cell the files do NOT cover, ascending. Rows are validated exactly like
+/// merge_cell_files (duplicates and cross-plan cells throw); only coverage
+/// may be partial. `campaign resume` re-runs exactly this list.
+std::vector<std::size_t> missing_cells(const Campaign& campaign,
+                                       const std::vector<std::string>& paths);
 
 }  // namespace rtdls::exp

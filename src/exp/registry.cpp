@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/strings.hpp"
+
 namespace rtdls::exp {
 
 namespace {
@@ -295,6 +297,47 @@ FigureSpec ablation_output(const Scale& scale) {
   return figure;
 }
 
+FigureSpec het_speed_cv(const Scale& scale) {
+  FigureSpec figure;
+  figure.id = "het_cv";
+  figure.title =
+      "Heterogeneous clusters: speed dispersion (lognormal per-node Cps, mean fixed at "
+      "100). Reject-ratio and utilization columns read against the same load axis; "
+      "DLT's IIT utilization must keep winning as the speed CV grows.";
+  const double cvs[] = {0.2, 0.4, 0.8};
+  const char* const tags[] = {"a", "b", "c"};
+  for (int i = 0; i < 3; ++i) {
+    SweepSpec spec = baseline_sweep(scale, figure.id + tags[i],
+                                    "speed CV = " + util::format_roundtrip(cvs[i]));
+    spec.het_profile = "lognormal:" + util::format_roundtrip(cvs[i]) + ",7";
+    figure.panels.push_back(with_curves(std::move(spec), kEdfPair, "EDF-DLT"));
+  }
+  return figure;
+}
+
+FigureSpec het_two_tier_mix(const Scale& scale) {
+  FigureSpec figure;
+  figure.id = "het_mix";
+  figure.title =
+      "Heterogeneous clusters: two-tier fast/slow mix (4x cost ratio, tier costs scaled "
+      "so mean Cps stays 100). The fast fraction moves per panel; which ids are fast is "
+      "a seeded shuffle.";
+  const double fractions[] = {0.25, 0.5, 0.75};
+  const char* const tags[] = {"a", "b", "c"};
+  for (int i = 0; i < 3; ++i) {
+    SweepSpec spec = baseline_sweep(
+        scale, figure.id + tags[i],
+        "fast fraction = " + util::format_roundtrip(fractions[i]) + " (4x ratio)");
+    // mean = f*fast + (1-f)*4*fast == cps  =>  fast = cps / (4 - 3f).
+    const double fast = spec.cluster.cps / (4.0 - 3.0 * fractions[i]);
+    spec.het_profile = "two_tier:" + util::format_roundtrip(fast) + "," +
+                       util::format_roundtrip(4.0 * fast) + "," +
+                       util::format_roundtrip(fractions[i]) + ",11";
+    figure.panels.push_back(with_curves(std::move(spec), kEdfPair, "EDF-DLT"));
+  }
+  return figure;
+}
+
 namespace {
 
 /// The figure inventory: one row per paper figure / ablation, in paper
@@ -326,6 +369,8 @@ constexpr FigureEntry kInventory[] = {
     {"ablation_opr_an", &ablation_opr_an, false},
     {"ablation_backfill", &ablation_backfill, false},
     {"ablation_output", &ablation_output, false},
+    {"het_cv", &het_speed_cv, false},
+    {"het_mix", &het_two_tier_mix, false},
 };
 
 }  // namespace

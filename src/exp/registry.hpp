@@ -36,6 +36,15 @@ FigureSpec ablation_output(const Scale& scale);          ///< output-data transf
 // (the shared-link ablation needs per-task deadline-miss accounting rather
 // than reject-ratio curves; it lives directly in bench/ablation_shared_link)
 
+// --- heterogeneous-cluster sweeps (cluster/speed_profile subsystem) --------
+/// Reject ratio / utilization as per-node speed dispersion grows: lognormal
+/// profiles with mean Cps fixed at the baseline and CV per panel, so every
+/// panel sees the identically calibrated workload.
+FigureSpec het_speed_cv(const Scale& scale);
+/// Two-tier fast/slow mix: fast-node fraction per panel, tier costs scaled
+/// to preserve the baseline mean Cps (fixed 4x slow/fast cost ratio).
+FigureSpec het_two_tier_mix(const Scale& scale);
+
 /// All paper figures, in order.
 std::vector<FigureSpec> paper_figures(const Scale& scale);
 

@@ -1,5 +1,8 @@
 #include "exp/spec.hpp"
 
+#include <memory>
+
+#include "cluster/speed_profile.hpp"
 #include "util/env.hpp"
 
 namespace rtdls::exp {
@@ -44,6 +47,15 @@ std::vector<double> SweepSpec::paper_loads() {
 void SweepSpec::apply(const Scale& scale) {
   runs = scale.runs;
   sim_time = scale.sim_time;
+}
+
+cluster::ClusterParams SweepSpec::materialized_cluster() const {
+  cluster::ClusterParams params = cluster;
+  if (!het_profile.empty()) {
+    params.speed_profile = std::make_shared<const cluster::SpeedProfile>(
+        cluster::parse_speed_profile(het_profile, params.node_count, params.cps));
+  }
+  return params;
 }
 
 }  // namespace rtdls::exp

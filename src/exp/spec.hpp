@@ -44,6 +44,16 @@ struct SweepSpec {
   std::vector<double> loads;            ///< SystemLoad values (x axis)
   std::vector<std::string> algorithms;  ///< curves, by registry name
 
+  /// Optional per-node speed-profile key ("lognormal:0.4,7",
+  /// "two_tier:50,200,0.5", ... - see cluster/speed_profile.hpp). Empty
+  /// means homogeneous. Kept as the key string (not the materialized
+  /// profile) so specs stay serializable/diffable; materialized_cluster()
+  /// resolves it against `cluster` when the runner builds simulators.
+  /// Workload generation keeps calibrating against the scalar cps, so the
+  /// load axis stays comparable across heterogeneity levels (generators
+  /// preserving mean cps == cluster.cps make this exact in expectation).
+  std::string het_profile;
+
   std::size_t runs = 3;                 ///< simulations averaged per point
   Time sim_time = 1'000'000.0;          ///< TotalSimulationTime
   std::uint64_t seed = 20070227;        ///< base seed (paper date)
@@ -69,6 +79,11 @@ struct SweepSpec {
 
   /// Applies the scale knobs (runs, sim_time).
   void apply(const Scale& scale);
+
+  /// Cluster params with the het_profile key materialized (parsed against
+  /// cluster.node_count / cluster.cps); `cluster` unchanged when the key is
+  /// empty. Throws std::invalid_argument on a malformed key.
+  cluster::ClusterParams materialized_cluster() const;
 };
 
 /// Metrics recorded for every (load, run, algorithm) sweep cell. The paper

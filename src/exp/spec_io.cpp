@@ -23,6 +23,9 @@ void write_sweep(std::ostream& out, const SweepSpec& spec) {
   out << "nodes = " << spec.cluster.node_count << '\n';
   out << "cms = " << util::format_roundtrip(spec.cluster.cms) << '\n';
   out << "cps = " << util::format_roundtrip(spec.cluster.cps) << '\n';
+  // Written only when set, so homogeneous specs serialize byte-identically
+  // to their pre-heterogeneity form.
+  if (!spec.het_profile.empty()) out << "het_profile = " << spec.het_profile << '\n';
   out << "avg_sigma = " << util::format_roundtrip(spec.avg_sigma) << '\n';
   out << "dc_ratio = " << util::format_roundtrip(spec.dc_ratio) << '\n';
   out << "loads = " << format_loads(spec.loads) << '\n';
@@ -138,6 +141,8 @@ struct CampaignParser {
       sweep.cluster.cms = parse_double_or_fail(line, key, value);
     } else if (key == "cps") {
       sweep.cluster.cps = parse_double_or_fail(line, key, value);
+    } else if (key == "het_profile") {
+      sweep.het_profile = value;
     } else if (key == "avg_sigma") {
       sweep.avg_sigma = parse_double_or_fail(line, key, value);
     } else if (key == "dc_ratio") {
@@ -261,6 +266,10 @@ SweepBuilder& SweepBuilder::cluster(std::size_t nodes, double cms, double cps) {
   spec_.cluster.cps = cps;
   return *this;
 }
+SweepBuilder& SweepBuilder::het_profile(std::string key) {
+  spec_.het_profile = std::move(key);
+  return *this;
+}
 SweepBuilder& SweepBuilder::avg_sigma(double value) { spec_.avg_sigma = value; return *this; }
 SweepBuilder& SweepBuilder::dc_ratio(double value) { spec_.dc_ratio = value; return *this; }
 SweepBuilder& SweepBuilder::loads(std::vector<double> values) {
@@ -299,6 +308,7 @@ SweepSpec SweepBuilder::build() const {
   if (spec_.loads.empty()) throw std::invalid_argument("SweepBuilder: no loads");
   if (spec_.algorithms.empty()) throw std::invalid_argument("SweepBuilder: no algorithms");
   if (spec_.runs == 0) throw std::invalid_argument("SweepBuilder: runs must be >= 1");
+  spec_.materialized_cluster();  // validates the het_profile key, if any
   return spec_;
 }
 

@@ -59,6 +59,9 @@ class SweepBuilder {
   explicit SweepBuilder(std::string id, std::string title = "");
 
   SweepBuilder& cluster(std::size_t nodes, double cms, double cps);
+  /// Per-node speed-profile key (see cluster/speed_profile.hpp); build()
+  /// validates it parses against the cluster dimensions.
+  SweepBuilder& het_profile(std::string key);
   SweepBuilder& avg_sigma(double value);
   SweepBuilder& dc_ratio(double value);
   SweepBuilder& loads(std::vector<double> values);

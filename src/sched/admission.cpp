@@ -34,6 +34,46 @@ void apply_plan(std::vector<Time>& state, const TaskPlan& plan,
   while (i < k) state[pos++] = scratch[i++];
 }
 
+/// Heterogeneous variant: the state is (time, id) pairs in strict (time,
+/// id) order, and the plan consumed the prefix of exactly the ids it
+/// recorded. The k (release, id) pairs re-enter wherever the pair order
+/// puts them - the same positions the cluster's availability index will
+/// hold after the real commits, so cached rows stay snapshot-identical.
+void apply_plan_het(std::vector<Time>& state, std::vector<cluster::NodeId>& ids,
+                    const TaskPlan& plan,
+                    std::vector<std::pair<Time, cluster::NodeId>>& scratch) {
+  const std::size_t k = plan.nodes;
+  const std::size_t n = state.size();
+  scratch.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    scratch[i] = {plan.node_release[i], plan.node_ids[i]};
+  }
+  std::sort(scratch.begin(), scratch.end());
+  std::size_t i = 0;
+  std::size_t j = k;
+  std::size_t pos = 0;
+  while (i < k && j < n) {
+    const bool take_suffix = state[j] < scratch[i].first ||
+                             (state[j] == scratch[i].first && ids[j] < scratch[i].second);
+    if (take_suffix) {
+      state[pos] = state[j];
+      ids[pos] = ids[j];
+      ++j;
+    } else {
+      state[pos] = scratch[i].first;
+      ids[pos] = scratch[i].second;
+      ++i;
+    }
+    ++pos;
+  }
+  while (i < k) {
+    state[pos] = scratch[i].first;
+    ids[pos] = scratch[i].second;
+    ++i;
+    ++pos;
+  }
+}
+
 }  // namespace
 
 AdmissionController::AdmissionController(Policy policy, const PartitionRule* rule)
@@ -46,7 +86,8 @@ AdmissionOutcome AdmissionController::test(
     const std::vector<const workload::Task*>& waiting,
     const cluster::ClusterParams& params,
     std::vector<Time> free_times, Time now,
-    const cluster::NodeCalendar* calendar) const {
+    const cluster::NodeCalendar* calendar,
+    std::vector<cluster::NodeId> node_ids) const {
   if (free_times.size() != params.node_count) {
     throw std::invalid_argument("AdmissionController::test: free_times size mismatch");
   }
@@ -62,8 +103,31 @@ AdmissionOutcome AdmissionController::test(
   if (new_task != nullptr) temp_list.push_back(new_task);
   order_tasks(policy_, temp_list);
 
-  for (Time& t : free_times) t = std::max(t, now);
-  std::sort(free_times.begin(), free_times.end());
+  const bool het = params.heterogeneous();
+  if (het) {
+    // Co-floor and co-sort the (time, id) columns into strict (time, id)
+    // order; an empty id column means free_times is indexed by node id.
+    if (node_ids.empty()) {
+      node_ids.resize(free_times.size());
+      for (std::size_t i = 0; i < node_ids.size(); ++i) {
+        node_ids[i] = static_cast<cluster::NodeId>(i);
+      }
+    } else if (node_ids.size() != free_times.size()) {
+      throw std::invalid_argument("AdmissionController::test: node_ids size mismatch");
+    }
+    het_merge_scratch_.resize(free_times.size());
+    for (std::size_t i = 0; i < free_times.size(); ++i) {
+      het_merge_scratch_[i] = {std::max(free_times[i], now), node_ids[i]};
+    }
+    std::sort(het_merge_scratch_.begin(), het_merge_scratch_.end());
+    for (std::size_t i = 0; i < free_times.size(); ++i) {
+      free_times[i] = het_merge_scratch_[i].first;
+      node_ids[i] = het_merge_scratch_[i].second;
+    }
+  } else {
+    for (Time& t : free_times) t = std::max(t, now);
+    std::sort(free_times.begin(), free_times.end());
+  }
 
   AdmissionOutcome outcome;
   outcome.schedule.reserve(temp_list.size());
@@ -73,6 +137,7 @@ AdmissionOutcome AdmissionController::test(
     request.task = task;
     request.params = params;
     request.free_times = &free_times;
+    request.node_ids = het ? &node_ids : nullptr;
     request.now = now;
     request.calendar = temp_calendar ? &*temp_calendar : nullptr;
 
@@ -87,12 +152,14 @@ AdmissionOutcome AdmissionController::test(
 
     // Propagate the plan's reservations to the later temp-schedule tasks.
     const TaskPlan& plan = result.plan;
-    if (!plan.node_ids.empty()) {
+    if (temp_calendar) {
       // Calendar-based rule: reserve the concrete intervals it chose.
       for (std::size_t i = 0; i < plan.nodes; ++i) {
         temp_calendar->reserve(plan.node_ids[i], plan.reserve_from[i],
                                plan.node_release[i]);
       }
+    } else if (het) {
+      apply_plan_het(free_times, node_ids, plan, het_merge_scratch_);
     } else {
       apply_plan(free_times, plan, merge_scratch_);
     }
@@ -112,6 +179,8 @@ void AdmissionController::invalidate() {
   order_.clear();
   plans_.clear();
   states_.clear();
+  het_session_ = false;
+  id_states_.clear();
 }
 
 void AdmissionController::compact_head() {
@@ -121,6 +190,10 @@ void AdmissionController::compact_head() {
   plans_.erase(plans_.begin(), plans_.begin() + offset);
   states_.erase(states_.begin(),
                 states_.begin() + static_cast<std::ptrdiff_t>(head_ * node_count_));
+  if (het_session_) {
+    id_states_.erase(id_states_.begin(),
+                     id_states_.begin() + static_cast<std::ptrdiff_t>(head_ * node_count_));
+  }
   head_ = 0;
 }
 
@@ -160,24 +233,32 @@ AdmissionOutcome AdmissionController::test_incremental(
   }
   const std::size_t n = params.node_count;
   const std::size_t q = waiting.size();
+  const bool het = params.heterogeneous();
 
   // The session is reusable when nothing that feeds the plans has changed:
   // same availability version, no entry floored below `now` (row 0 is
-  // sorted, so checking its front suffices), and the same waiting order.
+  // sorted, so checking its front suffices), the same waiting order, and
+  // the same homogeneous/heterogeneous mode.
   bool reuse = cache_valid_ && cache_version_ == cluster.version() &&
-               node_count_ == n && order_.size() - head_ == q &&
+               node_count_ == n && het_session_ == het && order_.size() - head_ == q &&
                states_.size() >= (head_ + 1) * n && states_[head_ * n] >= now;
   if (reuse) reuse = std::equal(waiting.begin(), waiting.end(), order_.begin() + head_);
 
   if (!reuse) {
     invalidate();
     node_count_ = n;
+    het_session_ = het;
     order_.assign(waiting.begin(), waiting.end());
     // The caller keeps `waiting` in policy order; re-sorting an already
     // sorted list is cheap and keeps a misordered caller correct (it merely
     // costs the incremental reuse).
     order_tasks(policy_, order_);
-    cluster.availability_into(now, work_state_);
+    if (het) {
+      cluster.availability_with_ids_into(now, work_state_, work_ids_);
+      id_states_.assign(work_ids_.begin(), work_ids_.end());
+    } else {
+      cluster.availability_into(now, work_state_);
+    }
     states_.assign(work_state_.begin(), work_state_.end());
     cache_valid_ = true;
     cache_version_ = cluster.version();
@@ -202,10 +283,16 @@ AdmissionOutcome AdmissionController::test_incremental(
   work_state_.assign(
       states_.begin() + static_cast<std::ptrdiff_t>((head_ + start) * n),
       states_.begin() + static_cast<std::ptrdiff_t>((head_ + start + 1) * n));
+  if (het) {
+    work_ids_.assign(
+        id_states_.begin() + static_cast<std::ptrdiff_t>((head_ + start) * n),
+        id_states_.begin() + static_cast<std::ptrdiff_t>((head_ + start + 1) * n));
+  }
 
   PlanRequest request;
   request.params = params;
   request.free_times = &work_state_;
+  request.node_ids = het ? &work_ids_ : nullptr;
   request.now = now;
 
   auto reject = [&](dlt::Infeasibility reason, const workload::Task* blocker) {
@@ -225,7 +312,12 @@ AdmissionOutcome AdmissionController::test_incremental(
     request.task = order_[head_ + i];
     PlanResult result = rule_->plan(request);
     if (!result.feasible()) return reject(result.reason, order_[head_ + i]);
-    apply_plan(work_state_, result.plan, merge_scratch_);
+    if (het) {
+      apply_plan_het(work_state_, work_ids_, result.plan, het_merge_scratch_);
+      id_states_.insert(id_states_.end(), work_ids_.begin(), work_ids_.end());
+    } else {
+      apply_plan(work_state_, result.plan, merge_scratch_);
+    }
     plans_.push_back(std::move(result.plan));
     states_.insert(states_.end(), work_state_.begin(), work_state_.end());
     ++planned_;
@@ -235,12 +327,18 @@ AdmissionOutcome AdmissionController::test_incremental(
   // queue; plan into scratch and adopt only if the whole suffix fits.
   scratch_plans_.clear();
   scratch_rows_.clear();
+  scratch_id_rows_.clear();
   for (std::size_t i = p; i <= q; ++i) {
     const workload::Task* task = (i == p) ? &new_task : order_[head_ + i - 1];
     request.task = task;
     PlanResult result = rule_->plan(request);
     if (!result.feasible()) return reject(result.reason, task);
-    apply_plan(work_state_, result.plan, merge_scratch_);
+    if (het) {
+      apply_plan_het(work_state_, work_ids_, result.plan, het_merge_scratch_);
+      scratch_id_rows_.insert(scratch_id_rows_.end(), work_ids_.begin(), work_ids_.end());
+    } else {
+      apply_plan(work_state_, result.plan, merge_scratch_);
+    }
     scratch_plans_.push_back(std::move(result.plan));
     scratch_rows_.insert(scratch_rows_.end(), work_state_.begin(), work_state_.end());
   }
@@ -251,6 +349,10 @@ AdmissionOutcome AdmissionController::test_incremental(
   for (TaskPlan& plan : scratch_plans_) plans_.push_back(std::move(plan));
   states_.resize((head_ + p + 1) * n);
   states_.insert(states_.end(), scratch_rows_.begin(), scratch_rows_.end());
+  if (het) {
+    id_states_.resize((head_ + p + 1) * n);
+    id_states_.insert(id_states_.end(), scratch_id_rows_.begin(), scratch_id_rows_.end());
+  }
   planned_ = q + 1;
   synced_prefix_ = q + 1;
 
@@ -267,8 +369,10 @@ void AdmissionController::verify_against_full(
     const workload::Task& new_task, const std::vector<const workload::Task*>& waiting,
     const cluster::ClusterParams& params, const cluster::Cluster& cluster, Time now,
     const AdmissionOutcome& outcome) const {
-  const AdmissionOutcome reference =
-      test(&new_task, waiting, params, cluster.availability(now).times, now, nullptr);
+  cluster::AvailabilityView view = cluster.availability(now);
+  const AdmissionOutcome reference = test(&new_task, waiting, params,
+                                          std::move(view.times), now, nullptr,
+                                          std::move(view.ids));
   auto fail = [](const std::string& what) {
     throw std::logic_error(
         "AdmissionController cross-check: incremental vs full Figure-2 mismatch: " + what);

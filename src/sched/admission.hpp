@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -71,11 +72,18 @@ class AdmissionController {
   /// controller plans each temp-schedule task against a private copy into
   /// which earlier tasks' reservations are inserted, so the accepted plans
   /// are mutually conflict-free.
+  ///
+  /// `node_ids`: owners of the free_times entries, required meaningful only
+  /// when params.heterogeneous() (nodes stop being interchangeable once
+  /// speeds differ). Empty means free_times[i] belongs to node i. The pair
+  /// columns are co-floored and co-sorted into the strict (time, id) order
+  /// the het rules plan against.
   AdmissionOutcome test(const workload::Task* new_task,
                         const std::vector<const workload::Task*>& waiting,
                         const cluster::ClusterParams& params,
                         std::vector<Time> free_times, Time now,
-                        const cluster::NodeCalendar* calendar = nullptr) const;
+                        const cluster::NodeCalendar* calendar = nullptr,
+                        std::vector<cluster::NodeId> node_ids = {}) const;
 
   /// Incremental Figure-2 test for non-calendar rules (throws
   /// std::logic_error when rule().uses_calendar()).
@@ -145,15 +153,26 @@ class AdmissionController {
   std::vector<const workload::Task*> order_;
   std::vector<TaskPlan> plans_;
   std::vector<Time> states_;
+  /// Heterogeneous sessions only: id_states_ mirrors states_ row for row
+  /// (id_states_[r*N + i] owns states_[r*N + i]), preserving the strict
+  /// (time, id) order so the cached rows stay bit-identical to fresh
+  /// cluster snapshots. Empty for homogeneous sessions - the homogeneous
+  /// hot path pays nothing.
+  bool het_session_ = false;
+  std::vector<cluster::NodeId> id_states_;
 
   // Scratch reused across calls (no per-arrival allocation steady-state).
   std::vector<Time> work_state_;
+  std::vector<cluster::NodeId> work_ids_;
   std::vector<TaskPlan> scratch_plans_;
   std::vector<Time> scratch_rows_;
+  std::vector<cluster::NodeId> scratch_id_rows_;
   /// apply_plan's merge buffer; mutable so the const (stateless) test()
   /// reuses it too. Consistent with the single-thread affinity of the
   /// controller (like the rules' plan scratch, one instance per simulator).
   mutable std::vector<Time> merge_scratch_;
+  /// Het apply_plan's (release, id) pair buffer, same mutability rationale.
+  mutable std::vector<std::pair<Time, cluster::NodeId>> het_merge_scratch_;
 };
 
 }  // namespace rtdls::sched

@@ -13,6 +13,7 @@
 
 #include "dlt/homogeneous.hpp"
 #include "dlt/nmin.hpp"
+#include "sched/het_planner.hpp"
 #include "sched/rule_detail.hpp"
 
 namespace rtdls::sched {
@@ -25,6 +26,9 @@ class OprMnBackfillRule final : public PartitionRule {
     detail::validate_request(request);
     if (request.calendar == nullptr) {
       throw std::invalid_argument("OprMnBackfillRule: PlanRequest::calendar required");
+    }
+    if (request.params.heterogeneous()) {
+      return het::plan_opr_mn_backfill(request, het_scratch_);
     }
     const workload::Task& task = *request.task;
     const cluster::NodeCalendar& calendar = *request.calendar;
@@ -82,6 +86,9 @@ class OprMnBackfillRule final : public PartitionRule {
 
   std::string_view name() const override { return "OPR-MN-BF"; }
   bool uses_calendar() const override { return true; }
+
+ private:
+  mutable het::PlannerScratch het_scratch_;
 };
 
 }  // namespace

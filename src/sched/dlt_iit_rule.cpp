@@ -16,6 +16,7 @@
 
 #include "dlt/het_model.hpp"
 #include "dlt/nmin.hpp"
+#include "sched/het_planner.hpp"
 #include "sched/rule_detail.hpp"
 
 namespace rtdls::sched {
@@ -28,6 +29,7 @@ class DltIitRule final : public PartitionRule {
 
   PlanResult plan(const PlanRequest& request) const override {
     detail::validate_request(request);
+    if (request.params.heterogeneous()) return het::plan_dlt_iit(request, het_scratch_);
     const workload::Task& task = *request.task;
     const std::vector<Time>& free_times = *request.free_times;
     const Time deadline = task.abs_deadline();
@@ -76,6 +78,7 @@ class DltIitRule final : public PartitionRule {
   NodeSearch search_;
   /// Reused across plan() calls (see PartitionRule's thread-affinity note).
   mutable dlt::HetPartition scratch_;
+  mutable het::PlannerScratch het_scratch_;
 };
 
 }  // namespace

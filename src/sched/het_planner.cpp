@@ -1,0 +1,360 @@
+#include "sched/het_planner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cluster/calendar.hpp"
+#include "cluster/speed_profile.hpp"
+#include "sched/rule_detail.hpp"
+
+namespace rtdls::sched::het {
+
+namespace {
+
+// Same deadline tolerance as the homogeneous rules.
+constexpr double kDeadlineEps = 1e-9;
+
+/// Fills scratch.cps with the actual speed at every availability position.
+void gather_cps(const PlanRequest& request, PlannerScratch& scratch) {
+  const std::vector<cluster::NodeId>& ids = *request.node_ids;
+  scratch.cps.resize(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    scratch.cps[i] = request.params.node_cps(ids[i]);
+  }
+}
+
+/// Copies the chosen prefix's identity columns into the plan.
+void pin_prefix(const PlanRequest& request, const PlannerScratch& scratch, std::size_t n,
+                TaskPlan& plan) {
+  const std::vector<cluster::NodeId>& ids = *request.node_ids;
+  plan.node_ids.assign(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(n));
+  plan.node_cps.assign(scratch.cps.begin(),
+                       scratch.cps.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+/// The scan's shared hard-rejection checks at prefix end r_n. Both only
+/// worsen as r_n grows, so hitting one aborts the whole scan (mirroring the
+/// homogeneous resolver's early aborts).
+dlt::Infeasibility hard_reject(double sigma, double cms, Time deadline, Time rn) {
+  const Time slack = deadline - rn;
+  if (slack <= 0.0) return dlt::Infeasibility::kDeadlinePassed;
+  if (sigma * cms >= slack) return dlt::Infeasibility::kTransmissionTooLong;
+  return dlt::Infeasibility::kNone;
+}
+
+}  // namespace
+
+PlanResult plan_dlt_iit(const PlanRequest& request, PlannerScratch& scratch) {
+  const workload::Task& task = *request.task;
+  const std::vector<Time>& free_times = *request.free_times;
+  const double sigma = task.sigma();
+  const Time deadline = task.abs_deadline();
+  const std::size_t cluster_size = free_times.size();
+  gather_cps(request, scratch);
+
+  double capacity = 0.0;  // sum_i (deadline - r_i) / cps_i, grown per prefix
+  for (std::size_t n = 1; n <= cluster_size; ++n) {
+    const Time rn = free_times[n - 1];
+    const dlt::Infeasibility hard = hard_reject(sigma, request.params.cms, deadline, rn);
+    if (hard != dlt::Infeasibility::kNone) return PlanResult::infeasible(hard);
+    // Work conservation: node i cannot compute more than (deadline - r_i)
+    // of slack at cost cps_i, so sigma <= capacity is necessary; skip the
+    // O(n) partition build until the prefix could possibly carry the load.
+    capacity += (deadline - rn) / scratch.cps[n - 1];
+    if (capacity < sigma) continue;
+
+    dlt::build_het_partition_into(request.params, sigma, free_times, scratch.cps, n,
+                                  scratch.partition);
+    const Time est = scratch.partition.estimated_completion();
+    if (est > deadline + kDeadlineEps) continue;
+
+    PlanResult result;
+    TaskPlan& plan = result.plan;
+    plan.task = task.id;
+    plan.nodes = n;
+    plan.available = scratch.partition.available;
+    plan.reserve_from = scratch.partition.available;  // IITs utilized
+    plan.node_release.assign(n, est);
+    plan.alpha = scratch.partition.alpha;
+    plan.est_completion = est;
+    pin_prefix(request, scratch, n, plan);
+    return result;
+  }
+  return PlanResult::infeasible(dlt::Infeasibility::kNeedsMoreNodes);
+}
+
+PlanResult plan_opr_mn(const PlanRequest& request, PlannerScratch& scratch) {
+  const workload::Task& task = *request.task;
+  const std::vector<Time>& free_times = *request.free_times;
+  const double sigma = task.sigma();
+  const Time deadline = task.abs_deadline();
+  const std::size_t cluster_size = free_times.size();
+  gather_cps(request, scratch);
+
+  double capacity = 0.0;
+  for (std::size_t n = 1; n <= cluster_size; ++n) {
+    const Time rn = free_times[n - 1];
+    const dlt::Infeasibility hard = hard_reject(sigma, request.params.cms, deadline, rn);
+    if (hard != dlt::Infeasibility::kNone) return PlanResult::infeasible(hard);
+    // (deadline - r_i)/cps_i over-estimates what OPR's simultaneous start at
+    // r_n >= r_i allows, so the prune stays a valid necessary condition.
+    capacity += (deadline - rn) / scratch.cps[n - 1];
+    if (capacity < sigma) continue;
+
+    dlt::general_het_alpha_into(request.params.cms, scratch.cps, n, scratch.alpha);
+    const double exec =
+        sigma * request.params.cms + scratch.alpha.back() * sigma * scratch.cps[n - 1];
+    const Time est = rn + exec;
+    if (est > deadline + kDeadlineEps) continue;
+
+    PlanResult result;
+    TaskPlan& plan = result.plan;
+    plan.task = task.id;
+    plan.nodes = n;
+    plan.available.assign(free_times.begin(),
+                          free_times.begin() + static_cast<std::ptrdiff_t>(n));
+    plan.reserve_from.assign(n, rn);  // simultaneous allocation: IITs wasted
+    plan.node_release.assign(n, est);
+    plan.alpha = scratch.alpha;
+    plan.est_completion = est;
+    pin_prefix(request, scratch, n, plan);
+    return result;
+  }
+  return PlanResult::infeasible(dlt::Infeasibility::kNeedsMoreNodes);
+}
+
+PlanResult plan_opr_an(const PlanRequest& request, PlannerScratch& scratch) {
+  const workload::Task& task = *request.task;
+  const std::vector<Time>& free_times = *request.free_times;
+  const double sigma = task.sigma();
+  const Time deadline = task.abs_deadline();
+  const std::size_t n = free_times.size();
+  const Time rn = free_times.back();
+  if (deadline <= rn) return PlanResult::infeasible(dlt::Infeasibility::kDeadlinePassed);
+  gather_cps(request, scratch);
+
+  dlt::general_het_alpha_into(request.params.cms, scratch.cps, n, scratch.alpha);
+  const double exec =
+      sigma * request.params.cms + scratch.alpha.back() * sigma * scratch.cps[n - 1];
+  const Time est = rn + exec;
+  if (est > deadline + kDeadlineEps) {
+    return PlanResult::infeasible(dlt::Infeasibility::kNeedsMoreNodes);
+  }
+
+  PlanResult result;
+  TaskPlan& plan = result.plan;
+  plan.task = task.id;
+  plan.nodes = n;
+  plan.available = free_times;
+  plan.reserve_from.assign(n, rn);
+  plan.node_release.assign(n, est);
+  plan.alpha = scratch.alpha;
+  plan.est_completion = est;
+  pin_prefix(request, scratch, n, plan);
+  return result;
+}
+
+PlanResult plan_user_split(const PlanRequest& request, PlannerScratch& scratch) {
+  const workload::Task& task = *request.task;
+  const std::vector<Time>& free_times = *request.free_times;
+  const double sigma = task.sigma();
+  const Time deadline = task.abs_deadline();
+  std::size_t n = task.user_nodes == 0 ? free_times.size() : task.user_nodes;
+  n = std::min(n, free_times.size());
+  gather_cps(request, scratch);
+
+  // Exact equal-split rollout: node i receives chunk i over the sequential
+  // channel once it is free, then computes at its own speed.
+  const double chunk = sigma / static_cast<double>(n);
+  const double tx = chunk * request.params.cms;
+  PlanResult result;
+  TaskPlan& plan = result.plan;
+  plan.node_release.resize(n);
+  Time est = 0.0;
+  Time channel_free = free_times[0];
+  for (std::size_t i = 0; i < n; ++i) {
+    const Time start = std::max(free_times[i], channel_free);
+    channel_free = start + tx;
+    plan.node_release[i] = channel_free + chunk * scratch.cps[i];
+    est = std::max(est, plan.node_release[i]);
+  }
+  if (est > deadline + kDeadlineEps) {
+    return PlanResult::infeasible(dlt::Infeasibility::kNeedsMoreNodes);
+  }
+
+  plan.task = task.id;
+  plan.nodes = n;
+  plan.available.assign(free_times.begin(),
+                        free_times.begin() + static_cast<std::ptrdiff_t>(n));
+  plan.reserve_from = plan.available;  // node held from its r_i
+  plan.alpha.assign(n, 1.0 / static_cast<double>(n));
+  plan.est_completion = est;
+  pin_prefix(request, scratch, n, plan);
+  return result;
+}
+
+Time HetMultiRoundRollout::task_completion() const {
+  Time latest = 0.0;
+  for (Time t : completion) latest = std::max(latest, t);
+  return latest;
+}
+
+void roll_multiround(const cluster::ClusterParams& params, double sigma,
+                     const std::vector<Time>& available, const std::vector<double>& cps,
+                     std::size_t rounds, Time channel_available, PlannerScratch& scratch,
+                     HetMultiRoundRollout& out, std::vector<double>* slot_alpha) {
+  const std::size_t n = available.size();
+  if (n == 0 || cps.size() < n) throw std::invalid_argument("roll_multiround: bad slots");
+  if (rounds == 0) throw std::invalid_argument("roll_multiround: rounds must be >= 1");
+  const double installment = sigma / static_cast<double>(rounds);
+
+  scratch.round_free.assign(available.begin(), available.begin() + static_cast<std::ptrdiff_t>(n));
+  if (slot_alpha != nullptr) slot_alpha->assign(n, 0.0);
+  Time channel_free = channel_available;
+
+  for (std::size_t r = 0; r < rounds; ++r) {
+    // Installments re-rank slots by their evolving availability (slot index
+    // breaks ties deterministically); speeds ride along with their slot.
+    scratch.order.resize(n);
+    for (std::size_t i = 0; i < n; ++i) scratch.order[i] = i;
+    std::sort(scratch.order.begin(), scratch.order.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (scratch.round_free[a] != scratch.round_free[b]) {
+                  return scratch.round_free[a] < scratch.round_free[b];
+                }
+                return a < b;
+              });
+    scratch.sorted_free.resize(n);
+    scratch.sorted_cps.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      scratch.sorted_free[k] = scratch.round_free[scratch.order[k]];
+      scratch.sorted_cps[k] = cps[scratch.order[k]];
+    }
+    dlt::build_het_partition_into(params, installment, scratch.sorted_free,
+                                  scratch.sorted_cps, n, scratch.partition);
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t slot = scratch.order[k];
+      const double alpha = scratch.partition.alpha[k];
+      const Time start = std::max(scratch.sorted_free[k], channel_free);
+      channel_free = start + alpha * installment * params.cms;
+      scratch.round_free[slot] = channel_free + alpha * installment * cps[slot];
+      if (slot_alpha != nullptr) {
+        (*slot_alpha)[slot] += alpha / static_cast<double>(rounds);
+      }
+    }
+  }
+  out.completion = scratch.round_free;
+  out.channel_busy_until = channel_free;
+}
+
+PlanResult plan_multiround(const PlanRequest& request, std::size_t rounds,
+                           PlannerScratch& scratch) {
+  // Resolve the node count through the single-round het scan: its accepted
+  // plan doubles as the guaranteed-feasible fallback.
+  PlanResult single = plan_dlt_iit(request, scratch);
+  if (!single.feasible()) return single;
+  const workload::Task& task = *request.task;
+  const std::size_t n = single.plan.nodes;
+
+  HetMultiRoundRollout rollout;
+  roll_multiround(request.params, task.sigma(), single.plan.available,
+                  single.plan.node_cps, rounds, 0.0, scratch, rollout,
+                  &scratch.slot_alpha);
+  const Time est = rollout.task_completion();
+  if (est > task.abs_deadline() + kDeadlineEps) {
+    // R installments happened to be slower here; keep the single-round plan.
+    return single;
+  }
+
+  PlanResult result;
+  TaskPlan& plan = result.plan;
+  plan.task = task.id;
+  plan.nodes = n;
+  plan.available = single.plan.available;
+  plan.reserve_from = single.plan.available;
+  // Exact per-slot finish of each node's last installment. Unlike the
+  // homogeneous MR rule these are NOT sorted: slot identity must survive so
+  // each node's release carries its own speed (the het availability merge
+  // re-sorts (release, id) pairs itself).
+  plan.node_release = rollout.completion;
+  plan.alpha = scratch.slot_alpha;
+  plan.est_completion = est;
+  plan.rounds = rounds;
+  plan.node_ids = single.plan.node_ids;
+  plan.node_cps = single.plan.node_cps;
+  return result;
+}
+
+PlanResult plan_opr_mn_backfill(const PlanRequest& request, PlannerScratch& scratch) {
+  if (request.calendar == nullptr) {
+    throw std::invalid_argument("plan_opr_mn_backfill: PlanRequest::calendar required");
+  }
+  const workload::Task& task = *request.task;
+  const cluster::NodeCalendar& calendar = *request.calendar;
+  const double sigma = task.sigma();
+  const Time deadline = task.abs_deadline();
+  const std::size_t cluster_size = calendar.size();
+
+  for (Time t : calendar.candidate_times(request.now)) {
+    const dlt::Infeasibility hard = hard_reject(sigma, request.params.cms, deadline, t);
+    if (hard != dlt::Infeasibility::kNone) return PlanResult::infeasible(hard);
+
+    for (std::size_t m = 1; m <= cluster_size; ++m) {
+      // The window length depends on which nodes fill it and vice versa;
+      // iterate the (selection, duration) fixed point a few steps. The het
+      // no-IIT execution time shrinks as m grows (an extra recipient can
+      // always take ~0 load), so larger m remains worth trying after a
+      // tight window.
+      double duration = 0.0;
+      bool selected = false;
+      bool instant_shortfall = false;
+      for (int iteration = 0; iteration < 4; ++iteration) {
+        scratch.window_nodes.clear();
+        scratch.window_cps.clear();
+        for (cluster::NodeId id = 0; id < cluster_size && scratch.window_nodes.size() < m;
+             ++id) {
+          if (calendar.is_free(id, t, t + duration)) {
+            scratch.window_nodes.push_back(id);
+            scratch.window_cps.push_back(request.params.node_cps(id));
+          }
+        }
+        if (scratch.window_nodes.size() < m) {
+          // Free-over-window implies free-at-instant, so a shortfall with
+          // duration == 0 rules this t out for every m; a shortfall at a
+          // positive window may still resolve with more nodes (shorter
+          // window).
+          instant_shortfall = duration == 0.0;
+          break;
+        }
+        dlt::general_het_alpha_into(request.params.cms, scratch.window_cps, m,
+                                    scratch.alpha);
+        const double next = sigma * request.params.cms +
+                            scratch.alpha.back() * sigma * scratch.window_cps.back();
+        if (next == duration) {
+          selected = true;
+          break;
+        }
+        duration = next;
+      }
+      if (instant_shortfall) break;  // next candidate time
+      if (!selected) continue;       // window did not settle; try more nodes
+      if (t + duration > deadline + kDeadlineEps) continue;  // more nodes shrink it
+
+      PlanResult result;
+      TaskPlan& plan = result.plan;
+      plan.task = task.id;
+      plan.nodes = m;
+      plan.available.assign(m, t);
+      plan.reserve_from.assign(m, t);
+      plan.node_release.assign(m, t + duration);
+      plan.alpha = scratch.alpha;
+      plan.est_completion = t + duration;
+      plan.node_ids = scratch.window_nodes;
+      plan.node_cps = scratch.window_cps;
+      return result;
+    }
+  }
+  return PlanResult::infeasible(dlt::Infeasibility::kNeedsMoreNodes);
+}
+
+}  // namespace rtdls::sched::het

@@ -10,6 +10,7 @@
 
 #include "dlt/multiround.hpp"
 #include "dlt/nmin.hpp"
+#include "sched/het_planner.hpp"
 #include "sched/rule_detail.hpp"
 
 namespace rtdls::sched {
@@ -25,6 +26,9 @@ class MultiRoundRule final : public PartitionRule {
 
   PlanResult plan(const PlanRequest& request) const override {
     detail::validate_request(request);
+    if (request.params.heterogeneous()) {
+      return het::plan_multiround(request, rounds_, het_scratch_);
+    }
     const workload::Task& task = *request.task;
     const std::vector<Time>& free_times = *request.free_times;
     const Time deadline = task.abs_deadline();
@@ -77,6 +81,7 @@ class MultiRoundRule final : public PartitionRule {
   std::size_t rounds_;
   std::unique_ptr<PartitionRule> fallback_;
   std::string name_;
+  mutable het::PlannerScratch het_scratch_;
 };
 
 }  // namespace

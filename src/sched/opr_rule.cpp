@@ -13,6 +13,7 @@
 
 #include "dlt/homogeneous.hpp"
 #include "dlt/nmin.hpp"
+#include "sched/het_planner.hpp"
 #include "sched/rule_detail.hpp"
 
 namespace rtdls::sched {
@@ -43,6 +44,7 @@ class OprMnRule final : public PartitionRule {
 
   PlanResult plan(const PlanRequest& request) const override {
     detail::validate_request(request);
+    if (request.params.heterogeneous()) return het::plan_opr_mn(request, het_scratch_);
     const workload::Task& task = *request.task;
     const std::vector<Time>& free_times = *request.free_times;
     const Time deadline = task.abs_deadline();
@@ -64,12 +66,14 @@ class OprMnRule final : public PartitionRule {
 
  private:
   NodeSearch search_;
+  mutable het::PlannerScratch het_scratch_;
 };
 
 class OprAnRule final : public PartitionRule {
  public:
   PlanResult plan(const PlanRequest& request) const override {
     detail::validate_request(request);
+    if (request.params.heterogeneous()) return het::plan_opr_an(request, het_scratch_);
     const workload::Task& task = *request.task;
     const std::vector<Time>& free_times = *request.free_times;
     const std::size_t n = free_times.size();
@@ -87,6 +91,9 @@ class OprAnRule final : public PartitionRule {
   }
 
   std::string_view name() const override { return "OPR-AN"; }
+
+ private:
+  mutable het::PlannerScratch het_scratch_;
 };
 
 }  // namespace

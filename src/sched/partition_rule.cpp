@@ -15,6 +15,13 @@ void validate_request(const PlanRequest& request) {
     throw std::invalid_argument("PlanRequest: free_times size != node count");
   }
   if (!request.params.valid()) throw std::invalid_argument("PlanRequest: invalid params");
+  if (request.params.heterogeneous()) {
+    if (request.node_ids == nullptr ||
+        request.node_ids->size() != request.free_times->size()) {
+      throw std::invalid_argument(
+          "PlanRequest: heterogeneous params need node_ids aligned with free_times");
+    }
+  }
 }
 
 }  // namespace detail

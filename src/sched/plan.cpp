@@ -11,6 +11,11 @@ bool TaskPlan::consistent() const {
       node_release.size() != nodes || alpha.size() != nodes) {
     return false;
   }
+  if (!node_ids.empty() && node_ids.size() != nodes) return false;
+  if (!node_cps.empty() && node_cps.size() != nodes) return false;
+  for (double cps : node_cps) {
+    if (!(cps > 0.0)) return false;
+  }
   if (!std::is_sorted(available.begin(), available.end())) return false;
   double alpha_sum = 0.0;
   for (double a : alpha) {

@@ -42,10 +42,18 @@ struct TaskPlan {
   /// multi-round extension).
   std::size_t rounds = 1;
 
-  /// Concrete node ids, set only by calendar-based (backfilling) rules that
-  /// placed reservations into specific gaps; empty for the paper's rules,
-  /// whose slots map onto the earliest-free nodes at commit time.
+  /// Concrete node ids, set by calendar-based (backfilling) rules that
+  /// placed reservations into specific gaps and by every heterogeneous-mode
+  /// plan (node identity fixes the speeds the partition was computed for);
+  /// empty for the paper's homogeneous rules, whose interchangeable slots
+  /// map onto the earliest-free nodes at commit time.
   std::vector<cluster::NodeId> node_ids;
+
+  /// Actual unit processing cost of each chosen node (aligned with `alpha`
+  /// and `node_ids`), set only by heterogeneous-mode plans; empty means the
+  /// homogeneous params.cps applies to every slot. The execution rollout
+  /// computes per-node finish times from these.
+  std::vector<double> node_cps;
 
   /// Earliest resource commitment instant: once the simulation clock passes
   /// this, the task can no longer be re-planned.
@@ -64,7 +72,7 @@ struct TaskPlan {
     return a.task == b.task && a.nodes == b.nodes && a.available == b.available &&
            a.reserve_from == b.reserve_from && a.node_release == b.node_release &&
            a.alpha == b.alpha && a.est_completion == b.est_completion &&
-           a.rounds == b.rounds && a.node_ids == b.node_ids;
+           a.rounds == b.rounds && a.node_ids == b.node_ids && a.node_cps == b.node_cps;
   }
 };
 

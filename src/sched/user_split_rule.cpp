@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "dlt/user_split.hpp"
+#include "sched/het_planner.hpp"
 #include "sched/rule_detail.hpp"
 
 namespace rtdls::sched {
@@ -18,6 +19,7 @@ class UserSplitRule final : public PartitionRule {
  public:
   PlanResult plan(const PlanRequest& request) const override {
     detail::validate_request(request);
+    if (request.params.heterogeneous()) return het::plan_user_split(request, het_scratch_);
     const workload::Task& task = *request.task;
     const std::vector<Time>& free_times = *request.free_times;
     const Time deadline = task.abs_deadline();
@@ -48,6 +50,9 @@ class UserSplitRule final : public PartitionRule {
   }
 
   std::string_view name() const override { return "UserSplit"; }
+
+ private:
+  mutable het::PlannerScratch het_scratch_;
 };
 
 }  // namespace

@@ -24,7 +24,10 @@ ActualTimeline roll_out(const cluster::ClusterParams& params, double sigma,
   Time channel_free = channel_available;
   for (std::size_t i = 0; i < plan.nodes; ++i) {
     const double tx_cost = plan.alpha[i] * sigma * params.cms;
-    const double compute_cost = plan.alpha[i] * sigma * params.cps;
+    // Heterogeneous plans pin each slot's actual speed; homogeneous plans
+    // leave node_cps empty and every slot computes at params.cps.
+    const double node_cps = plan.node_cps.empty() ? params.cps : plan.node_cps[i];
+    const double compute_cost = plan.alpha[i] * sigma * node_cps;
     // The chunk may not be sent before the node is reserved for the task
     // (its own available time; r_n for OPR rules) nor before the previous
     // chunk left the channel.

@@ -16,11 +16,13 @@ namespace rtdls::sim {
 
 using cluster::Time;
 
-/// Exact per-node execution timeline of one task.
+/// Exact per-node execution timeline of one task. Under a heterogeneous
+/// plan (TaskPlan::node_cps set) each slot computes at its own node's
+/// actual speed; otherwise every slot uses params.cps.
 struct ActualTimeline {
   std::vector<Time> tx_start;    ///< when node i's chunk starts transmitting
   std::vector<Time> tx_end;      ///< tx_start + alpha_i * sigma * Cms
-  std::vector<Time> completion;  ///< tx_end + alpha_i * sigma * Cps
+  std::vector<Time> completion;  ///< tx_end + alpha_i * sigma * cps_i
 
   /// Actual task completion: the last node's finish.
   Time task_completion() const;

@@ -18,12 +18,12 @@ cluster::Time ScheduleLog::total_inserted_idle() const {
 void ScheduleLog::save_csv(std::ostream& out) const {
   util::CsvWriter writer(out);
   writer.write_row({"task", "node", "usable_from", "start", "end", "alpha",
-                    "inserted_idle"});
+                    "inserted_idle", "cps", "actual_finish"});
   for (const ScheduleEntry& entry : entries_) {
     writer.write_numeric_row({static_cast<double>(entry.task),
                               static_cast<double>(entry.node), entry.usable_from,
                               entry.start, entry.end, entry.alpha,
-                              entry.inserted_idle()});
+                              entry.inserted_idle(), entry.cps, entry.actual_finish});
   }
 }
 

@@ -20,6 +20,11 @@ struct ScheduleEntry {
   cluster::Time start = 0.0;        ///< reservation start (r_i, or r_n for OPR)
   cluster::Time end = 0.0;          ///< reservation end (release)
   double alpha = 0.0;               ///< load fraction carried by this node
+  double cps = 0.0;                 ///< node's unit processing cost for this task
+  /// Actual rollout finish of this slot's work, computed from the node's
+  /// own speed (<= end on a dedicated channel; equals the slot's order
+  /// statistic for multi-round plans, whose rounds permute node identity).
+  cluster::Time actual_finish = 0.0;
 
   /// Inserted idle time this reservation wasted: start - usable_from.
   cluster::Time inserted_idle() const { return start - usable_from; }

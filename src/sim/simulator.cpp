@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "dlt/het_model.hpp"
 #include "dlt/homogeneous.hpp"
 #include "dlt/multiround.hpp"
 #include "sim/exec_model.hpp"
@@ -116,6 +117,10 @@ void ClusterSimulator::handle_arrival(const workload::Task& task) {
                                &*calendar_);
   } else if (config_.incremental_admission) {
     outcome = controller_.test_incremental(task, waiting_view_, config_.params, cluster_, now);
+  } else if (config_.params.heterogeneous()) {
+    cluster_.availability_with_ids_into(now, free_scratch_, free_ids_scratch_);
+    outcome = controller_.test(&task, waiting_view_, config_.params, free_scratch_, now,
+                               nullptr, free_ids_scratch_);
   } else {
     cluster_.availability_into(now, free_scratch_);
     outcome = controller_.test(&task, waiting_view_, config_.params, free_scratch_, now);
@@ -179,22 +184,22 @@ bool ClusterSimulator::commit_task(Time now, const WaitingEntry& entry) {
   const sched::TaskPlan& plan = entry.plan;
   const workload::Task& task = *entry.task;
 
-  auto log_commit = [&](const std::vector<cluster::NodeId>& node_ids) {
-    if (config_.schedule_log == nullptr) return;
-    for (std::size_t i = 0; i < plan.nodes; ++i) {
-      config_.schedule_log->add(ScheduleEntry{task.id, node_ids[i], plan.available[i],
-                                              plan.reserve_from[i], plan.node_release[i],
-                                              plan.alpha[i]});
-    }
-  };
-
   std::vector<cluster::NodeId>& ids = ids_scratch_;
-  if (!plan.node_ids.empty()) {
+  if (calendar_) {
     // Calendar-based plan: reserve the exact intervals it chose (possibly
     // backfilled into gaps in front of existing reservations).
     ids = plan.node_ids;
     for (std::size_t i = 0; i < plan.nodes; ++i) {
       calendar_->reserve(ids[i], plan.reserve_from[i], plan.node_release[i]);
+    }
+  } else if (!plan.node_ids.empty()) {
+    // Heterogeneous plan: the partition was computed for exactly these
+    // nodes' speeds, so commit them directly (nodes of different speeds
+    // are not interchangeable).
+    ids = plan.node_ids;
+    for (std::size_t i = 0; i < plan.nodes; ++i) {
+      cluster_.commit(ids[i], task.id, plan.available[i], plan.reserve_from[i],
+                      plan.node_release[i]);
     }
   } else {
     // Map the plan's sorted slots onto the n earliest-free concrete nodes.
@@ -204,7 +209,6 @@ bool ClusterSimulator::commit_task(Time now, const WaitingEntry& entry) {
                       plan.node_release[i]);
     }
   }
-  log_commit(ids);
 
   // Roll out the actual timeline on the (dedicated or shared) channel.
   // Multi-round plans already carry their exact rolled-out per-node
@@ -219,11 +223,21 @@ bool ClusterSimulator::commit_task(Time now, const WaitingEntry& entry) {
       // The plan's MR timeline assumed a dedicated channel; re-roll the
       // installments against the channel's current occupancy so a busy
       // shared link delays them instead of being double-booked.
-      const dlt::MultiRoundSchedule rolled = dlt::build_multiround_schedule(
-          config_.params, task.sigma(), plan.available, plan.rounds, channel_free_);
-      timeline.completion = rolled.node_completion;
-      std::sort(timeline.completion.begin(), timeline.completion.end());
-      channel_free_ = rolled.channel_busy_until;
+      if (!plan.node_cps.empty()) {
+        sched::het::HetMultiRoundRollout rolled;
+        sched::het::roll_multiround(config_.params, task.sigma(), plan.available,
+                                    plan.node_cps, plan.rounds, channel_free_,
+                                    het_roll_scratch_, rolled);
+        // Slot identity survives (each slot's speed is its own); no sort.
+        timeline.completion = std::move(rolled.completion);
+        channel_free_ = rolled.channel_busy_until;
+      } else {
+        const dlt::MultiRoundSchedule rolled = dlt::build_multiround_schedule(
+            config_.params, task.sigma(), plan.available, plan.rounds, channel_free_);
+        timeline.completion = rolled.node_completion;
+        std::sort(timeline.completion.begin(), timeline.completion.end());
+        channel_free_ = rolled.channel_busy_until;
+      }
     } else {
       timeline.completion = plan.node_release;
     }
@@ -245,6 +259,15 @@ bool ClusterSimulator::commit_task(Time now, const WaitingEntry& entry) {
   }
   const Time estimate = plan.est_completion;
 
+  if (config_.schedule_log != nullptr) {
+    for (std::size_t i = 0; i < plan.nodes; ++i) {
+      const double cps = plan.node_cps.empty() ? config_.params.cps : plan.node_cps[i];
+      config_.schedule_log->add(ScheduleEntry{task.id, ids[i], plan.available[i],
+                                              plan.reserve_from[i], plan.node_release[i],
+                                              plan.alpha[i], cps, timeline.completion[i]});
+    }
+  }
+
   if (config_.validate) {
     if (!config_.shared_link && actual > estimate + kTimeEps) {
       ++metrics_.theorem4_violations;
@@ -265,13 +288,34 @@ bool ClusterSimulator::commit_task(Time now, const WaitingEntry& entry) {
   metrics_.nodes_per_task.add(static_cast<double>(plan.nodes));
   metrics_.estimate_margin.add(estimate - actual);
   metrics_.stagger.add(plan.available.back() - plan.available.front());
-  const double e_no_iit =
-      dlt::homogeneous_execution_time(config_.params, task.sigma(), plan.nodes);
+  // The no-IIT reference: homogeneous E(sigma, n), or for heterogeneous
+  // plans the het-optimal simultaneous allocation over the same nodes'
+  // actual speeds.
+  double e_no_iit = 0.0;
+  if (plan.node_cps.empty()) {
+    e_no_iit = dlt::homogeneous_execution_time(config_.params, task.sigma(), plan.nodes);
+  } else {
+    dlt::general_het_alpha_into(config_.params.cms, plan.node_cps, plan.nodes,
+                                alpha_scratch_);
+    e_no_iit = task.sigma() * config_.params.cms +
+               alpha_scratch_.back() * task.sigma() * plan.node_cps.back();
+  }
   const double e_planned = plan.est_completion - plan.available.back();
   metrics_.iit_compression.add((e_no_iit - e_planned) / e_no_iit);
 
   if (config_.release_policy == ReleasePolicy::kActual && !config_.shared_link &&
-      plan.node_ids.empty()) {
+      !calendar_) {
+    if (!plan.node_cps.empty()) {
+      // Heterogeneous plans keep slot identity end to end: slot i's work ran
+      // on node ids[i] at its own speed, so each node hands back exactly its
+      // own unused tail (order statistics would release the wrong node when
+      // speeds differ).
+      for (std::size_t i = 0; i < plan.nodes; ++i) {
+        const Time at = std::min(timeline.completion[i], cluster_.node(ids[i]).free_at());
+        cluster_.release_early(ids[i], at);
+      }
+      return false;  // availability no longer matches the plan's releases
+    }
     // Theorem 4: each node's actual finish is no later than the estimate it
     // was committed until; hand the unused tail back. Pair sorted actual
     // completions with the nodes sorted by committed release so order
@@ -290,7 +334,7 @@ bool ClusterSimulator::commit_task(Time now, const WaitingEntry& entry) {
     }
     return false;  // availability no longer matches the plan's releases
   }
-  return plan.node_ids.empty();
+  return !calendar_;
 }
 
 SimMetrics simulate(const SimulatorConfig& config, const std::string& algorithm_name,

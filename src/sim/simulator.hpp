@@ -28,6 +28,7 @@
 #include "cluster/calendar.hpp"
 #include "cluster/cluster.hpp"
 #include "sched/admission.hpp"
+#include "sched/het_planner.hpp"
 #include "sched/registry.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
@@ -132,9 +133,12 @@ class ClusterSimulator {
   // Scratch reused across arrivals/commits (no steady-state allocation).
   std::vector<const workload::Task*> waiting_view_;
   std::vector<Time> free_scratch_;
+  std::vector<cluster::NodeId> free_ids_scratch_;
   std::vector<cluster::NodeId> ids_scratch_;
   std::vector<cluster::NodeId> by_release_scratch_;
   std::vector<Time> actual_sorted_scratch_;
+  std::vector<double> alpha_scratch_;
+  sched::het::PlannerScratch het_roll_scratch_;
 };
 
 /// Convenience: run one named algorithm over a trace.

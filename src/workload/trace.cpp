@@ -1,5 +1,7 @@
 #include "workload/trace.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -30,7 +32,15 @@ void save_trace_file(const std::string& path, const std::vector<Task>& tasks) {
   if (!out) throw std::runtime_error("save_trace_file: write failed for " + path);
 }
 
-std::vector<Task> load_trace(std::istream& in) {
+namespace {
+
+[[noreturn]] void row_fail(std::size_t row, const std::string& what) {
+  throw std::runtime_error("load_trace: row " + std::to_string(row) + ": " + what);
+}
+
+}  // namespace
+
+std::vector<Task> load_trace(std::istream& in, bool sort_arrivals) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   const auto rows = util::parse_csv(buffer.str());
@@ -46,21 +56,37 @@ std::vector<Task> load_trace(std::istream& in) {
 
   std::vector<Task> tasks;
   tasks.reserve(rows.size() - 1);
+  Time last_arrival = 0.0;
   for (size_t r = 1; r < rows.size(); ++r) {
     const auto& row = rows[r];
     if (row.size() == 1 && row[0].empty()) continue;  // trailing blank line
-    if (row.size() != kColumns) {
-      throw std::runtime_error("load_trace: row has wrong column count");
-    }
+    if (row.size() != kColumns) row_fail(r, "wrong column count");
     double fields[kColumns];
     for (size_t c = 0; c < kColumns; ++c) {
-      if (!util::parse_double(row[c], fields[c])) {
-        throw std::runtime_error("load_trace: non-numeric field '" + row[c] + "'");
+      if (!util::parse_double(row[c], fields[c]) || !std::isfinite(fields[c])) {
+        // !(x <= 0) range checks let NaN through; reject non-finite here.
+        row_fail(r, std::string(kHeader[c]) + ": bad value '" + row[c] + "'");
       }
     }
-    if (fields[1] < 0.0 || fields[2] <= 0.0 || fields[3] <= 0.0 || fields[4] < 0.0) {
-      throw std::runtime_error("load_trace: out-of-range field values");
+    // id and user_nodes feed integer casts: require exact non-negative
+    // integers within double precision (a -1 id would otherwise cast to
+    // the kNoTask sentinel and silently corrupt task identity).
+    constexpr double kMaxExactInteger = 9007199254740992.0;  // 2^53
+    for (size_t c : {std::size_t{0}, std::size_t{4}}) {
+      if (fields[c] < 0.0 || fields[c] != std::floor(fields[c]) ||
+          fields[c] >= kMaxExactInteger) {
+        row_fail(r, std::string(kHeader[c]) + " must be a non-negative integer, got " +
+                        row[c]);
+      }
     }
+    if (fields[1] < 0.0) row_fail(r, "negative arrival " + row[1]);
+    if (!(fields[2] > 0.0)) row_fail(r, "sigma must be > 0, got " + row[2]);
+    if (!(fields[3] > 0.0)) row_fail(r, "deadline must be > 0, got " + row[3]);
+    if (!sort_arrivals && fields[1] < last_arrival) {
+      row_fail(r, "arrival " + row[1] + " decreases (the simulator assumes a sorted " +
+                      "trace; pass sort_arrivals to reorder instead)");
+    }
+    last_arrival = fields[1];
     Task task;
     task.id = static_cast<cluster::TaskId>(fields[0]);
     task.spec.arrival = fields[1];
@@ -69,13 +95,19 @@ std::vector<Task> load_trace(std::istream& in) {
     task.user_nodes = static_cast<std::size_t>(fields[4]);
     tasks.push_back(task);
   }
+  if (sort_arrivals) {
+    // Stable: simultaneous arrivals keep their file order.
+    std::stable_sort(tasks.begin(), tasks.end(), [](const Task& a, const Task& b) {
+      return a.arrival() < b.arrival();
+    });
+  }
   return tasks;
 }
 
-std::vector<Task> load_trace_file(const std::string& path) {
+std::vector<Task> load_trace_file(const std::string& path, bool sort_arrivals) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("load_trace_file: cannot open " + path);
-  return load_trace(in);
+  return load_trace(in, sort_arrivals);
 }
 
 }  // namespace rtdls::workload

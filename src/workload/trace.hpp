@@ -17,9 +17,14 @@ void save_trace(std::ostream& out, const std::vector<Task>& tasks);
 /// Convenience file overloads. Throws std::runtime_error on I/O failure.
 void save_trace_file(const std::string& path, const std::vector<Task>& tasks);
 
-/// Parses a trace written by save_trace. Throws std::runtime_error on
-/// malformed input (wrong header, non-numeric fields, negative values).
-std::vector<Task> load_trace(std::istream& in);
-std::vector<Task> load_trace_file(const std::string& path);
+/// Parses a trace written by save_trace. Throws std::runtime_error with the
+/// offending data-row number on malformed input: wrong header, non-numeric
+/// or non-finite fields (NaN/inf rejected explicitly - NaN slips through
+/// naive range comparisons), sigma/deadline <= 0, negative arrival, or
+/// arrivals that are not non-decreasing (the simulator assumes a sorted
+/// trace; `sort_arrivals` opts into sorting instead of rejecting, with ties
+/// kept in file order).
+std::vector<Task> load_trace(std::istream& in, bool sort_arrivals = false);
+std::vector<Task> load_trace_file(const std::string& path, bool sort_arrivals = false);
 
 }  // namespace rtdls::workload

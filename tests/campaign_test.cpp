@@ -70,6 +70,7 @@ TEST(SpecIo, SweepRoundTripPreservesEveryField) {
   spec.halt_on_theorem4 = false;
   spec.confidence = 0.99;
   spec.seed = 0xDEADBEEFCAFE1234ull;  // needs all 64 bits
+  spec.het_profile = "lognormal:0.4,7";
 
   const std::string text = serialize_sweep(spec);
   const std::vector<FigureSpec> parsed = parse_campaign(text);
@@ -95,6 +96,11 @@ TEST(SpecIo, SweepRoundTripPreservesEveryField) {
   EXPECT_EQ(back.output_ratio, spec.output_ratio);
   EXPECT_EQ(back.halt_on_theorem4, spec.halt_on_theorem4);
   EXPECT_EQ(back.expected_winner, spec.expected_winner);
+  EXPECT_EQ(back.het_profile, spec.het_profile);
+
+  // A homogeneous spec serializes without the het_profile key at all, so
+  // pre-heterogeneity spec files stay byte-stable.
+  EXPECT_EQ(serialize_sweep(tiny_sweep_b()).find("het_profile"), std::string::npos);
 }
 
 TEST(SpecIo, CampaignRoundTripIsTextuallyStable) {
@@ -284,6 +290,116 @@ TEST(Campaign, ShardAndMergeReproducesRunSweepBitForBit) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(Campaign, ResumeFillsMissingCellsAndMergesBitIdentically) {
+  const std::string dir = temp_dir("rtdls_campaign_resume");
+  const Campaign campaign = tiny_campaign();
+  util::ThreadPool pool(4);
+
+  // Reference: the whole queue streamed to one cell file.
+  const std::string full = dir + "/full.csv";
+  {
+    CampaignOptions options;
+    options.pool = &pool;
+    CellCsvSink sink(full);
+    run_campaign(campaign, options, sink);
+  }
+  EXPECT_TRUE(missing_cells(campaign, {full}).empty());
+
+  // A "killed" run: only shard 0/2 finished before the machine died.
+  const std::string partial = dir + "/partial.csv";
+  {
+    CampaignOptions options;
+    options.shard = ShardSelection{0, 2};
+    options.pool = &pool;
+    CellCsvSink sink(partial);
+    run_campaign(campaign, options, sink);
+  }
+  const std::vector<std::size_t> missing = missing_cells(campaign, {partial});
+  ASSERT_EQ(missing.size(), campaign.cell_count() / 2);
+  for (std::size_t cell : missing) EXPECT_EQ(cell % 2, 1u);  // shard 1's stripe
+
+  // Resume: run exactly the missing cells, appending to the same file.
+  {
+    CampaignOptions options;
+    options.cells = &missing;
+    options.pool = &pool;
+    CellCsvSink sink(partial, /*append=*/true);
+    run_campaign(campaign, options, sink);
+  }
+  EXPECT_TRUE(missing_cells(campaign, {partial}).empty());
+
+  // The resumed file merges bit-identically to the uninterrupted run.
+  const std::vector<SweepResult> want = merge_cell_files(campaign, {full});
+  const std::vector<SweepResult> got = merge_cell_files(campaign, {partial});
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t s = 0; s < want.size(); ++s) {
+    for (std::size_t a = 0; a < want[s].curves.size(); ++a) {
+      for (std::size_t m = 0; m < kSweepMetricCount; ++m) {
+        const MetricSeries& ws = want[s].curves[a].metrics[m];
+        const MetricSeries& gs = got[s].curves[a].metrics[m];
+        for (std::size_t i = 0; i < ws.raw.size(); ++i) EXPECT_EQ(gs.raw[i], ws.raw[i]);
+      }
+    }
+  }
+  EXPECT_EQ(slurp(write_sweep_csv(dir + "/got", got[0])),
+            slurp(write_sweep_csv(dir + "/want", want[0])));
+
+  // Resuming an already-complete file is a no-op diff.
+  EXPECT_TRUE(missing_cells(campaign, {full}).empty());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Campaign, HetFigureShardsMergeByteIdentically) {
+  // The registry's heterogeneity figures run through the same cell queue:
+  // a sharded het campaign must fold back byte-identically to the
+  // unsharded run (acceptance gate of the speed-profile subsystem).
+  const std::string dir = temp_dir("rtdls_campaign_het");
+  Scale scale;
+  scale.runs = 2;
+  scale.sim_time = 30000.0;
+  FigureSpec figure = find_figure("het_cv", scale);
+  FigureSpec mix = find_figure("het_mix", scale);
+  for (FigureSpec* f : {&figure, &mix}) {
+    for (SweepSpec& panel : f->panels) {
+      panel.loads = {0.4, 1.0};  // trimmed axis keeps the test fast
+      EXPECT_FALSE(panel.het_profile.empty());
+      EXPECT_TRUE(panel.materialized_cluster().heterogeneous());
+    }
+  }
+  const Campaign campaign({figure, mix});
+  util::ThreadPool pool(4);
+
+  AggregateSink aggregate(campaign);
+  {
+    CampaignOptions options;
+    options.pool = &pool;
+    run_campaign(campaign, options, aggregate);
+  }
+  const std::vector<SweepResult> want = aggregate.take();
+
+  std::vector<std::string> shard_files;
+  for (std::size_t shard = 0; shard < 3; ++shard) {
+    const std::string path = dir + "/shard" + std::to_string(shard) + ".csv";
+    CampaignOptions options;
+    options.shard = ShardSelection{shard, 3};
+    options.pool = &pool;
+    CellCsvSink sink(path);
+    run_campaign(campaign, options, sink);
+    shard_files.push_back(path);
+  }
+  const std::vector<SweepResult> got = merge_cell_files(campaign, shard_files);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t s = 0; s < want.size(); ++s) {
+    // Byte-identical final CSVs, raw samples included.
+    EXPECT_EQ(slurp(write_sweep_csv(dir + "/got", got[s])),
+              slurp(write_sweep_csv(dir + "/want", want[s])));
+    // A heterogeneous cluster is genuinely lossier or busier than nothing:
+    // the sweep must have simulated real work.
+    EXPECT_GT(series_mean(got[s].curves[0].series(SweepMetric::kUtilization)), 0.0);
+  }
+  std::filesystem::remove_all(dir);
+}
+
 TEST(Campaign, RunSweepsMatchesPerSweepRuns) {
   // The multi-sweep campaign path (one interleaved cell queue) returns the
   // same numbers as independent per-sweep runs.
@@ -359,7 +475,7 @@ TEST(Campaign, RegistryLookupMatchesInventory) {
   scale.runs = 2;
   scale.sim_time = 60000.0;
   const std::vector<std::string> ids = figure_ids();
-  ASSERT_EQ(ids.size(), 19u);  // figures 3-16 + 5 ablations
+  ASSERT_EQ(ids.size(), 21u);  // figures 3-16 + 5 ablations + 2 het sweeps
   const std::vector<FigureSpec> figures = all_figures(scale);
   ASSERT_EQ(figures.size(), ids.size());
   for (std::size_t i = 0; i < ids.size(); ++i) {

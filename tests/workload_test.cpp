@@ -199,5 +199,57 @@ TEST(Trace, FileMissingThrows) {
   EXPECT_THROW(save_trace_file("/nonexistent/dir/trace.csv", {}), std::runtime_error);
 }
 
+TEST(Trace, ErrorsNameTheOffendingRow) {
+  // The simulator rejects unsorted traces at run() with no pointer to the
+  // culprit; the loader must instead say exactly which data row is bad.
+  std::stringstream nan_sigma(
+      "id,arrival,sigma,deadline,user_nodes\n1,2,3,4,5\n2,3,nan,4,5\n");
+  try {
+    load_trace(nan_sigma);
+    FAIL() << "NaN sigma accepted";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("row 2"), std::string::npos) << error.what();
+    EXPECT_NE(std::string(error.what()).find("sigma"), std::string::npos) << error.what();
+  }
+  std::stringstream inf_deadline(
+      "id,arrival,sigma,deadline,user_nodes\n1,2,3,inf,5\n");
+  EXPECT_THROW(load_trace(inf_deadline), std::runtime_error);
+  std::stringstream negative_arrival(
+      "id,arrival,sigma,deadline,user_nodes\n1,-2,3,4,5\n");
+  EXPECT_THROW(load_trace(negative_arrival), std::runtime_error);
+  // id/user_nodes feed integer casts: a -1 id would cast to the kNoTask
+  // sentinel, so non-integers and negatives are rejected up front.
+  std::stringstream negative_id("id,arrival,sigma,deadline,user_nodes\n-1,2,3,4,5\n");
+  EXPECT_THROW(load_trace(negative_id), std::runtime_error);
+  std::stringstream fractional_id("id,arrival,sigma,deadline,user_nodes\n1.5,2,3,4,5\n");
+  EXPECT_THROW(load_trace(fractional_id), std::runtime_error);
+  std::stringstream huge_nodes(
+      "id,arrival,sigma,deadline,user_nodes\n1,2,3,4,1e300\n");
+  EXPECT_THROW(load_trace(huge_nodes), std::runtime_error);
+}
+
+TEST(Trace, RejectsDecreasingArrivalsUnlessSortingRequested) {
+  const std::string text =
+      "id,arrival,sigma,deadline,user_nodes\n"
+      "1,50,3,4,5\n"
+      "2,10,3,4,5\n"
+      "3,50,7,4,5\n";
+  std::stringstream unsorted(text);
+  try {
+    load_trace(unsorted);
+    FAIL() << "decreasing arrivals accepted";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("row 2"), std::string::npos) << error.what();
+  }
+
+  // Opt-in sorting reorders by arrival, ties keeping file order (stable).
+  std::stringstream resort(text);
+  const auto sorted = load_trace(resort, /*sort_arrivals=*/true);
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].id, 2u);
+  EXPECT_EQ(sorted[1].id, 1u);  // tie at t=50: file order preserved
+  EXPECT_EQ(sorted[2].id, 3u);
+}
+
 }  // namespace
 }  // namespace rtdls::workload

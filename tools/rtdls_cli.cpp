@@ -5,7 +5,7 @@
 //   rtdls_cli simulate --trace trace.csv --algorithm EDF-DLT [...]
 //   rtdls_cli sweep --algorithms EDF-OPR-MN,EDF-DLT [...]    load sweep
 //   rtdls_cli figure --id fig03 [...]          reproduce one paper figure
-//   rtdls_cli campaign <list|run|shard|merge>  multi-figure experiment plans
+//   rtdls_cli campaign <list|run|shard|resume|merge>  multi-figure experiment plans
 //
 // A campaign is any set of figures flattened into one deterministic
 // cell-level work queue. One machine runs it whole (`campaign run
@@ -22,8 +22,10 @@
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
+#include "cluster/speed_profile.hpp"
 #include "exp/campaign.hpp"
 #include "exp/registry.hpp"
 #include "exp/report.hpp"
@@ -68,6 +70,14 @@ void add_sim_config_options(util::CliParser& cli) {
   cli.add_option({"release", "estimate|actual node release", "estimate", false});
   cli.add_option({"output-ratio", "result volume fraction delta", "0", false});
   cli.add_option({"shared-link", "model a shared head-node link", "", true});
+  cli.add_option({"het-profile",
+                  "per-node speed profile key: uniform:lo,hi[,seed] | "
+                  "two_tier:fast,slow,frac[,seed] | lognormal:cv[,seed] | csv:path",
+                  "", false});
+}
+
+std::string het_profile_from_cli(const util::CliParser& cli) {
+  return cli.get("het-profile").value_or("");
 }
 
 sim::ReleasePolicy release_from_cli(const util::CliParser& cli) {
@@ -115,6 +125,8 @@ int cmd_simulate(int argc, const char* const* argv) {
   util::CliParser cli;
   add_workload_options(cli);
   cli.add_option({"trace", "input trace CSV (else generated)", "", false});
+  cli.add_option({"sort-arrivals", "sort an unsorted trace by arrival instead of rejecting",
+                  "", true});
   cli.add_option({"algorithm", "algorithm name", "EDF-DLT", false});
   add_sim_config_options(cli);
   if (!cli.parse(argc, argv) || cli.get_flag("help")) {
@@ -124,7 +136,7 @@ int cmd_simulate(int argc, const char* const* argv) {
   const workload::WorkloadParams params = workload_from_cli(cli);
   std::vector<workload::Task> tasks;
   if (const auto trace = cli.get("trace"); trace && !trace->empty()) {
-    tasks = workload::load_trace_file(*trace);
+    tasks = workload::load_trace_file(*trace, cli.get_flag("sort-arrivals"));
   } else {
     tasks = workload::generate_workload(params);
   }
@@ -134,6 +146,11 @@ int cmd_simulate(int argc, const char* const* argv) {
   config.release_policy = release_from_cli(cli);
   config.output_ratio = cli.get_double("output-ratio", 0.0);
   config.shared_link = cli.get_flag("shared-link");
+  if (const std::string key = het_profile_from_cli(cli); !key.empty()) {
+    config.params.speed_profile = std::make_shared<const cluster::SpeedProfile>(
+        cluster::parse_speed_profile(key, config.params.node_count, config.params.cps));
+    std::printf("speed profile: %s\n", config.params.speed_profile->describe().c_str());
+  }
 
   const std::string algorithm = cli.get("algorithm").value_or("EDF-DLT");
   const sim::SimMetrics metrics =
@@ -170,6 +187,7 @@ int cmd_sweep(int argc, const char* const* argv) {
   spec.release_policy = release_from_cli(cli);
   spec.output_ratio = cli.get_double("output-ratio", 0.0);
   spec.shared_link = cli.get_flag("shared-link");
+  spec.het_profile = het_profile_from_cli(cli);
   spec.halt_on_theorem4 = cli.get_int("halt-on-theorem4", 1) != 0;
   for (const std::string& name : util::split(cli.get("algorithms").value(), ',')) {
     spec.algorithms.push_back(std::string(util::trim(name)));
@@ -380,6 +398,57 @@ int cmd_campaign_shard(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_campaign_resume(int argc, const char* const* argv) {
+  util::CliParser cli;
+  add_campaign_plan_options(cli);
+  cli.add_option({"cells", "existing cell CSV to diff against the plan and extend", "", false});
+  cli.add_option({"jobs", "worker threads (default: RTDLS_JOBS/hardware)", "0", false});
+  cli.add_option({"progress", "print live cell progress to stderr", "", true});
+  if (!cli.parse(argc, argv) || cli.get_flag("help")) {
+    std::fputs(cli.usage("rtdls_cli campaign resume").c_str(), stderr);
+    return cli.get_flag("help") ? 0 : 1;
+  }
+  const std::string cells_path = cli.get("cells").value_or("");
+  if (cells_path.empty()) {
+    throw std::invalid_argument("campaign resume: --cells file is required");
+  }
+  const exp::Scale scale = exp::Scale::from_env();
+  const exp::Campaign campaign = campaign_from_cli(cli, scale);
+
+  // Diff the existing file against the plan (validating its rows like a
+  // merge would) and re-run exactly the missing cells, appending them.
+  const std::vector<std::size_t> missing = exp::missing_cells(campaign, {cells_path});
+  const std::size_t total = campaign.cell_count();
+  if (missing.empty()) {
+    std::printf("%s already covers all %zu cells; nothing to resume\n", cells_path.c_str(),
+                total);
+    return 0;
+  }
+  std::printf("%s covers %zu of %zu cells; resuming %zu missing\n", cells_path.c_str(),
+              total - missing.size(), total, missing.size());
+
+  util::ThreadPool pool(campaign_jobs(cli, scale));
+  exp::CampaignOptions options = campaign_options(cli, pool);
+  options.cells = &missing;
+  exp::CellCsvSink sink(cells_path, /*append=*/true);
+  const auto wall_start = std::chrono::steady_clock::now();
+  exp::run_campaign(campaign, options, sink);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  // Coverage check: the resumed file must now merge like a complete run.
+  const std::vector<std::size_t> still_missing = exp::missing_cells(campaign, {cells_path});
+  if (!still_missing.empty()) {
+    throw std::runtime_error("campaign resume: " + std::to_string(still_missing.size()) +
+                             " cells still missing after resume (first: cell " +
+                             std::to_string(still_missing.front()) + ")");
+  }
+  std::printf("resumed %zu cells in %.3fs; %s now complete (%zu cells) - merge with "
+              "`rtdls_cli campaign merge --cells %s`\n",
+              missing.size(), wall, cells_path.c_str(), total, cells_path.c_str());
+  return 0;
+}
+
 int cmd_campaign_merge(int argc, const char* const* argv) {
   util::CliParser cli;
   add_campaign_plan_options(cli);
@@ -414,6 +483,7 @@ int cmd_campaign(int argc, const char* const* argv) {
   if (std::strcmp(verb, "list") == 0) return cmd_campaign_list();
   if (std::strcmp(verb, "run") == 0) return cmd_campaign_run(argc - 1, argv + 1);
   if (std::strcmp(verb, "shard") == 0) return cmd_campaign_shard(argc - 1, argv + 1);
+  if (std::strcmp(verb, "resume") == 0) return cmd_campaign_resume(argc - 1, argv + 1);
   if (std::strcmp(verb, "merge") == 0) return cmd_campaign_merge(argc - 1, argv + 1);
   std::fputs(
       "usage: rtdls_cli campaign <verb> [options]\n"
@@ -421,6 +491,7 @@ int cmd_campaign(int argc, const char* const* argv) {
       "  list    the figure inventory (ids usable with --figures / spec `use =`)\n"
       "  run     execute a whole campaign: final CSVs, charts, shape checks\n"
       "  shard   execute stripe i/m of the cell queue into a per-cell CSV\n"
+      "  resume  diff a cell CSV against the plan and re-run only missing cells\n"
       "  merge   fold every shard's cell file into the final CSVs/checks\n"
       "plans: --figures fig03,fig08 | --figures paper | --figures all | --spec plan.spec\n",
       stderr);
