@@ -157,6 +157,62 @@ BENCHMARK(BM_HetSweep)
     ->Args({80, 64})
     ->Unit(benchmark::kMillisecond);
 
+// The row-diff acceptance scenario: a pure arrival burst against one
+// admission session - Q accepted tasks queue up with no commits in between,
+// so the session holds its deepest state. Args are (node_count, Q).
+// Deadlines are scrambled so EDF insertion points wander across the queue
+// (exercising the checkpointed delta-chain replay, not just the frontier
+// fast path). Counters report the session's peak availability-state bytes
+// and the dense one-row-per-task equivalent the refactor replaced -
+// `reduction_x` is the measured O(Q*N) -> O(Q*k + sqrt(N)*N) drop.
+void BM_AdmissionBurst(benchmark::State& state) {
+  const auto node_count = static_cast<std::size_t>(state.range(0));
+  const auto q = static_cast<std::size_t>(state.range(1));
+  const cluster::ClusterParams params{.node_count = node_count, .cms = 1.0, .cps = 100.0};
+  const sched::Algorithm algorithm = sched::make_algorithm("EDF-DLT");
+  sched::AdmissionController controller(algorithm.policy, algorithm.rule.get());
+  cluster::Cluster cluster(params);
+
+  std::vector<workload::Task> tasks(q);
+  for (std::size_t i = 0; i < q; ++i) {
+    tasks[i].id = i;
+    // Generous, scrambled deadlines: every arrival is accepted and lands at
+    // a pseudo-random position of the EDF queue.
+    const double jitter = static_cast<double>((i * 2654435761u) % q);
+    tasks[i].spec = {0.0, 150.0 + static_cast<double>(i % 7) * 20.0,
+                     2.0e6 + jitter * 5.0e3};
+  }
+
+  std::vector<const workload::Task*> waiting;
+  for (auto _ : state) {
+    controller.invalidate();
+    waiting.clear();
+    for (const workload::Task& task : tasks) {
+      sched::AdmissionOutcome outcome =
+          controller.test_incremental(task, waiting, params, cluster, 0.0);
+      if (!outcome.accepted) continue;
+      waiting.resize(outcome.reused_prefix);
+      for (const sched::ScheduledTask& scheduled : outcome.schedule) {
+        waiting.push_back(scheduled.task);
+      }
+    }
+  }
+  const auto peak = controller.peak_session_memory();
+  state.counters["peak_bytes"] = static_cast<double>(peak.bytes);
+  state.counters["dense_bytes"] = static_cast<double>(peak.dense_equivalent_bytes);
+  state.counters["reduction_x"] =
+      peak.bytes == 0 ? 0.0
+                      : static_cast<double>(peak.dense_equivalent_bytes) /
+                            static_cast<double>(peak.bytes);
+  state.counters["queue_depth"] = static_cast<double>(waiting.size());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * q));
+}
+BENCHMARK(BM_AdmissionBurst)
+    ->Args({256, 128})
+    ->Args({1024, 256})
+    ->Args({4096, 512})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_WorkloadGeneration(benchmark::State& state) {
   workload::WorkloadParams params;
   params.cluster = {.node_count = 16, .cms = 1.0, .cps = 100.0};

@@ -52,6 +52,7 @@ std::string format_short(double value) {
 SpeedProfile::SpeedProfile(std::vector<double> cps) : cps_(std::move(cps)) {
   require(!cps_.empty(), "need >= 1 node");
   for (double value : cps_) require(valid_cps(value), "every cps must be finite and > 0");
+  min_cps_ = *std::min_element(cps_.begin(), cps_.end());
 }
 
 SpeedProfile SpeedProfile::homogeneous(std::size_t nodes, double cps) {
@@ -137,8 +138,6 @@ SpeedProfile SpeedProfile::from_csv_file(const std::string& path) {
   buffer << in.rdbuf();
   return from_csv_text(buffer.str());
 }
-
-double SpeedProfile::min_cps() const { return *std::min_element(cps_.begin(), cps_.end()); }
 
 double SpeedProfile::max_cps() const { return *std::max_element(cps_.begin(), cps_.end()); }
 

@@ -75,7 +75,9 @@ class SpeedProfile {
   double cps(NodeId id) const { return cps_[id]; }
   const std::vector<double>& values() const { return cps_; }
 
-  double min_cps() const;
+  /// Fastest (lowest) unit cost; O(1), cached at construction - the het
+  /// resolver's capacity-jump bound reads it once per plan call.
+  double min_cps() const { return min_cps_; }
   double max_cps() const;
   double mean_cps() const;
 
@@ -94,6 +96,7 @@ class SpeedProfile {
 
  private:
   std::vector<double> cps_;
+  double min_cps_ = 0.0;
 };
 
 /// Parses a profile key (grammar above) for a cluster of `nodes` nodes with

@@ -183,6 +183,7 @@ void run_campaign(const Campaign& campaign, const CampaignOptions& options, Resu
 
   std::mutex progress_mutex;
   std::size_t done = 0;
+  std::mutex failed_mutex;
 
   auto run_cell = [&](std::size_t w) {
     const CellRef ref = campaign.cell(work[w]);
@@ -193,31 +194,66 @@ void run_campaign(const Campaign& campaign, const CampaignOptions& options, Resu
           workload::generate_workload(cell_workload(spec, spec.loads[ref.load], ref.run));
     });
 
-    std::unique_ptr<SimSlot> slot = pools[ref.sweep]->acquire(ref.algorithm);
-    const sim::SimMetrics metrics = slot->simulator.run(traces[t], spec.sim_time);
-    pools[ref.sweep]->release(ref.algorithm, std::move(slot));
+    // The simulate-and-validate part retries (flaky fleet machines); the
+    // sink never sees a cell twice, so sink errors stay fatal.
+    CellResult cell;
+    cell.ref = ref;
+    bool computed = false;
+    std::size_t attempts = 0;
+    std::exception_ptr last_error;
+    std::string last_what;
+    std::size_t theorem4_violations = 0;
+    while (!computed && attempts <= options.retries) {
+      ++attempts;
+      try {
+        std::unique_ptr<SimSlot> slot = pools[ref.sweep]->acquire(ref.algorithm);
+        const sim::SimMetrics metrics = slot->simulator.run(traces[t], spec.sim_time);
+        pools[ref.sweep]->release(ref.algorithm, std::move(slot));
+
+        theorem4_violations = metrics.theorem4_violations;
+        cell.metrics[static_cast<std::size_t>(SweepMetric::kRejectRatio)] =
+            metrics.reject_ratio();
+        cell.metrics[static_cast<std::size_t>(SweepMetric::kMeanResponse)] =
+            metrics.response_time.mean();
+        cell.metrics[static_cast<std::size_t>(SweepMetric::kMeanWait)] =
+            metrics.wait_time.mean();
+        cell.metrics[static_cast<std::size_t>(SweepMetric::kUtilization)] =
+            metrics.utilization();
+        cell.metrics[static_cast<std::size_t>(SweepMetric::kDeadlineMisses)] =
+            static_cast<double>(metrics.deadline_misses);
+        cell.metrics[static_cast<std::size_t>(SweepMetric::kTheorem4Violations)] =
+            static_cast<double>(metrics.theorem4_violations);
+        computed = true;
+      } catch (const std::exception& e) {
+        last_error = std::current_exception();
+        last_what = e.what();
+      }
+    }
     if (cells_left[t].fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::vector<workload::Task>().swap(traces[t]);
     }
 
-    if (metrics.theorem4_violations != 0 && spec.halt_on_theorem4) {
-      throw std::logic_error("campaign: Theorem 4 violated in sweep '" + spec.id +
-                             "' algorithm " + spec.algorithms[ref.algorithm] +
-                             " (set SweepSpec::halt_on_theorem4 = false to record instead)");
+    // Theorem-4 halts are deterministic model violations, not flaky-machine
+    // failures: check AFTER the retry loop (the metrics are already
+    // computed) so the simulation is never pointlessly re-run, then follow
+    // the same record-vs-abort policy.
+    if (computed && theorem4_violations != 0 && spec.halt_on_theorem4) {
+      computed = false;
+      last_what = "campaign: Theorem 4 violated in sweep '" + spec.id + "' algorithm " +
+                  spec.algorithms[ref.algorithm] +
+                  " (set SweepSpec::halt_on_theorem4 = false to record instead)";
+      last_error = std::make_exception_ptr(std::logic_error(last_what));
     }
 
-    CellResult cell;
-    cell.ref = ref;
-    cell.metrics[static_cast<std::size_t>(SweepMetric::kRejectRatio)] = metrics.reject_ratio();
-    cell.metrics[static_cast<std::size_t>(SweepMetric::kMeanResponse)] =
-        metrics.response_time.mean();
-    cell.metrics[static_cast<std::size_t>(SweepMetric::kMeanWait)] = metrics.wait_time.mean();
-    cell.metrics[static_cast<std::size_t>(SweepMetric::kUtilization)] = metrics.utilization();
-    cell.metrics[static_cast<std::size_t>(SweepMetric::kDeadlineMisses)] =
-        static_cast<double>(metrics.deadline_misses);
-    cell.metrics[static_cast<std::size_t>(SweepMetric::kTheorem4Violations)] =
-        static_cast<double>(metrics.theorem4_violations);
-    sink.consume(campaign, cell);
+    if (!computed) {
+      if (options.failed == nullptr) std::rethrow_exception(last_error);
+      {
+        std::lock_guard<std::mutex> lock(failed_mutex);
+        options.failed->push_back(FailedCell{work[w], attempts, last_what});
+      }
+    } else {
+      sink.consume(campaign, cell);
+    }
 
     if (options.progress) {
       std::lock_guard<std::mutex> lock(progress_mutex);
@@ -229,6 +265,11 @@ void run_campaign(const Campaign& campaign, const CampaignOptions& options, Resu
     options.pool->parallel_for(work.size(), run_cell);
   } else {
     for (std::size_t w = 0; w < work.size(); ++w) run_cell(w);
+  }
+  if (options.failed != nullptr) {
+    // Completion order is pool-dependent; the report is canonical by index.
+    std::sort(options.failed->begin(), options.failed->end(),
+              [](const FailedCell& a, const FailedCell& b) { return a.index < b.index; });
   }
   sink.close();
 }
@@ -391,28 +432,110 @@ void scan_cell_file(const Campaign& campaign, const std::string& path,
 }  // namespace
 
 std::vector<SweepResult> merge_cell_files(const Campaign& campaign,
-                                          const std::vector<std::string>& paths) {
+                                          const std::vector<std::string>& paths,
+                                          const std::vector<FailedCell>* failed) {
   AggregateSink sink(campaign);
   const std::size_t total = campaign.cell_count();
   std::vector<char> seen(total, 0);
   for (const std::string& path : paths) scan_cell_file(campaign, path, seen, &sink);
 
-  std::size_t missing = 0;
-  std::size_t first_missing = 0;
+  // Absent cells split into two operator problems: cells a shard RAN and
+  // gave up on (its failed-cells report names them - debug or rerun those),
+  // and cells no shard ever ran (a shard file is missing or the fleet died
+  // mid-queue - finish with `campaign resume`).
+  // Sorted view of the failed reports (sidecars from several shards
+  // concatenate, so the combined list is not globally ordered): one
+  // binary search per absent cell instead of a linear scan.
+  std::vector<const FailedCell*> failed_by_index;
+  if (failed != nullptr) {
+    failed_by_index.reserve(failed->size());
+    for (const FailedCell& cell : *failed) failed_by_index.push_back(&cell);
+    std::sort(failed_by_index.begin(), failed_by_index.end(),
+              [](const FailedCell* a, const FailedCell* b) { return a->index < b->index; });
+  }
+  std::size_t failed_missing = 0;
+  const FailedCell* first_failed = nullptr;
+  std::size_t never_run = 0;
+  std::size_t first_never = 0;
   for (std::size_t i = 0; i < total; ++i) {
-    if (seen[i] == 0) {
-      if (missing == 0) first_missing = i;
-      ++missing;
+    if (seen[i] != 0) continue;
+    const FailedCell* report = nullptr;
+    const auto it = std::lower_bound(
+        failed_by_index.begin(), failed_by_index.end(), i,
+        [](const FailedCell* cell, std::size_t index) { return cell->index < index; });
+    if (it != failed_by_index.end() && (*it)->index == i) report = *it;
+    if (report != nullptr) {
+      if (failed_missing == 0) first_failed = report;
+      ++failed_missing;
+    } else {
+      if (never_run == 0) first_never = i;
+      ++never_run;
     }
   }
-  if (missing != 0) {
-    throw std::runtime_error("merge_cell_files: " + std::to_string(missing) + " of " +
-                             std::to_string(total) + " cells missing (first: cell " +
-                             std::to_string(first_missing) +
-                             "); pass every shard's cell file, or fill the gaps with "
-                             "`rtdls_cli campaign resume`");
+  if (failed_missing + never_run != 0) {
+    std::string what = "merge_cell_files: " + std::to_string(failed_missing + never_run) +
+                       " of " + std::to_string(total) + " cells missing";
+    if (failed_missing != 0) {
+      what += ": " + std::to_string(failed_missing) + " failed on their shard (first: cell " +
+              std::to_string(first_failed->index) + " after " +
+              std::to_string(first_failed->attempts) + " attempt(s): " +
+              first_failed->error + ")";
+    }
+    if (never_run != 0) {
+      if (failed_missing != 0) what += " and";
+      what += ": " + std::to_string(never_run) + " never ran (first: cell " +
+              std::to_string(first_never) +
+              "); pass every shard's cell file, or fill the gaps with "
+              "`rtdls_cli campaign resume`";
+    } else {
+      what += "; re-run the failed cells with `rtdls_cli campaign resume --retries`";
+    }
+    throw std::runtime_error(what);
   }
   return sink.take();
+}
+
+namespace {
+
+const std::vector<std::string>& failed_cells_header() {
+  static const std::vector<std::string> header{"cell", "attempts", "error"};
+  return header;
+}
+
+}  // namespace
+
+void write_failed_cells(const std::string& path, const std::vector<FailedCell>& failed) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("write_failed_cells: cannot open " + path);
+  util::CsvWriter writer(file);
+  writer.write_row(failed_cells_header());
+  for (const FailedCell& cell : failed) {
+    writer.write_row({std::to_string(cell.index), std::to_string(cell.attempts), cell.error});
+  }
+  file.flush();
+  if (!file) throw std::runtime_error("write_failed_cells: error writing " + path);
+}
+
+std::vector<FailedCell> read_failed_cells(const std::string& path) {
+  const auto rows = util::parse_csv_file(path);
+  if (rows.empty() || rows.front() != failed_cells_header()) {
+    throw std::runtime_error("read_failed_cells: " + path +
+                             " is not a campaign failed-cells report");
+  }
+  std::vector<FailedCell> failed;
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const std::vector<std::string>& row = rows[r];
+    unsigned long long index = 0;
+    unsigned long long attempts = 0;
+    if (row.size() != 3 || !util::parse_u64(row[0], index) ||
+        !util::parse_u64(row[1], attempts)) {
+      throw std::runtime_error("read_failed_cells: " + path + " row " + std::to_string(r) +
+                               ": malformed");
+    }
+    failed.push_back(FailedCell{static_cast<std::size_t>(index),
+                                static_cast<std::size_t>(attempts), row[2]});
+  }
+  return failed;
 }
 
 std::vector<std::size_t> missing_cells(const Campaign& campaign,

@@ -97,6 +97,14 @@ struct ShardSelection {
 /// Parses "i/m" (0-based shard i of m); throws std::invalid_argument.
 ShardSelection parse_shard(const std::string& text);
 
+/// One cell that kept failing after every retry. `attempts` counts every
+/// execution (1 + retries); `error` is the last exception's what().
+struct FailedCell {
+  std::size_t index = 0;
+  std::size_t attempts = 0;
+  std::string error;
+};
+
 struct CampaignOptions {
   ShardSelection shard;               ///< default: the whole queue
   util::ThreadPool* pool = nullptr;   ///< null: sequential execution
@@ -106,6 +114,16 @@ struct CampaignOptions {
   /// Called after each completed cell with the number done so far and the
   /// total cells in this shard. Serialized (never concurrent).
   std::function<void(const CellRef&, std::size_t done, std::size_t total)> progress;
+  /// Flaky-fleet tolerance: a cell whose simulation throws is re-run up to
+  /// `retries` more times before giving up on it. Sink errors are never
+  /// retried (a cell must not reach the sink twice).
+  std::size_t retries = 0;
+  /// When non-null, cells that still fail after the retries are appended
+  /// here (ascending index) and the run continues; the caller resolves them
+  /// (e.g. `campaign resume` on a healthier machine). When null, the first
+  /// exhausted cell's exception propagates and aborts the run - the
+  /// historical fail-fast behavior.
+  std::vector<FailedCell>* failed = nullptr;
 };
 
 /// Executes the campaign's cell queue (or one shard of it) and streams
@@ -174,8 +192,21 @@ class TeeSink : public ResultSink {
 /// mismatching cells (wrong sweep id / algorithm / load for their index)
 /// throw std::runtime_error. The returned results are bit-identical to an
 /// unsharded run (wall_seconds excepted, which is 0 for merged results).
+///
+/// `failed` (optional): cells the shards recorded as failed-after-retries
+/// (read_failed_cells over the shards' sidecar reports). Coverage errors
+/// then say which absent cells FAILED on a shard (with their last error)
+/// and which were never run at all - the two need different operator
+/// responses (rerun/debug vs finish the fleet).
 std::vector<SweepResult> merge_cell_files(const Campaign& campaign,
-                                          const std::vector<std::string>& paths);
+                                          const std::vector<std::string>& paths,
+                                          const std::vector<FailedCell>* failed = nullptr);
+
+/// Writes/reads a failed-cells sidecar report (CSV: cell, attempts, error).
+/// Shards with --retries write one next to their cell file; merge reads
+/// them to tell failed cells from never-run cells.
+void write_failed_cells(const std::string& path, const std::vector<FailedCell>& failed);
+std::vector<FailedCell> read_failed_cells(const std::string& path);
 
 /// Diffs existing cell files against the plan: the global indices of every
 /// cell the files do NOT cover, ascending. Rows are validated exactly like

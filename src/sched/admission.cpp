@@ -1,80 +1,12 @@
 #include "sched/admission.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <optional>
 #include <stdexcept>
 #include <string>
 
 namespace rtdls::sched {
-
-namespace {
-
-/// Release-time rules always consume the `plan.nodes` earliest entries of
-/// the sorted availability state and replace them with the plan's releases.
-/// Every rule emits node_release nondecreasing, so the new state is the
-/// merge of two sorted runs (the k releases and the untouched suffix) - an
-/// O(N) forward merge into `state` instead of a full O(N log N) re-sort.
-/// `scratch` holds the k releases during the merge (reused across calls).
-void apply_plan(std::vector<Time>& state, const TaskPlan& plan,
-                std::vector<Time>& scratch) {
-  const std::size_t k = plan.nodes;
-  const std::size_t n = state.size();
-  scratch.assign(plan.node_release.begin(), plan.node_release.end());
-  if (!std::is_sorted(scratch.begin(), scratch.end())) {
-    std::sort(scratch.begin(), scratch.end());  // defensive; no rule hits this
-  }
-  // Forward merge is safe in place: the write position i + (j - k) never
-  // passes the suffix read position j.
-  std::size_t i = 0;
-  std::size_t j = k;
-  std::size_t pos = 0;
-  while (i < k && j < n) {
-    state[pos++] = state[j] < scratch[i] ? state[j++] : scratch[i++];
-  }
-  while (i < k) state[pos++] = scratch[i++];
-}
-
-/// Heterogeneous variant: the state is (time, id) pairs in strict (time,
-/// id) order, and the plan consumed the prefix of exactly the ids it
-/// recorded. The k (release, id) pairs re-enter wherever the pair order
-/// puts them - the same positions the cluster's availability index will
-/// hold after the real commits, so cached rows stay snapshot-identical.
-void apply_plan_het(std::vector<Time>& state, std::vector<cluster::NodeId>& ids,
-                    const TaskPlan& plan,
-                    std::vector<std::pair<Time, cluster::NodeId>>& scratch) {
-  const std::size_t k = plan.nodes;
-  const std::size_t n = state.size();
-  scratch.resize(k);
-  for (std::size_t i = 0; i < k; ++i) {
-    scratch[i] = {plan.node_release[i], plan.node_ids[i]};
-  }
-  std::sort(scratch.begin(), scratch.end());
-  std::size_t i = 0;
-  std::size_t j = k;
-  std::size_t pos = 0;
-  while (i < k && j < n) {
-    const bool take_suffix = state[j] < scratch[i].first ||
-                             (state[j] == scratch[i].first && ids[j] < scratch[i].second);
-    if (take_suffix) {
-      state[pos] = state[j];
-      ids[pos] = ids[j];
-      ++j;
-    } else {
-      state[pos] = scratch[i].first;
-      ids[pos] = scratch[i].second;
-      ++i;
-    }
-    ++pos;
-  }
-  while (i < k) {
-    state[pos] = scratch[i].first;
-    ids[pos] = scratch[i].second;
-    ++i;
-    ++pos;
-  }
-}
-
-}  // namespace
 
 AdmissionController::AdmissionController(Policy policy, const PartitionRule* rule)
     : policy_(policy), rule_(rule) {
@@ -159,9 +91,10 @@ AdmissionOutcome AdmissionController::test(
                                plan.node_release[i]);
       }
     } else if (het) {
-      apply_plan_het(free_times, node_ids, plan, het_merge_scratch_);
+      cluster::apply_releases_het(free_times, node_ids, plan.node_release, plan.node_ids,
+                                  het_merge_scratch_);
     } else {
-      apply_plan(free_times, plan, merge_scratch_);
+      cluster::apply_releases(free_times, plan.node_release, merge_scratch_);
     }
 
     outcome.schedule.push_back(ScheduledTask{task, std::move(result.plan)});
@@ -178,23 +111,168 @@ void AdmissionController::invalidate() {
   synced_prefix_ = 0;
   order_.clear();
   plans_.clear();
-  states_.clear();
+  delta_end_.clear();
+  delta_times_.clear();
+  delta_ids_.clear();
+  fronts_.clear();
+  for (Checkpoint& cp : checkpoints_) retire_checkpoint(std::move(cp));
+  checkpoints_.clear();
+  cursor_valid_ = false;
+  top_times_.clear();
   het_session_ = false;
-  id_states_.clear();
+  top_ids_.clear();
+  // peak_ deliberately survives: a burst's high-water mark must outlive the
+  // session rebuilds inside it (reset_session_stats() is the explicit reset).
+}
+
+AdmissionController::SessionMemory AdmissionController::session_memory() const {
+  SessionMemory mem;
+  if (!cache_valid_) return mem;
+  std::size_t bytes = delta_times_.size() * sizeof(Time) +
+                      delta_ids_.size() * sizeof(cluster::NodeId) +
+                      delta_end_.size() * sizeof(std::size_t);
+  for (const Checkpoint& cp : checkpoints_) {
+    bytes += cp.times.size() * sizeof(Time) + cp.ids.size() * sizeof(cluster::NodeId);
+  }
+  bytes += top_times_.size() * sizeof(Time) + top_ids_.size() * sizeof(cluster::NodeId);
+  if (cursor_valid_) {
+    bytes += cursor_times_.size() * sizeof(Time) +
+             cursor_ids_.size() * sizeof(cluster::NodeId);
+  }
+  bytes += fronts_.size() * sizeof(Time);
+  mem.bytes = bytes;
+  // The historical representation held one dense row per planned position
+  // (rows head_..head_+planned_ pre-compaction, each N wide; het rows also
+  // mirrored an id column).
+  const std::size_t entry =
+      sizeof(Time) + (het_session_ ? sizeof(cluster::NodeId) : 0);
+  mem.dense_equivalent_bytes = (head_ + planned_ + 1) * node_count_ * entry;
+  return mem;
+}
+
+void AdmissionController::note_session_peak() {
+  const SessionMemory mem = session_memory();
+  peak_.bytes = std::max(peak_.bytes, mem.bytes);
+  peak_.dense_equivalent_bytes =
+      std::max(peak_.dense_equivalent_bytes, mem.dense_equivalent_bytes);
+}
+
+AdmissionController::Checkpoint AdmissionController::take_checkpoint(std::size_t pos) {
+  Checkpoint cp;
+  if (!checkpoint_pool_.empty()) {
+    cp = std::move(checkpoint_pool_.back());
+    checkpoint_pool_.pop_back();
+  }
+  cp.pos = pos;
+  return cp;
+}
+
+void AdmissionController::retire_checkpoint(Checkpoint&& checkpoint) {
+  // Cleared (not shrunk): the next take_checkpoint reuses the row capacity,
+  // so the checkpoint churn of adoption truncations allocates nothing in
+  // steady state.
+  checkpoint.times.clear();
+  checkpoint.ids.clear();
+  checkpoint_pool_.push_back(std::move(checkpoint));
 }
 
 void AdmissionController::compact_head() {
   if (head_ == 0) return;
-  const auto offset = static_cast<std::ptrdiff_t>(head_);
+  // The cut must land on a dense row (everything below it is erased, so the
+  // delta chain can no longer reach positions before the first checkpoint):
+  // use the last checkpoint at or before head_. One always exists at
+  // position 0 (the rebuild seeds it and every compaction keeps the cut).
+  std::size_t cut = 0;
+  for (const Checkpoint& cp : checkpoints_) {
+    if (cp.pos > head_) break;
+    cut = cp.pos;
+  }
+  if (cut == 0) return;  // nothing erasable yet; try again after more commits
+  const auto offset = static_cast<std::ptrdiff_t>(cut);
+  const std::size_t flat_cut = delta_start(cut);
   order_.erase(order_.begin(), order_.begin() + offset);
   plans_.erase(plans_.begin(), plans_.begin() + offset);
-  states_.erase(states_.begin(),
-                states_.begin() + static_cast<std::ptrdiff_t>(head_ * node_count_));
+  delta_end_.erase(delta_end_.begin(), delta_end_.begin() + offset);
+  for (std::size_t& end : delta_end_) end -= flat_cut;
+  delta_times_.erase(delta_times_.begin(),
+                     delta_times_.begin() + static_cast<std::ptrdiff_t>(flat_cut));
   if (het_session_) {
-    id_states_.erase(id_states_.begin(),
-                     id_states_.begin() + static_cast<std::ptrdiff_t>(head_ * node_count_));
+    delta_ids_.erase(delta_ids_.begin(),
+                     delta_ids_.begin() + static_cast<std::ptrdiff_t>(flat_cut));
   }
-  head_ = 0;
+  fronts_.erase(fronts_.begin(), fronts_.begin() + offset);
+  const auto keep = std::find_if(checkpoints_.begin(), checkpoints_.end(),
+                                 [cut](const Checkpoint& cp) { return cp.pos >= cut; });
+  for (auto it = checkpoints_.begin(); it != keep; ++it) {
+    retire_checkpoint(std::move(*it));
+  }
+  checkpoints_.erase(checkpoints_.begin(), keep);
+  for (Checkpoint& cp : checkpoints_) cp.pos -= cut;
+  if (cursor_valid_) {
+    if (cursor_pos_ < cut) {
+      cursor_valid_ = false;
+    } else {
+      cursor_pos_ -= cut;
+    }
+  }
+  head_ -= cut;
+}
+
+void AdmissionController::materialize_row(std::size_t pos) {
+  if (pos == head_ + planned_) {
+    // The frontier row is kept dense: append-at-the-end planning (FIFO
+    // always, EDF whenever the new deadline sorts last) replays nothing.
+    work_state_ = top_times_;
+    if (het_session_) work_ids_ = top_ids_;
+    return;
+  }
+  const auto after = std::upper_bound(
+      checkpoints_.begin(), checkpoints_.end(), pos,
+      [](std::size_t p, const Checkpoint& cp) { return p < cp.pos; });
+  const Checkpoint& base = *(after - 1);  // exists: position 0 is always kept
+  // Start from whichever dense row is closest below `pos`: the nearest
+  // checkpoint, or the cursor (the row the previous arrival rebuilt).
+  std::size_t from = base.pos;
+  if (cursor_valid_ && cursor_pos_ <= pos && cursor_pos_ > from) {
+    from = cursor_pos_;
+    work_state_ = cursor_times_;
+    if (het_session_) work_ids_ = cursor_ids_;
+  } else {
+    work_state_ = base.times;
+    if (het_session_) work_ids_ = base.ids;
+  }
+  const std::size_t chain = pos - base.pos;
+  for (std::size_t r = from; r < pos; ++r) {
+    const std::size_t begin = delta_start(r);
+    const std::size_t k = delta_end_[r] - begin;
+    if (het_session_) {
+      cluster::apply_delta_het(work_state_, work_ids_, delta_times_.data() + begin,
+                               delta_ids_.data() + begin, k);
+    } else {
+      cluster::apply_delta(work_state_, delta_times_.data() + begin, k);
+    }
+  }
+  // A long replay marks a hot insertion point (policies tend to insert
+  // arrivals into the same deadline neighborhood); checkpoint the rebuilt
+  // row so the next arrival landing here replays nothing. The budget keeps
+  // the dense-row count at the sqrt(N)-cadence O(rows / sqrt(N)) bound even
+  // when insertion points wander (otherwise opportunistic rows would erode
+  // the memory win the sparse session exists for).
+  const std::size_t budget = (head_ + planned_) / checkpoint_every_ + 3;
+  if (chain > checkpoint_every_ / 2 && checkpoints_.size() < budget) {
+    Checkpoint cp = take_checkpoint(pos);
+    cp.times = work_state_;
+    if (het_session_) cp.ids = work_ids_;
+    checkpoints_.insert(after, std::move(cp));
+  }
+  if (pos != from) {
+    // Remember the rebuilt row; the next nearby insertion replays only the
+    // gap between the two positions.
+    cursor_valid_ = true;
+    cursor_pos_ = pos;
+    cursor_times_ = work_state_;
+    if (het_session_) cursor_ids_ = work_ids_;
+  }
 }
 
 void AdmissionController::on_commit(const workload::Task* task, const TaskPlan& plan,
@@ -212,9 +290,10 @@ void AdmissionController::on_commit(const workload::Task* task, const TaskPlan& 
   }
   // Policy-order-front commit: its reservations are exactly the front
   // plan's releases, so the post-commit availability snapshot equals the
-  // next state row and the whole session just shifts by one - O(1) via the
-  // head offset, compacted once the consumed prefix outweighs the live
-  // part (amortized O(1) per advance).
+  // next row and the whole session just shifts by one - O(1) via the head
+  // offset (the frontier row and every checkpoint keep their positions),
+  // compacted back to the nearest checkpoint once the consumed prefix
+  // outweighs the live part (amortized O(1) per advance).
   ++head_;
   --planned_;
   if (synced_prefix_ > 0) --synced_prefix_;
@@ -236,30 +315,38 @@ AdmissionOutcome AdmissionController::test_incremental(
   const bool het = params.heterogeneous();
 
   // The session is reusable when nothing that feeds the plans has changed:
-  // same availability version, no entry floored below `now` (row 0 is
-  // sorted, so checking its front suffices), the same waiting order, and
-  // the same homogeneous/heterogeneous mode.
+  // same availability version, no entry floored below `now` (rows are
+  // sorted, so the cached front of row head_ suffices), the same waiting
+  // order, and the same homogeneous/heterogeneous mode.
   bool reuse = cache_valid_ && cache_version_ == cluster.version() &&
                node_count_ == n && het_session_ == het && order_.size() - head_ == q &&
-               states_.size() >= (head_ + 1) * n && states_[head_ * n] >= now;
+               fronts_.size() > head_ && fronts_[head_] >= now;
   if (reuse) reuse = std::equal(waiting.begin(), waiting.end(), order_.begin() + head_);
 
   if (!reuse) {
     invalidate();
     node_count_ = n;
     het_session_ = het;
+    // ~sqrt(N), floored at 16: below that the dense rows are so small that
+    // checkpoint churn costs more than the replays it saves (the sparse
+    // representation is a large-N play; tiny clusters just replay).
+    checkpoint_every_ = std::max<std::size_t>(
+        16, static_cast<std::size_t>(std::lround(std::sqrt(static_cast<double>(n)))));
     order_.assign(waiting.begin(), waiting.end());
     // The caller keeps `waiting` in policy order; re-sorting an already
     // sorted list is cheap and keeps a misordered caller correct (it merely
     // costs the incremental reuse).
     order_tasks(policy_, order_);
     if (het) {
-      cluster.availability_with_ids_into(now, work_state_, work_ids_);
-      id_states_.assign(work_ids_.begin(), work_ids_.end());
+      cluster.availability_with_ids_into(now, top_times_, top_ids_);
     } else {
-      cluster.availability_into(now, work_state_);
+      cluster.availability_into(now, top_times_);
     }
-    states_.assign(work_state_.begin(), work_state_.end());
+    Checkpoint base = take_checkpoint(0);
+    base.times = top_times_;
+    if (het) base.ids = top_ids_;
+    checkpoints_.push_back(std::move(base));
+    fronts_.push_back(top_times_.front());
     cache_valid_ = true;
     cache_version_ = cluster.version();
   }
@@ -279,15 +366,10 @@ AdmissionOutcome AdmissionController::test_incremental(
   const std::size_t start = std::min(p, planned_);
   outcome.reused_prefix = std::min(synced_prefix_, start);
 
-  // Working availability state := state row of live position `start`.
-  work_state_.assign(
-      states_.begin() + static_cast<std::ptrdiff_t>((head_ + start) * n),
-      states_.begin() + static_cast<std::ptrdiff_t>((head_ + start + 1) * n));
-  if (het) {
-    work_ids_.assign(
-        id_states_.begin() + static_cast<std::ptrdiff_t>((head_ + start) * n),
-        id_states_.begin() + static_cast<std::ptrdiff_t>((head_ + start + 1) * n));
-  }
+  // Working availability state := row of live position `start`: the dense
+  // frontier when planning appends at the end, otherwise the nearest
+  // checkpoint plus a bounded delta-chain replay.
+  materialize_row(head_ + start);
 
   PlanRequest request;
   request.params = params;
@@ -301,60 +383,124 @@ AdmissionOutcome AdmissionController::test_incremental(
     outcome.blocking_task = blocker->id;
     outcome.reused_prefix = 0;
     outcome.schedule.clear();
+    note_session_peak();
     if (cross_check_) verify_against_full(new_task, waiting, params, cluster, now, outcome);
     return outcome;
   };
 
+  // Applies the freshly planned releases to the working row and appends the
+  // resulting O(k) delta (the merge scratch holds exactly the sorted
+  // entries the merge consumed) to the given flat delta columns.
+  auto apply_and_record = [&](const TaskPlan& plan, std::vector<std::size_t>& ends,
+                              std::vector<Time>& times,
+                              std::vector<cluster::NodeId>& ids) {
+    if (het) {
+      cluster::apply_releases_het(work_state_, work_ids_, plan.node_release,
+                                  plan.node_ids, het_merge_scratch_);
+      for (std::size_t i = 0; i < plan.node_release.size(); ++i) {
+        times.push_back(het_merge_scratch_[i].first);
+        ids.push_back(het_merge_scratch_[i].second);
+      }
+    } else {
+      cluster::apply_releases(work_state_, plan.node_release, merge_scratch_);
+      times.insert(times.end(), merge_scratch_.begin(), merge_scratch_.end());
+    }
+    ends.push_back(times.size());
+  };
+
   // Extend the waiting-only prefix up to the insertion point (runs only
   // after a rejected rebuild left the session partially planned). These
-  // plans do not involve the new task, so they survive a rejection.
+  // plans do not involve the new task, so they survive a rejection; the
+  // frontier row is synced per step so a mid-loop rejection leaves the
+  // session consistent.
   for (std::size_t i = planned_; i < p; ++i) {
     request.task = order_[head_ + i];
     PlanResult result = rule_->plan(request);
     if (!result.feasible()) return reject(result.reason, order_[head_ + i]);
-    if (het) {
-      apply_plan_het(work_state_, work_ids_, result.plan, het_merge_scratch_);
-      id_states_.insert(id_states_.end(), work_ids_.begin(), work_ids_.end());
-    } else {
-      apply_plan(work_state_, result.plan, merge_scratch_);
-    }
+    apply_and_record(result.plan, delta_end_, delta_times_, delta_ids_);
     plans_.push_back(std::move(result.plan));
-    states_.insert(states_.end(), work_state_.begin(), work_state_.end());
+    fronts_.push_back(work_state_.front());
     ++planned_;
+    top_times_ = work_state_;
+    if (het) top_ids_ = work_ids_;
+    if (head_ + planned_ >= checkpoints_.back().pos + checkpoint_every_) {
+      Checkpoint cp = take_checkpoint(head_ + planned_);
+      cp.times = work_state_;
+      if (het) cp.ids = work_ids_;
+      checkpoints_.push_back(std::move(cp));
+    }
   }
 
   // From the insertion point on the temp list diverges from the waiting
   // queue; plan into scratch and adopt only if the whole suffix fits.
   scratch_plans_.clear();
-  scratch_rows_.clear();
-  scratch_id_rows_.clear();
+  scratch_delta_end_.clear();
+  scratch_delta_times_.clear();
+  scratch_delta_ids_.clear();
+  scratch_fronts_.clear();
+  for (Checkpoint& cp : scratch_checkpoints_) retire_checkpoint(std::move(cp));
+  scratch_checkpoints_.clear();
+  // Checkpoints above the insertion point describe rows of the suffix being
+  // replaced and are dropped at adoption; the cadence for the re-planned
+  // rows measures from the last one that will survive.
+  std::size_t last_checkpoint = 0;
+  for (const Checkpoint& cp : checkpoints_) {
+    if (cp.pos > head_ + p) break;
+    last_checkpoint = cp.pos;
+  }
   for (std::size_t i = p; i <= q; ++i) {
     const workload::Task* task = (i == p) ? &new_task : order_[head_ + i - 1];
     request.task = task;
     PlanResult result = rule_->plan(request);
     if (!result.feasible()) return reject(result.reason, task);
-    if (het) {
-      apply_plan_het(work_state_, work_ids_, result.plan, het_merge_scratch_);
-      scratch_id_rows_.insert(scratch_id_rows_.end(), work_ids_.begin(), work_ids_.end());
-    } else {
-      apply_plan(work_state_, result.plan, merge_scratch_);
-    }
+    apply_and_record(result.plan, scratch_delta_end_, scratch_delta_times_,
+                     scratch_delta_ids_);
     scratch_plans_.push_back(std::move(result.plan));
-    scratch_rows_.insert(scratch_rows_.end(), work_state_.begin(), work_state_.end());
+    scratch_fronts_.push_back(work_state_.front());
+    const std::size_t row = head_ + i + 1;  // row after planning temp entry i
+    if (i < q && row >= last_checkpoint + checkpoint_every_) {
+      // The final row needs no checkpoint: it becomes the dense frontier.
+      Checkpoint cp = take_checkpoint(row);
+      cp.times = work_state_;
+      if (het) cp.ids = work_ids_;
+      scratch_checkpoints_.push_back(std::move(cp));
+      last_checkpoint = row;
+    }
   }
 
-  // Accepted: adopt the scratch suffix into the session.
+  // Accepted: adopt the scratch suffix into the session. The replaced
+  // suffix rolls back by truncation (its deltas, fronts, and checkpoints
+  // simply fall off the stack).
   order_.insert(order_.begin() + static_cast<std::ptrdiff_t>(head_ + p), &new_task);
   plans_.resize(head_ + p);
   for (TaskPlan& plan : scratch_plans_) plans_.push_back(std::move(plan));
-  states_.resize((head_ + p + 1) * n);
-  states_.insert(states_.end(), scratch_rows_.begin(), scratch_rows_.end());
+  const std::size_t flat_base = delta_start(head_ + p);
+  delta_end_.resize(head_ + p);
+  delta_times_.resize(flat_base);
+  if (het) delta_ids_.resize(flat_base);
+  for (std::size_t end : scratch_delta_end_) delta_end_.push_back(flat_base + end);
+  delta_times_.insert(delta_times_.end(), scratch_delta_times_.begin(),
+                      scratch_delta_times_.end());
   if (het) {
-    id_states_.resize((head_ + p + 1) * n);
-    id_states_.insert(id_states_.end(), scratch_id_rows_.begin(), scratch_id_rows_.end());
+    delta_ids_.insert(delta_ids_.end(), scratch_delta_ids_.begin(),
+                      scratch_delta_ids_.end());
   }
+  fronts_.resize(head_ + p + 1);
+  fronts_.insert(fronts_.end(), scratch_fronts_.begin(), scratch_fronts_.end());
+  while (checkpoints_.back().pos > head_ + p) {
+    retire_checkpoint(std::move(checkpoints_.back()));
+    checkpoints_.pop_back();
+  }
+  // The cursor row at the insertion point survives (row head_ + p depends
+  // only on the plans before it); anything above described replaced rows.
+  if (cursor_valid_ && cursor_pos_ > head_ + p) cursor_valid_ = false;
+  for (Checkpoint& cp : scratch_checkpoints_) checkpoints_.push_back(std::move(cp));
+  scratch_checkpoints_.clear();  // moved-from shells
+  std::swap(top_times_, work_state_);
+  if (het) std::swap(top_ids_, work_ids_);
   planned_ = q + 1;
   synced_prefix_ = q + 1;
+  note_session_peak();
 
   outcome.accepted = true;
   outcome.schedule.reserve(q + 1 - outcome.reused_prefix);

@@ -18,6 +18,23 @@
 //    policy-order commit advances the cache in O(1) plans instead of
 //    invalidating it. The outcomes are bit-identical to test() (asserted
 //    when cross-check mode is on).
+//
+// Session state representation: a plan touches only k << N availability
+// entries, so the session stores one sparse cluster::AvailabilityDelta per
+// planned task (O(k) bytes) instead of the dense N-wide row per task it used
+// to copy (O(Q*N) bytes per arrival burst). Dense rows survive only as
+//  * checkpoints every ~sqrt(N) planned positions (plus opportunistic ones
+//    where suffix re-plans actually land), and
+//  * the materialized frontier row after the last planned task (the common
+//    append-at-the-end planning start).
+// A suffix re-plan starting mid-queue rebuilds its dense starting row by
+// copying the nearest checkpoint at or before the insertion point and
+// replaying the bounded delta chain up to it - bit-identical to the row the
+// dense representation held, because the replay runs the exact merge that
+// produced the row originally. Policy-front commits still advance in O(1)
+// (head offset); rejected/replaced suffixes roll back by truncating the
+// delta stack. Peak memory per burst drops from O(Q*N) to
+// O(Q*k + sqrt(N)*N), measured by session_memory()/peak_session_memory().
 #pragma once
 
 #include <cstdint>
@@ -25,6 +42,7 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/availability_delta.hpp"
 #include "cluster/cluster.hpp"
 #include "sched/partition_rule.hpp"
 #include "sched/policy.hpp"
@@ -120,6 +138,24 @@ class AdmissionController {
   void set_cross_check(bool on) { cross_check_ = on; }
   bool cross_check() const { return cross_check_; }
 
+  /// Session availability-state footprint. `bytes` is what the delta stack,
+  /// checkpoints, frontier row, and per-row front times actually hold
+  /// (size-based, so it is deterministic); `dense_equivalent_bytes` is what
+  /// the historical one-dense-row-per-task representation would hold for the
+  /// same session (rows * N * entry width) - the denominator of the memory-
+  /// reduction claims in tests and BM_AdmissionBurst.
+  struct SessionMemory {
+    std::size_t bytes = 0;
+    std::size_t dense_equivalent_bytes = 0;
+  };
+  SessionMemory session_memory() const;
+
+  /// High-water marks of session_memory() since construction or the last
+  /// reset_session_stats() (invalidate() does NOT reset them: a burst's
+  /// peak must survive the session rebuilds inside it).
+  SessionMemory peak_session_memory() const { return peak_; }
+  void reset_session_stats() { peak_ = SessionMemory{}; }
+
  private:
   void verify_against_full(const workload::Task& new_task,
                            const std::vector<const workload::Task*>& waiting,
@@ -132,17 +168,44 @@ class AdmissionController {
   bool cross_check_ = false;
 
   // --- incremental session state (see test_incremental) ---
-  // Storage position head_ + i corresponds to live waiting position i, so
-  // a policy-front commit advances in O(1) by bumping head_ (compacted
-  // once the consumed prefix outweighs the live part). Invariant when
+  // Storage position head_ + i corresponds to live waiting position i, so a
+  // policy-front commit advances in O(1) by bumping head_ (compacted once
+  // the consumed prefix outweighs the live part). Invariant when
   // cache_valid_: the live view of order_ is the waiting queue in policy
-  // order; states_ row head_ + i (stride = node count) is the availability
-  // state before planning live entry i, row head_ being the floored sorted
-  // snapshot the session currently stands on; plans_[head_ + i]
-  // (i < planned_) is live entry i's plan against that state; rows exist
-  // for live 0..planned_. synced_prefix_ counts the leading live entries
-  // whose plans the caller is known to hold verbatim.
+  // order; "row r" (r = head_ + i) is the availability state before
+  // planning live entry i, with row head_ the floored sorted snapshot the
+  // session currently stands on; plans_[r] (i < planned_) is live entry
+  // i's plan against row r, and delta r - the sparse edit taking row r to
+  // row r + 1, i.e. the plan's k sorted releases (with id payloads for het
+  // sessions) - lives at [delta_start(r), delta_end_[r]) of the flat
+  // delta_times_/delta_ids_ columns (flat so the steady state allocates
+  // nothing per planned task; see cluster::apply_delta's span form);
+  // fronts_[r] is row r's first (minimum) entry, the O(1) "did `now`
+  // overtake the snapshot" reuse check; rows exist for live 0..planned_.
+  // Dense rows are materialized only in checkpoints_ (ascending positions,
+  // always one at or before head_; storage recycled through
+  // checkpoint_pool_) and top_times_/top_ids_, the row at position
+  // head_ + planned_. synced_prefix_ counts the leading live entries whose
+  // plans the caller is known to hold verbatim.
+  struct Checkpoint {
+    std::size_t pos = 0;
+    std::vector<Time> times;
+    std::vector<cluster::NodeId> ids;  ///< het sessions only
+  };
+
+  std::size_t delta_start(std::size_t r) const {
+    return r == 0 ? 0 : delta_end_[r - 1];
+  }
+  Checkpoint take_checkpoint(std::size_t pos);
+  void retire_checkpoint(Checkpoint&& checkpoint);
   void compact_head();
+  /// Copies row `pos` (absolute) into work_state_/work_ids_: nearest
+  /// checkpoint at or before `pos`, then the delta chain up to `pos`. When
+  /// the replayed chain is long, the rebuilt row is inserted as an
+  /// opportunistic checkpoint (repeated suffix re-plans around the same
+  /// insertion point then replay nothing).
+  void materialize_row(std::size_t pos);
+  void note_session_peak();
 
   bool cache_valid_ = false;
   std::uint64_t cache_version_ = 0;
@@ -150,28 +213,44 @@ class AdmissionController {
   std::size_t head_ = 0;
   std::size_t planned_ = 0;
   std::size_t synced_prefix_ = 0;
+  std::size_t checkpoint_every_ = 1;  ///< ~sqrt(N) cadence
   std::vector<const workload::Task*> order_;
   std::vector<TaskPlan> plans_;
-  std::vector<Time> states_;
-  /// Heterogeneous sessions only: id_states_ mirrors states_ row for row
-  /// (id_states_[r*N + i] owns states_[r*N + i]), preserving the strict
-  /// (time, id) order so the cached rows stay bit-identical to fresh
-  /// cluster snapshots. Empty for homogeneous sessions - the homogeneous
-  /// hot path pays nothing.
+  std::vector<std::size_t> delta_end_;         ///< per position: end offset
+  std::vector<Time> delta_times_;              ///< flat sorted-release runs
+  std::vector<cluster::NodeId> delta_ids_;     ///< het: aligned id payloads
+  std::vector<Time> fronts_;
+  std::vector<Checkpoint> checkpoints_;
+  std::vector<Checkpoint> checkpoint_pool_;    ///< retired rows, capacity kept
+  /// Cursor cache: the row most recently rebuilt by materialize_row, kept
+  /// dense. Policies insert consecutive arrivals into nearby queue
+  /// positions (EDF deadlines trend upward with arrival time), so the next
+  /// materialization usually replays the few deltas past the cursor rather
+  /// than a whole checkpoint chain. Invalidation: an adoption that replaces
+  /// rows at or below the cursor, session rebuilds, and compaction past it.
+  bool cursor_valid_ = false;
+  std::size_t cursor_pos_ = 0;
+  std::vector<Time> cursor_times_;
+  std::vector<cluster::NodeId> cursor_ids_;
+  std::vector<Time> top_times_;
   bool het_session_ = false;
-  std::vector<cluster::NodeId> id_states_;
+  std::vector<cluster::NodeId> top_ids_;
+  SessionMemory peak_;
 
   // Scratch reused across calls (no per-arrival allocation steady-state).
   std::vector<Time> work_state_;
   std::vector<cluster::NodeId> work_ids_;
   std::vector<TaskPlan> scratch_plans_;
-  std::vector<Time> scratch_rows_;
-  std::vector<cluster::NodeId> scratch_id_rows_;
-  /// apply_plan's merge buffer; mutable so the const (stateless) test()
+  std::vector<std::size_t> scratch_delta_end_;
+  std::vector<Time> scratch_delta_times_;
+  std::vector<cluster::NodeId> scratch_delta_ids_;
+  std::vector<Time> scratch_fronts_;
+  std::vector<Checkpoint> scratch_checkpoints_;
+  /// apply_releases' merge buffer; mutable so the const (stateless) test()
   /// reuses it too. Consistent with the single-thread affinity of the
   /// controller (like the rules' plan scratch, one instance per simulator).
   mutable std::vector<Time> merge_scratch_;
-  /// Het apply_plan's (release, id) pair buffer, same mutability rationale.
+  /// Het apply's (release, id) pair buffer, same mutability rationale.
   mutable std::vector<std::pair<Time, cluster::NodeId>> het_merge_scratch_;
 };
 

@@ -1,7 +1,9 @@
 #include "sched/het_planner.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "cluster/calendar.hpp"
 #include "cluster/speed_profile.hpp"
@@ -42,6 +44,142 @@ dlt::Infeasibility hard_reject(double sigma, double cms, Time deadline, Time rn)
   return dlt::Infeasibility::kNone;
 }
 
+/// Extends scratch.cps with actual speeds up to position `upto` (exclusive
+/// prefix length). The scan gathers lazily so a plan touching k positions
+/// never reads the other N - k ids.
+void gather_cps_prefix(const PlanRequest& request, PlannerScratch& scratch,
+                       std::size_t upto) {
+  const std::vector<cluster::NodeId>& ids = *request.node_ids;
+  for (std::size_t i = scratch.cps.size(); i < upto; ++i) {
+    scratch.cps.push_back(request.params.node_cps(ids[i]));
+  }
+}
+
+/// The position-by-position walk hard-checks every prefix end and returns
+/// the reason found at the FIRST failing position; the jump scan only
+/// checks its landings. Hard rejection fires iff deadline - r_n <= sigma*cms
+/// (slack <= 0 implies it), which is monotone in r_n, so the first firing
+/// position in (clear, landing] is recovered by binary search.
+/// `known_reason` was already evaluated at `landing`, so the common case
+/// (the range is a single position) costs no extra check.
+dlt::Infeasibility first_hard_reason(double sigma, double cms, Time deadline,
+                                     const std::vector<Time>& free_times,
+                                     std::size_t clear, std::size_t landing,
+                                     dlt::Infeasibility known_reason) {
+  std::size_t lo = clear + 1;
+  std::size_t hi = landing;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (hard_reject(sigma, cms, deadline, free_times[mid - 1]) ==
+        dlt::Infeasibility::kNone) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == landing) return known_reason;
+  return hard_reject(sigma, cms, deadline, free_times[lo - 1]);
+}
+
+/// First-feasible availability-prefix scan shared by the DLT-IIT and OPR-MN
+/// het planners, outcome-identical to the linear n = 1..N walk those rules
+/// historically ran (same accept position, same reject reason), with the
+/// work-conservation capacity prune turned into a provable lower-bound
+/// jump:
+///
+///  * Work conservation makes capacity(n) = sum_{i<=n} (deadline-r_i)/cps_i
+///    >= sigma necessary for any prefix to carry the load, so no partition
+///    is built before the first capacity crossing.
+///  * One more node contributes at most (deadline - r_n)/cps_floor (release
+///    times only grow along the prefix, cps_floor is the profile's fastest
+///    unit cost), so from a position short of the crossing the scan jumps
+///    straight to landing = n + ceil((sigma - capacity)/that bound) - the
+///    galloped starting index. Skipped positions still accumulate their
+///    exact capacity terms in scan order (an add and a compare each - the
+///    crossing position stays bit-identical to the linear walk's), but are
+///    not hard-checked and never build partitions.
+///  * Hard rejection is monotone in r_n, so a clean landing proves every
+///    skipped position clean, and a rejecting landing recovers the linear
+///    scan's exact first-failure reason via first_hard_reason.
+///  * From the crossing on (capacity terms stay positive wherever the hard
+///    checks pass, so the prune can never re-arm) the scan is the plain
+///    linear walk: hard-check, build via `estimate_at`, accept the first
+///    prefix whose estimate meets the deadline.
+///
+/// `estimate_at(n)` must leave the caller's scratch (partition/alpha) in
+/// the state matching position n; scratch.cps is gathered up to every
+/// position handed to it. Returns the accepted n, or (0, reason).
+template <typename EstimateAt>
+std::pair<std::size_t, dlt::Infeasibility> first_feasible_prefix(
+    const PlanRequest& request, PlannerScratch& scratch, double sigma, Time deadline,
+    EstimateAt&& estimate_at) {
+  const std::vector<Time>& free_times = *request.free_times;
+  const double cms = request.params.cms;
+  const std::size_t cluster_size = free_times.size();
+  scratch.cps.clear();
+  // Fastest unit cost of the profile: the denominator of the jump bound
+  // (cached inside SpeedProfile, so this is O(1)).
+  const double cps_floor = request.params.speed_profile->min_cps();
+
+  std::size_t clear = 0;    // positions 1..clear passed the hard checks
+  std::size_t summed = 0;   // capacity covers positions 1..summed
+  double capacity = 0.0;
+  std::size_t crossing = 0;  // first position with capacity >= sigma
+  std::size_t target = 1;    // next jump landing to hard-check
+
+  // Phase 1: gallop to the capacity crossing.
+  while (crossing == 0) {
+    bool crossed = false;
+    while (summed < target) {
+      gather_cps_prefix(request, scratch, summed + 1);
+      capacity += (deadline - free_times[summed]) / scratch.cps[summed];
+      ++summed;
+      if (capacity >= sigma) {
+        crossed = true;
+        break;
+      }
+    }
+    const std::size_t landing = crossed ? summed : target;
+    const dlt::Infeasibility hard =
+        hard_reject(sigma, cms, deadline, free_times[landing - 1]);
+    if (hard != dlt::Infeasibility::kNone) {
+      return {0, first_hard_reason(sigma, cms, deadline, free_times, clear, landing, hard)};
+    }
+    clear = landing;
+    if (crossed) {
+      crossing = landing;
+      break;
+    }
+    if (landing == cluster_size) {
+      // The whole cluster cannot carry the load; the linear walk falls off
+      // the end with the same reason (its hard checks all passed: monotone).
+      return {0, dlt::Infeasibility::kNeedsMoreNodes};
+    }
+    const double per_node = (deadline - free_times[landing - 1]) / cps_floor;
+    const double short_by = (sigma - capacity) / per_node;
+    if (short_by >= static_cast<double>(cluster_size - landing)) {
+      target = cluster_size;
+    } else {
+      target = landing + std::max<std::size_t>(
+                             1, static_cast<std::size_t>(std::ceil(short_by)));
+    }
+  }
+
+  // Phase 2: linear first-feasible walk from the crossing.
+  for (std::size_t n = crossing; n <= cluster_size; ++n) {
+    if (n > clear) {
+      const dlt::Infeasibility hard =
+          hard_reject(sigma, cms, deadline, free_times[n - 1]);
+      if (hard != dlt::Infeasibility::kNone) return {0, hard};
+      clear = n;
+    }
+    gather_cps_prefix(request, scratch, n);
+    const Time est = estimate_at(n);
+    if (est <= deadline + kDeadlineEps) return {n, dlt::Infeasibility::kNone};
+  }
+  return {0, dlt::Infeasibility::kNeedsMoreNodes};
+}
+
 }  // namespace
 
 PlanResult plan_dlt_iit(const PlanRequest& request, PlannerScratch& scratch) {
@@ -49,38 +187,27 @@ PlanResult plan_dlt_iit(const PlanRequest& request, PlannerScratch& scratch) {
   const std::vector<Time>& free_times = *request.free_times;
   const double sigma = task.sigma();
   const Time deadline = task.abs_deadline();
-  const std::size_t cluster_size = free_times.size();
-  gather_cps(request, scratch);
 
-  double capacity = 0.0;  // sum_i (deadline - r_i) / cps_i, grown per prefix
-  for (std::size_t n = 1; n <= cluster_size; ++n) {
-    const Time rn = free_times[n - 1];
-    const dlt::Infeasibility hard = hard_reject(sigma, request.params.cms, deadline, rn);
-    if (hard != dlt::Infeasibility::kNone) return PlanResult::infeasible(hard);
-    // Work conservation: node i cannot compute more than (deadline - r_i)
-    // of slack at cost cps_i, so sigma <= capacity is necessary; skip the
-    // O(n) partition build until the prefix could possibly carry the load.
-    capacity += (deadline - rn) / scratch.cps[n - 1];
-    if (capacity < sigma) continue;
+  const auto [n, reason] = first_feasible_prefix(
+      request, scratch, sigma, deadline, [&](std::size_t prefix) {
+        dlt::build_het_partition_into(request.params, sigma, free_times, scratch.cps,
+                                      prefix, scratch.partition);
+        return scratch.partition.estimated_completion();
+      });
+  if (reason != dlt::Infeasibility::kNone) return PlanResult::infeasible(reason);
 
-    dlt::build_het_partition_into(request.params, sigma, free_times, scratch.cps, n,
-                                  scratch.partition);
-    const Time est = scratch.partition.estimated_completion();
-    if (est > deadline + kDeadlineEps) continue;
-
-    PlanResult result;
-    TaskPlan& plan = result.plan;
-    plan.task = task.id;
-    plan.nodes = n;
-    plan.available = scratch.partition.available;
-    plan.reserve_from = scratch.partition.available;  // IITs utilized
-    plan.node_release.assign(n, est);
-    plan.alpha = scratch.partition.alpha;
-    plan.est_completion = est;
-    pin_prefix(request, scratch, n, plan);
-    return result;
-  }
-  return PlanResult::infeasible(dlt::Infeasibility::kNeedsMoreNodes);
+  PlanResult result;
+  TaskPlan& plan = result.plan;
+  const Time est = scratch.partition.estimated_completion();
+  plan.task = task.id;
+  plan.nodes = n;
+  plan.available = scratch.partition.available;
+  plan.reserve_from = scratch.partition.available;  // IITs utilized
+  plan.node_release.assign(n, est);
+  plan.alpha = scratch.partition.alpha;
+  plan.est_completion = est;
+  pin_prefix(request, scratch, n, plan);
+  return result;
 }
 
 PlanResult plan_opr_mn(const PlanRequest& request, PlannerScratch& scratch) {
@@ -88,39 +215,36 @@ PlanResult plan_opr_mn(const PlanRequest& request, PlannerScratch& scratch) {
   const std::vector<Time>& free_times = *request.free_times;
   const double sigma = task.sigma();
   const Time deadline = task.abs_deadline();
-  const std::size_t cluster_size = free_times.size();
-  gather_cps(request, scratch);
 
-  double capacity = 0.0;
-  for (std::size_t n = 1; n <= cluster_size; ++n) {
-    const Time rn = free_times[n - 1];
-    const dlt::Infeasibility hard = hard_reject(sigma, request.params.cms, deadline, rn);
-    if (hard != dlt::Infeasibility::kNone) return PlanResult::infeasible(hard);
-    // (deadline - r_i)/cps_i over-estimates what OPR's simultaneous start at
-    // r_n >= r_i allows, so the prune stays a valid necessary condition.
-    capacity += (deadline - rn) / scratch.cps[n - 1];
-    if (capacity < sigma) continue;
+  // The shared prune stays a valid necessary condition for OPR too:
+  // (deadline - r_i)/cps_i over-estimates what the simultaneous start at
+  // r_n >= r_i allows.
+  const auto [n, reason] = first_feasible_prefix(
+      request, scratch, sigma, deadline, [&](std::size_t prefix) {
+        dlt::general_het_alpha_into(request.params.cms, scratch.cps, prefix,
+                                    scratch.alpha);
+        const double exec = sigma * request.params.cms +
+                            scratch.alpha.back() * sigma * scratch.cps[prefix - 1];
+        return free_times[prefix - 1] + exec;
+      });
+  if (reason != dlt::Infeasibility::kNone) return PlanResult::infeasible(reason);
 
-    dlt::general_het_alpha_into(request.params.cms, scratch.cps, n, scratch.alpha);
-    const double exec =
-        sigma * request.params.cms + scratch.alpha.back() * sigma * scratch.cps[n - 1];
-    const Time est = rn + exec;
-    if (est > deadline + kDeadlineEps) continue;
-
-    PlanResult result;
-    TaskPlan& plan = result.plan;
-    plan.task = task.id;
-    plan.nodes = n;
-    plan.available.assign(free_times.begin(),
-                          free_times.begin() + static_cast<std::ptrdiff_t>(n));
-    plan.reserve_from.assign(n, rn);  // simultaneous allocation: IITs wasted
-    plan.node_release.assign(n, est);
-    plan.alpha = scratch.alpha;
-    plan.est_completion = est;
-    pin_prefix(request, scratch, n, plan);
-    return result;
-  }
-  return PlanResult::infeasible(dlt::Infeasibility::kNeedsMoreNodes);
+  const Time rn = free_times[n - 1];
+  const double exec =
+      sigma * request.params.cms + scratch.alpha.back() * sigma * scratch.cps[n - 1];
+  const Time est = rn + exec;
+  PlanResult result;
+  TaskPlan& plan = result.plan;
+  plan.task = task.id;
+  plan.nodes = n;
+  plan.available.assign(free_times.begin(),
+                        free_times.begin() + static_cast<std::ptrdiff_t>(n));
+  plan.reserve_from.assign(n, rn);  // simultaneous allocation: IITs wasted
+  plan.node_release.assign(n, est);
+  plan.alpha = scratch.alpha;
+  plan.est_completion = est;
+  pin_prefix(request, scratch, n, plan);
+  return result;
 }
 
 PlanResult plan_opr_an(const PlanRequest& request, PlannerScratch& scratch) {
@@ -299,6 +423,15 @@ PlanResult plan_opr_mn_backfill(const PlanRequest& request, PlannerScratch& scra
     const dlt::Infeasibility hard = hard_reject(sigma, request.params.cms, deadline, t);
     if (hard != dlt::Infeasibility::kNone) return PlanResult::infeasible(hard);
 
+    // Every fixed point starts from a zero-length window, whose selection is
+    // simply the m lowest ids free at the instant t - and the (m+1)-node
+    // seed is the m-node seed plus the next free id. The pool and its scan
+    // cursor therefore persist across the whole candidate time (grown
+    // incrementally, each id probed at most once per t) instead of
+    // re-scanning 0..N for every (candidate, m) pair.
+    scratch.instant_free.clear();
+    cluster::NodeId instant_cursor = 0;
+
     for (std::size_t m = 1; m <= cluster_size; ++m) {
       // The window length depends on which nodes fill it and vice versa;
       // iterate the (selection, duration) fixed point a few steps. The het
@@ -311,11 +444,28 @@ PlanResult plan_opr_mn_backfill(const PlanRequest& request, PlannerScratch& scra
       for (int iteration = 0; iteration < 4; ++iteration) {
         scratch.window_nodes.clear();
         scratch.window_cps.clear();
-        for (cluster::NodeId id = 0; id < cluster_size && scratch.window_nodes.size() < m;
-             ++id) {
-          if (calendar.is_free(id, t, t + duration)) {
-            scratch.window_nodes.push_back(id);
-            scratch.window_cps.push_back(request.params.node_cps(id));
+        if (duration == 0.0) {
+          while (scratch.instant_free.size() < m && instant_cursor < cluster_size) {
+            if (calendar.is_free(instant_cursor, t, t)) {
+              scratch.instant_free.push_back(instant_cursor);
+            }
+            ++instant_cursor;
+          }
+          if (scratch.instant_free.size() >= m) {
+            scratch.window_nodes.assign(scratch.instant_free.begin(),
+                                        scratch.instant_free.begin() +
+                                            static_cast<std::ptrdiff_t>(m));
+            for (cluster::NodeId id : scratch.window_nodes) {
+              scratch.window_cps.push_back(request.params.node_cps(id));
+            }
+          }
+        } else {
+          for (cluster::NodeId id = 0;
+               id < cluster_size && scratch.window_nodes.size() < m; ++id) {
+            if (calendar.is_free(id, t, t + duration)) {
+              scratch.window_nodes.push_back(id);
+              scratch.window_cps.push_back(request.params.node_cps(id));
+            }
           }
         }
         if (scratch.window_nodes.size() < m) {

@@ -11,6 +11,15 @@
 //    worsen as r_n grows and abort the scan, and a work-conservation
 //    capacity prune (sum_i (deadline - r_i)/cps_i >= sigma is necessary for
 //    feasibility) skips building partitions that cannot possibly fit.
+//    The prune is not walked position by position: because one more node can
+//    contribute at most (deadline - r_n)/min_cps of capacity, the scan jumps
+//    straight to the provable lower bound on the first prefix that could
+//    carry the load (galloped like the homogeneous n_min first crossing) and
+//    only hard-checks the jump landings; an infeasible landing binary-
+//    searches the skipped range so the linear scan's exact accept position
+//    and reject reason are preserved (hard rejection is monotone in r_n).
+//    Speeds are gathered lazily up to the largest inspected position, so a
+//    plan that accepts a k-node prefix costs O(k), not O(N).
 //  * Each prefix's estimate comes from the generalized Eq.-1 equivalent
 //    model over the offered nodes' *actual* speeds
 //    (dlt::build_het_partition_into feeding general_het_alpha_into).
@@ -34,7 +43,11 @@ namespace rtdls::sched::het {
 /// Reusable scratch shared by the het planning entry points. One instance
 /// per rule (same single-thread affinity as the rules' other scratch).
 struct PlannerScratch {
-  std::vector<double> cps;          ///< actual speeds of the offered positions
+  /// Actual speeds of the offered positions. The prefix scan fills this
+  /// lazily up to the largest position it actually inspects (O(accept)
+  /// instead of O(N) per plan); entry points that consume every position
+  /// (OPR-AN, UserSplit) still gather the full column.
+  std::vector<double> cps;
   std::vector<double> alpha;        ///< general_het_alpha output
   dlt::HetPartition partition;      ///< generalized Eq.-1 model
   // multi-round state (slot-aligned with the chosen prefix)
@@ -46,6 +59,10 @@ struct PlannerScratch {
   // backfill state
   std::vector<cluster::NodeId> window_nodes;
   std::vector<double> window_cps;
+  /// Backfill instant-free pool: ids free at the current candidate time, in
+  /// id order, grown incrementally across node counts (see
+  /// plan_opr_mn_backfill).
+  std::vector<cluster::NodeId> instant_free;
 };
 
 /// EDF/FIFO-DLT: IIT-utilizing partition on the generalized equivalent

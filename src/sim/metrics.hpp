@@ -56,6 +56,14 @@ struct SimMetrics {
   Time horizon = 0.0;
   std::size_t node_count = 0;
 
+  // --- admission session footprint (incremental mode only; 0 otherwise) ---
+  /// Peak bytes the admission session's sparse state (plan deltas +
+  /// checkpoint rows + frontier) held during the run, and what the
+  /// historical dense one-row-per-task representation would have held at the
+  /// same moment - the measured O(Q*N) -> O(Q*k + sqrt(N)*N) drop.
+  std::size_t admission_peak_bytes = 0;
+  std::size_t admission_peak_dense_bytes = 0;
+
   /// The paper's metric: rejections / arrivals (0 when no arrivals).
   double reject_ratio() const {
     return arrivals == 0 ? 0.0

@@ -48,6 +48,7 @@ SimMetrics ClusterSimulator::run(const std::vector<workload::Task>& tasks, Time 
   waiting_.clear();
   queue_.clear();
   controller_.invalidate();
+  controller_.reset_session_stats();
   now_ = 0.0;
   next_version_ = 1;
   channel_free_ = 0.0;
@@ -92,6 +93,9 @@ SimMetrics ClusterSimulator::run(const std::vector<workload::Task>& tasks, Time 
     metrics_.busy_time = cluster_.total_busy_time();
     metrics_.idle_gap_time = cluster_.total_idle_gap_time();
   }
+  const auto session_peak = controller_.peak_session_memory();
+  metrics_.admission_peak_bytes = session_peak.bytes;
+  metrics_.admission_peak_dense_bytes = session_peak.dense_equivalent_bytes;
   return metrics_;
 }
 

@@ -468,6 +468,115 @@ TEST(Campaign, MergeRejectsMissingDuplicateAndForeignCells) {
   std::filesystem::remove_all(dir);
 }
 
+// --- retry handling --------------------------------------------------------
+
+/// A campaign whose second algorithm cannot be constructed: every one of its
+/// cells fails deterministically at slot acquisition, the healthy cells
+/// complete normally.
+Campaign flaky_campaign() {
+  SweepSpec spec = tiny_sweep_a();
+  spec.algorithms = {"EDF-DLT", "NO-SUCH-ALGORITHM"};
+  return Campaign({FigureBuilder("flaky", "flaky").panel(spec).build()});
+}
+
+TEST(Campaign, RetriesRecordFailedCellsInsteadOfAborting) {
+  const Campaign campaign = flaky_campaign();
+  const SweepSpec& spec = campaign.sweeps()[0];
+  const std::size_t cells_per_algorithm = spec.loads.size() * spec.runs;
+
+  // Fail-fast default: a failing cell aborts the run (the historical
+  // behavior; options.failed unset).
+  {
+    AggregateSink sink(campaign);
+    EXPECT_THROW(run_campaign(campaign, CampaignOptions{}, sink), std::invalid_argument);
+  }
+
+  // Tolerant: every bad cell is retried 1 + retries times, recorded, and
+  // the run completes; the healthy algorithm's cells all stream through.
+  std::vector<FailedCell> failed;
+  std::size_t consumed = 0;
+  class CountingSink : public ResultSink {
+   public:
+    explicit CountingSink(std::size_t& n) : n_(&n) {}
+    void consume(const Campaign&, const CellResult&) override { ++*n_; }
+
+   private:
+    std::size_t* n_;
+  } sink(consumed);
+  CampaignOptions options;
+  options.retries = 2;
+  options.failed = &failed;
+  run_campaign(campaign, options, sink);
+
+  EXPECT_EQ(consumed, cells_per_algorithm);
+  ASSERT_EQ(failed.size(), cells_per_algorithm);
+  for (std::size_t i = 0; i < failed.size(); ++i) {
+    EXPECT_EQ(failed[i].attempts, 3u) << "cell " << failed[i].index;  // 1 + 2 retries
+    EXPECT_FALSE(failed[i].error.empty());
+    if (i > 0) {
+      EXPECT_LT(failed[i - 1].index, failed[i].index);  // canonical order
+    }
+    // Every failed cell belongs to the broken algorithm.
+    EXPECT_EQ(campaign.cell(failed[i].index).algorithm, 1u);
+  }
+}
+
+TEST(Campaign, FailedCellsReportRoundTripsThroughCsv) {
+  const std::string dir = temp_dir("rtdls_campaign_failedcells");
+  const std::string path = dir + "/cells.csv.failed";
+  const std::vector<FailedCell> failed{
+      {3, 4, "make_algorithm: unknown rule in 'X'"},
+      {7, 1, "error with, comma and \"quotes\"\nand a newline"},
+  };
+  write_failed_cells(path, failed);
+  const std::vector<FailedCell> back = read_failed_cells(path);
+  ASSERT_EQ(back.size(), failed.size());
+  for (std::size_t i = 0; i < failed.size(); ++i) {
+    EXPECT_EQ(back[i].index, failed[i].index);
+    EXPECT_EQ(back[i].attempts, failed[i].attempts);
+    EXPECT_EQ(back[i].error, failed[i].error);
+  }
+  EXPECT_THROW(read_failed_cells(dir + "/missing.failed"), std::runtime_error);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Campaign, MergeTellsFailedCellsFromNeverRunCells) {
+  const std::string dir = temp_dir("rtdls_campaign_failedmerge");
+  const Campaign campaign = flaky_campaign();
+  const std::string cells_path = dir + "/cells.csv";
+
+  std::vector<FailedCell> failed;
+  CampaignOptions options;
+  options.retries = 0;
+  options.failed = &failed;
+  {
+    CellCsvSink sink(cells_path);
+    run_campaign(campaign, options, sink);
+  }
+  ASSERT_FALSE(failed.empty());
+
+  // With the failed-cells report the coverage error names the shard failure
+  // and its error text; without it the cells just "never ran".
+  try {
+    merge_cell_files(campaign, {cells_path}, &failed);
+    FAIL() << "merge accepted an incomplete cell file";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("failed on their shard"), std::string::npos) << what;
+    EXPECT_NE(what.find("unknown"), std::string::npos) << what;  // the make_algorithm error
+    EXPECT_EQ(what.find("never ran"), std::string::npos) << what;
+  }
+  try {
+    merge_cell_files(campaign, {cells_path});
+    FAIL() << "merge accepted an incomplete cell file";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("never ran"), std::string::npos) << what;
+    EXPECT_EQ(what.find("failed on their shard"), std::string::npos) << what;
+  }
+  std::filesystem::remove_all(dir);
+}
+
 // --- registry lookups ------------------------------------------------------
 
 TEST(Campaign, RegistryLookupMatchesInventory) {

@@ -306,6 +306,59 @@ exp::CampaignOptions campaign_options(const util::CliParser& cli, util::ThreadPo
   return options;
 }
 
+void add_retries_option(util::CliParser& cli) {
+  cli.add_option({"retries",
+                  "re-run a failed cell up to R times, then record it in a "
+                  "failed-cells report instead of aborting (default: abort)",
+                  "", false});
+}
+
+/// Arms `options` for failure tolerance when --retries was passed: cells
+/// that still fail land in `failed` instead of aborting the run. Without
+/// --retries the historical fail-fast behavior stands.
+void arm_retries(const util::CliParser& cli, exp::CampaignOptions& options,
+                 std::vector<exp::FailedCell>& failed) {
+  const std::string retries = cli.get("retries").value_or("");
+  if (retries.empty()) return;
+  options.retries = static_cast<std::size_t>(cli.get_int("retries", 0));
+  options.failed = &failed;
+}
+
+/// Prints the failed-cells report and, when a cell file is in play, writes
+/// the `<cells>.failed` sidecar that `campaign merge` picks up to tell
+/// failed cells from never-run ones. Returns the exit code (1).
+int report_failed_cells(const std::vector<exp::FailedCell>& failed,
+                        const std::string& cells_path) {
+  std::fprintf(stderr, "campaign: %zu cell(s) failed after retries:\n", failed.size());
+  for (const exp::FailedCell& cell : failed) {
+    std::fprintf(stderr, "  cell %zu (%zu attempt(s)): %s\n", cell.index, cell.attempts,
+                 cell.error.c_str());
+  }
+  if (!cells_path.empty()) {
+    const std::string sidecar = cells_path + ".failed";
+    exp::write_failed_cells(sidecar, failed);
+    std::fprintf(stderr,
+                 "failed-cells report: %s (`campaign merge` reads it; `campaign resume "
+                 "--retries R` re-runs the cells)\n",
+                 sidecar.c_str());
+  }
+  return 1;
+}
+
+/// Loads the `<path>.failed` sidecars that exist next to the given cell
+/// files (merge's missing-vs-failed distinction).
+std::vector<exp::FailedCell> load_failed_sidecars(const std::vector<std::string>& paths) {
+  std::vector<exp::FailedCell> failed;
+  for (const std::string& path : paths) {
+    const std::string sidecar = path + ".failed";
+    if (!std::ifstream(sidecar).good()) continue;
+    for (exp::FailedCell& cell : exp::read_failed_cells(sidecar)) {
+      failed.push_back(std::move(cell));
+    }
+  }
+  return failed;
+}
+
 std::size_t campaign_jobs(const util::CliParser& cli, const exp::Scale& scale) {
   const std::size_t jobs = static_cast<std::size_t>(cli.get_int("jobs", 0));
   return jobs != 0 ? jobs : scale.jobs;
@@ -331,6 +384,7 @@ int cmd_campaign_run(int argc, const char* const* argv) {
   cli.add_option({"jobs", "worker threads (default: RTDLS_JOBS/hardware)", "0", false});
   cli.add_option({"progress", "print live cell progress to stderr", "", true});
   cli.add_option({"quiet", "skip tables/charts; print file paths and checks only", "", true});
+  add_retries_option(cli);
   if (!cli.parse(argc, argv) || cli.get_flag("help")) {
     std::fputs(cli.usage("rtdls_cli campaign run").c_str(), stderr);
     return cli.get_flag("help") ? 0 : 1;
@@ -338,13 +392,16 @@ int cmd_campaign_run(int argc, const char* const* argv) {
   const exp::Scale scale = exp::Scale::from_env();
   const exp::Campaign campaign = campaign_from_cli(cli, scale);
   util::ThreadPool pool(campaign_jobs(cli, scale));
-  const exp::CampaignOptions options = campaign_options(cli, pool);
+  exp::CampaignOptions options = campaign_options(cli, pool);
+  std::vector<exp::FailedCell> failed;
+  arm_retries(cli, options, failed);
 
   exp::AggregateSink aggregate(campaign);
   std::vector<exp::ResultSink*> sinks{&aggregate};
   std::unique_ptr<exp::CellCsvSink> cells;
-  if (const std::string path = cli.get("cells").value_or(""); !path.empty()) {
-    cells = std::make_unique<exp::CellCsvSink>(path);
+  const std::string cells_path = cli.get("cells").value_or("");
+  if (!cells_path.empty()) {
+    cells = std::make_unique<exp::CellCsvSink>(cells_path);
     sinks.push_back(cells.get());
   }
   exp::TeeSink tee(sinks);
@@ -354,6 +411,11 @@ int cmd_campaign_run(int argc, const char* const* argv) {
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
 
+  if (!failed.empty()) {
+    // The aggregate is incomplete; report the gaps instead of charts built
+    // on zero-filled cells. A --cells file keeps everything that finished.
+    return report_failed_cells(failed, cells_path);
+  }
   const int failures = report_campaign(campaign, aggregate.take(wall),
                                        cli.get("csv-dir").value(), cli.get_flag("quiet"));
   std::printf("campaign: %zu cells in %.3fs", campaign.cell_count(), wall);
@@ -369,6 +431,7 @@ int cmd_campaign_shard(int argc, const char* const* argv) {
   cli.add_option({"cells", "output per-cell CSV file for this shard", "", false});
   cli.add_option({"jobs", "worker threads (default: RTDLS_JOBS/hardware)", "0", false});
   cli.add_option({"progress", "print live cell progress to stderr", "", true});
+  add_retries_option(cli);
   if (!cli.parse(argc, argv) || cli.get_flag("help")) {
     std::fputs(cli.usage("rtdls_cli campaign shard").c_str(), stderr);
     return cli.get_flag("help") ? 0 : 1;
@@ -383,6 +446,8 @@ int cmd_campaign_shard(int argc, const char* const* argv) {
   util::ThreadPool pool(campaign_jobs(cli, scale));
   exp::CampaignOptions options = campaign_options(cli, pool);
   options.shard = exp::parse_shard(shard_text);
+  std::vector<exp::FailedCell> failed;
+  arm_retries(cli, options, failed);
 
   exp::CellCsvSink sink(cells_path);
   const auto wall_start = std::chrono::steady_clock::now();
@@ -395,6 +460,7 @@ int cmd_campaign_shard(int argc, const char* const* argv) {
       total / options.shard.count + (options.shard.index < total % options.shard.count ? 1 : 0);
   std::printf("shard %zu/%zu: %zu of %zu cells -> %s (%.3fs)\n", options.shard.index,
               options.shard.count, mine, total, cells_path.c_str(), wall);
+  if (!failed.empty()) return report_failed_cells(failed, cells_path);
   return 0;
 }
 
@@ -404,6 +470,7 @@ int cmd_campaign_resume(int argc, const char* const* argv) {
   cli.add_option({"cells", "existing cell CSV to diff against the plan and extend", "", false});
   cli.add_option({"jobs", "worker threads (default: RTDLS_JOBS/hardware)", "0", false});
   cli.add_option({"progress", "print live cell progress to stderr", "", true});
+  add_retries_option(cli);
   if (!cli.parse(argc, argv) || cli.get_flag("help")) {
     std::fputs(cli.usage("rtdls_cli campaign resume").c_str(), stderr);
     return cli.get_flag("help") ? 0 : 1;
@@ -430,12 +497,19 @@ int cmd_campaign_resume(int argc, const char* const* argv) {
   util::ThreadPool pool(campaign_jobs(cli, scale));
   exp::CampaignOptions options = campaign_options(cli, pool);
   options.cells = &missing;
+  std::vector<exp::FailedCell> failed;
+  arm_retries(cli, options, failed);
   exp::CellCsvSink sink(cells_path, /*append=*/true);
   const auto wall_start = std::chrono::steady_clock::now();
   exp::run_campaign(campaign, options, sink);
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
 
+  if (!failed.empty()) {
+    std::printf("resumed %zu of %zu cells in %.3fs\n", missing.size() - failed.size(),
+                missing.size(), wall);
+    return report_failed_cells(failed, cells_path);
+  }
   // Coverage check: the resumed file must now merge like a complete run.
   const std::vector<std::size_t> still_missing = exp::missing_cells(campaign, {cells_path});
   if (!still_missing.empty()) {
@@ -469,7 +543,11 @@ int cmd_campaign_merge(int argc, const char* const* argv) {
   for (const std::string& path : util::split(cells, ',')) {
     paths.push_back(std::string(util::trim(path)));
   }
-  const std::vector<exp::SweepResult> results = exp::merge_cell_files(campaign, paths);
+  // Sidecar failed-cells reports written by --retries runs let coverage
+  // errors tell failed cells from never-run ones.
+  const std::vector<exp::FailedCell> failed = load_failed_sidecars(paths);
+  const std::vector<exp::SweepResult> results =
+      exp::merge_cell_files(campaign, paths, failed.empty() ? nullptr : &failed);
   const int failures = report_campaign(campaign, results, cli.get("csv-dir").value(),
                                        cli.get_flag("quiet"));
   std::printf("merged %zu cells from %zu shard file(s)", campaign.cell_count(), paths.size());
