@@ -45,8 +45,47 @@ double general_het_execution_time(double cms, const std::vector<double>& cps_i,
   if (!(sigma >= 0.0)) {
     throw std::invalid_argument("general_het_execution_time: sigma must be >= 0");
   }
-  const std::vector<double> alpha = general_het_alpha(cms, cps_i);
-  return sigma * cms + alpha.back() * sigma * cps_i.back();
+  if (!(cms > 0.0)) throw std::invalid_argument("general_het_alpha: cms must be > 0");
+  const std::size_t n = cps_i.size();
+  if (n == 0) throw std::invalid_argument("general_het_alpha: need 1 <= n <= cps_i.size()");
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(cps_i[i] > 0.0)) throw std::invalid_argument("general_het_alpha: cps_i must be > 0");
+  }
+  // Only alpha_n = p_n / sum p_i is needed: stream the recurrence without
+  // storing the products. Same accumulation order as general_het_alpha_into,
+  // so the result is bit-identical to the allocating path it replaces.
+  double p = 1.0;
+  double denom = 1.0;
+  for (std::size_t i = 1; i < n; ++i) {
+    p = p * (cps_i[i - 1] / (cms + cps_i[i]));
+    denom += p;
+  }
+  return sigma * cms + (p / denom) * sigma * cps_i.back();
+}
+
+void AlphaRecurrence::reset(double cms) {
+  if (!(cms > 0.0)) throw std::invalid_argument("AlphaRecurrence: cms must be > 0");
+  cms_ = cms;
+  denom_ = 1.0;
+  last_cps_ = 0.0;
+  products_.clear();
+}
+
+void AlphaRecurrence::extend(double cps) {
+  if (!(cps > 0.0)) throw std::invalid_argument("AlphaRecurrence: cps must be > 0");
+  if (products_.empty()) {
+    products_.push_back(1.0);
+  } else {
+    const double p = products_.back() * (last_cps_ / (cms_ + cps));
+    products_.push_back(p);
+    denom_ += p;
+  }
+  last_cps_ = cps;
+}
+
+void AlphaRecurrence::materialize(std::vector<double>& out) const {
+  out.resize(products_.size());
+  for (std::size_t i = 0; i < products_.size(); ++i) out[i] = products_[i] / denom_;
 }
 
 HetPartition build_het_partition(const ClusterParams& params, double sigma,

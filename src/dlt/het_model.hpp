@@ -42,9 +42,55 @@ void general_het_alpha_into(double cms, const std::vector<double>& cps_i, std::s
                             std::vector<double>& out);
 
 /// Execution time of the general heterogeneous partition (Eq. 6 with
-/// arbitrary Cps_i): sigma*cms + alpha_n*sigma*cps_n.
+/// arbitrary Cps_i): sigma*cms + alpha_n*sigma*cps_n. Streams the recurrence
+/// (only alpha_n is needed, and alpha_n = p_n / sum p_i over the
+/// unnormalized prefix products), so the hot estimate path allocates
+/// nothing; bit-identical to materializing the full alpha vector.
 double general_het_execution_time(double cms, const std::vector<double>& cps_i,
                                   double sigma);
+
+/// O(1)-extendable cursor over the Eq. (4)-(5) recurrence.
+///
+/// general_het_alpha_into evaluates, per call, the whole chain
+///   p_1 = 1,  p_i = p_{i-1} * (cps_{i-1} / (cms + cps_i)),
+///   alpha_i = p_i / sum_j p_j,
+/// so a planner walking growing prefixes n = 1..N pays O(n) per candidate -
+/// O(N^2) per task when every prefix is inspected. The cursor keeps the
+/// unnormalized products and the running denominator instead: extending the
+/// prefix by one node is a single divide/multiply/add, normalization is
+/// deferred (alpha_last() divides once; only an accepted prefix pays the
+/// O(n) materialize()). Every accumulation happens in the exact scan order
+/// of general_het_alpha_into, so alpha_last() and materialize() are
+/// bit-identical to the scalar kernel at every prefix length - the
+/// differential property tests pin this across graded sizes.
+class AlphaRecurrence {
+ public:
+  /// Starts an empty recurrence for channel cost `cms` (> 0). Reuses the
+  /// product column's capacity, so resetting per plan allocates nothing in
+  /// steady state.
+  void reset(double cms);
+
+  /// Appends the next node (unit cost `cps` > 0); O(1).
+  void extend(double cps);
+
+  /// Number of nodes consumed so far.
+  std::size_t size() const { return products_.size(); }
+
+  /// alpha_n of the current prefix: the last unnormalized product over the
+  /// running denominator - the exact division general_het_alpha_into
+  /// performs when normalizing its last entry.
+  double alpha_last() const { return products_.back() / denom_; }
+
+  /// Normalized alpha of the current prefix (general_het_alpha_into's
+  /// output, bit for bit). O(n); intended for the one accepted prefix.
+  void materialize(std::vector<double>& out) const;
+
+ private:
+  double cms_ = 1.0;
+  double denom_ = 1.0;
+  double last_cps_ = 0.0;
+  std::vector<double> products_;  ///< unnormalized p_1..p_n
+};
 
 /// The constructed heterogeneous model plus the DLT partition on it.
 struct HetPartition {

@@ -25,24 +25,30 @@ double homogeneous_execution_time(const ClusterParams& params, double sigma, std
 }
 
 std::vector<double> homogeneous_partition(const ClusterParams& params, std::size_t n) {
+  std::vector<double> alpha;
+  homogeneous_partition_into(params, n, alpha);
+  return alpha;
+}
+
+void homogeneous_partition_into(const ClusterParams& params, std::size_t n,
+                                std::vector<double>& out) {
   check_inputs(params, 1.0, n);
   const double beta = params.beta();
   const double log_beta = std::log(beta);
   const double one_minus_beta_n = -std::expm1(static_cast<double>(n) * log_beta);
   const double alpha1 = (params.cms / (params.cms + params.cps)) / one_minus_beta_n;
 
-  std::vector<double> alpha(n);
+  out.resize(n);
   double current = alpha1;
   double sum = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
-    alpha[i] = current;
+    out[i] = current;
     sum += current;
     current *= beta;
   }
   // Normalize away the accumulated floating-point drift so downstream code
   // can rely on sum(alpha) == 1 to machine precision.
-  for (double& a : alpha) a /= sum;
-  return alpha;
+  for (double& a : out) a /= sum;
 }
 
 double homogeneous_execution_time_limit(const ClusterParams& params, double sigma) {

@@ -25,6 +25,11 @@ double homogeneous_execution_time(const ClusterParams& params, double sigma, std
 /// with alpha_1 = (1-beta)/(1-beta^n). Sum is 1 by construction.
 std::vector<double> homogeneous_partition(const ClusterParams& params, std::size_t n);
 
+/// Same kernel writing into `out` (capacity reused; the planning rules call
+/// this once per accepted plan and must not allocate per call).
+void homogeneous_partition_into(const ClusterParams& params, std::size_t n,
+                                std::vector<double>& out);
+
 /// Limit of E(sigma, n) as n -> infinity: sigma * Cms (pure transmission).
 /// No finite n can beat this; useful for feasibility pre-checks.
 double homogeneous_execution_time_limit(const ClusterParams& params, double sigma);

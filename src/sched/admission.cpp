@@ -371,6 +371,21 @@ AdmissionOutcome AdmissionController::test_incremental(
   // checkpoint plus a bounded delta-chain replay.
   materialize_row(head_ + start);
 
+  // Batched hard-rejection screen: gather every task this call may plan
+  // (temp-list order, i.e. screen index i - start for temp position i) into
+  // flat (sigma*Cms, deadline) columns once. Each planning step below then
+  // rejects a doomed task straight off the columns - the exact (reason,
+  // blocker) the rule's own scan would return, per the
+  // hard_rejects_at_front() contract - without paying for the plan() call.
+  const bool screened = rule_->hard_rejects_at_front();
+  if (screened) {
+    screen_tasks_.clear();
+    for (std::size_t i = start; i < p; ++i) screen_tasks_.push_back(order_[head_ + i]);
+    screen_tasks_.push_back(&new_task);
+    for (std::size_t i = p + 1; i <= q; ++i) screen_tasks_.push_back(order_[head_ + i - 1]);
+    screen_.build(params.cms, screen_tasks_.data(), screen_tasks_.size());
+  }
+
   PlanRequest request;
   request.params = params;
   request.free_times = &work_state_;
@@ -414,6 +429,10 @@ AdmissionOutcome AdmissionController::test_incremental(
   // frontier row is synced per step so a mid-loop rejection leaves the
   // session consistent.
   for (std::size_t i = planned_; i < p; ++i) {
+    if (screened) {
+      const dlt::Infeasibility doomed = screen_.screen(i - start, work_state_.front());
+      if (doomed != dlt::Infeasibility::kNone) return reject(doomed, order_[head_ + i]);
+    }
     request.task = order_[head_ + i];
     PlanResult result = rule_->plan(request);
     if (!result.feasible()) return reject(result.reason, order_[head_ + i]);
@@ -450,6 +469,10 @@ AdmissionOutcome AdmissionController::test_incremental(
   }
   for (std::size_t i = p; i <= q; ++i) {
     const workload::Task* task = (i == p) ? &new_task : order_[head_ + i - 1];
+    if (screened) {
+      const dlt::Infeasibility doomed = screen_.screen(i - start, work_state_.front());
+      if (doomed != dlt::Infeasibility::kNone) return reject(doomed, task);
+    }
     request.task = task;
     PlanResult result = rule_->plan(request);
     if (!result.feasible()) return reject(result.reason, task);

@@ -45,6 +45,7 @@
 #include "cluster/availability_delta.hpp"
 #include "cluster/cluster.hpp"
 #include "sched/partition_rule.hpp"
+#include "sched/planner_batch.hpp"
 #include "sched/policy.hpp"
 
 namespace rtdls::sched {
@@ -246,6 +247,14 @@ class AdmissionController {
   std::vector<cluster::NodeId> scratch_delta_ids_;
   std::vector<Time> scratch_fronts_;
   std::vector<Checkpoint> scratch_checkpoints_;
+  /// Batched hard-rejection screen over the tasks a test_incremental call
+  /// may plan (rules with hard_rejects_at_front() only): one SoA gather of
+  /// (sigma*Cms, deadline) columns per call, then each planning step checks
+  /// the columns before paying for rule_->plan(). Outcome-identical by the
+  /// contract on PartitionRule::hard_rejects_at_front; the stateless test()
+  /// stays unscreened as the cross-check reference.
+  het::QueueScreen screen_;
+  std::vector<const workload::Task*> screen_tasks_;
   /// apply_releases' merge buffer; mutable so the const (stateless) test()
   /// reuses it too. Consistent with the single-thread affinity of the
   /// controller (like the rules' plan scratch, one instance per simulator).

@@ -76,7 +76,7 @@ class OprMnBackfillRule final : public PartitionRule {
       plan.available.assign(m, t);
       plan.reserve_from.assign(m, t);
       plan.node_release.assign(m, t + duration);
-      plan.alpha = dlt::homogeneous_partition(request.params, m);
+      dlt::homogeneous_partition_into(request.params, m, plan.alpha);
       plan.est_completion = t + duration;
       plan.node_ids = std::move(nodes);
       return result;
@@ -86,6 +86,9 @@ class OprMnBackfillRule final : public PartitionRule {
 
   std::string_view name() const override { return "OPR-MN-BF"; }
   bool uses_calendar() const override { return true; }
+
+  PlannerCounters planner_counters() const override { return het_scratch_.counters; }
+  void reset_planner_counters() const override { het_scratch_.counters = {}; }
 
  private:
   mutable het::PlannerScratch het_scratch_;

@@ -106,9 +106,12 @@ dlt::Infeasibility first_hard_reason(double sigma, double cms, Time deadline,
 ///    linear walk: hard-check, build via `estimate_at`, accept the first
 ///    prefix whose estimate meets the deadline.
 ///
-/// `estimate_at(n)` must leave the caller's scratch (partition/alpha) in
-/// the state matching position n; scratch.cps is gathered up to every
-/// position handed to it. Returns the accepted n, or (0, reason).
+/// `estimate_at(n)` must leave the caller's scratch (partition/alpha/batch)
+/// in the state matching position n; scratch.cps is gathered up to every
+/// position handed to it. Positions are handed out in strictly increasing
+/// order, which is what lets the estimate lambdas ride scratch.batch's
+/// shared alpha cursor (begun here) instead of re-running the Eq. (4)-(5)
+/// chain from scratch per candidate. Returns the accepted n, or (0, reason).
 template <typename EstimateAt>
 std::pair<std::size_t, dlt::Infeasibility> first_feasible_prefix(
     const PlanRequest& request, PlannerScratch& scratch, double sigma, Time deadline,
@@ -117,6 +120,7 @@ std::pair<std::size_t, dlt::Infeasibility> first_feasible_prefix(
   const double cms = request.params.cms;
   const std::size_t cluster_size = free_times.size();
   scratch.cps.clear();
+  scratch.batch.begin_walk(cms, sigma);
   // Fastest unit cost of the profile: the denominator of the jump bound
   // (cached inside SpeedProfile, so this is O(1)).
   const double cps_floor = request.params.speed_profile->min_cps();
@@ -188,23 +192,29 @@ PlanResult plan_dlt_iit(const PlanRequest& request, PlannerScratch& scratch) {
   const double sigma = task.sigma();
   const Time deadline = task.abs_deadline();
 
+  // Walk estimates come from the batched kernel (shared alpha cursor for
+  // E_ref, flat SoA columns for the equivalent model) - bit-identical to the
+  // historical build_het_partition_into rebuild at every prefix, without the
+  // partition struct or its allocations.
+  Time accepted_est = 0.0;
   const auto [n, reason] = first_feasible_prefix(
       request, scratch, sigma, deadline, [&](std::size_t prefix) {
-        dlt::build_het_partition_into(request.params, sigma, free_times, scratch.cps,
-                                      prefix, scratch.partition);
-        return scratch.partition.estimated_completion();
+        accepted_est =
+            scratch.batch.dlt_walk_estimate(free_times, scratch.cps, prefix);
+        return accepted_est;
       });
   if (reason != dlt::Infeasibility::kNone) return PlanResult::infeasible(reason);
 
   PlanResult result;
   TaskPlan& plan = result.plan;
-  const Time est = scratch.partition.estimated_completion();
+  const Time est = accepted_est;
   plan.task = task.id;
   plan.nodes = n;
-  plan.available = scratch.partition.available;
-  plan.reserve_from = scratch.partition.available;  // IITs utilized
+  plan.available.assign(free_times.begin(),
+                        free_times.begin() + static_cast<std::ptrdiff_t>(n));
+  plan.reserve_from = plan.available;  // IITs utilized
   plan.node_release.assign(n, est);
-  plan.alpha = scratch.partition.alpha;
+  scratch.batch.materialize_dlt_alpha(plan.alpha);
   plan.est_completion = est;
   pin_prefix(request, scratch, n, plan);
   return result;
@@ -219,16 +229,16 @@ PlanResult plan_opr_mn(const PlanRequest& request, PlannerScratch& scratch) {
   // The shared prune stays a valid necessary condition for OPR too:
   // (deadline - r_i)/cps_i over-estimates what the simultaneous start at
   // r_n >= r_i allows.
+  // O(1) amortized per inspected prefix: the walk extends the shared alpha
+  // cursor one node at a time instead of re-running the whole recurrence.
   const auto [n, reason] = first_feasible_prefix(
       request, scratch, sigma, deadline, [&](std::size_t prefix) {
-        dlt::general_het_alpha_into(request.params.cms, scratch.cps, prefix,
-                                    scratch.alpha);
-        const double exec = sigma * request.params.cms +
-                            scratch.alpha.back() * sigma * scratch.cps[prefix - 1];
-        return free_times[prefix - 1] + exec;
+        return scratch.batch.opr_walk_estimate(free_times, scratch.cps, prefix);
       });
   if (reason != dlt::Infeasibility::kNone) return PlanResult::infeasible(reason);
 
+  // Only the accepted prefix materializes its normalized alpha.
+  scratch.batch.materialize_walk_alpha(scratch.alpha);
   const Time rn = free_times[n - 1];
   const double exec =
       sigma * request.params.cms + scratch.alpha.back() * sigma * scratch.cps[n - 1];
@@ -428,9 +438,13 @@ PlanResult plan_opr_mn_backfill(const PlanRequest& request, PlannerScratch& scra
     // seed is the m-node seed plus the next free id. The pool and its scan
     // cursor therefore persist across the whole candidate time (grown
     // incrementally, each id probed at most once per t) instead of
-    // re-scanning 0..N for every (candidate, m) pair.
+    // re-scanning 0..N for every (candidate, m) pair. Because consecutive
+    // seeds are prefixes of this one pool, their window durations ride one
+    // shared alpha cursor: seeding m costs O(1) amortized instead of O(m).
     scratch.instant_free.clear();
+    scratch.instant_cps.clear();
     cluster::NodeId instant_cursor = 0;
+    scratch.batch.begin_walk(request.params.cms, sigma);
 
     for (std::size_t m = 1; m <= cluster_size; ++m) {
       // The window length depends on which nodes fill it and vice versa;
@@ -439,27 +453,37 @@ PlanResult plan_opr_mn_backfill(const PlanRequest& request, PlannerScratch& scra
       // always take ~0 load), so larger m remains worth trying after a
       // tight window.
       double duration = 0.0;
+      double next = 0.0;
+      double previous = 0.0;
       bool selected = false;
       bool instant_shortfall = false;
+      bool window_shortfall = false;
       for (int iteration = 0; iteration < 4; ++iteration) {
-        scratch.window_nodes.clear();
-        scratch.window_cps.clear();
         if (duration == 0.0) {
+          // Seed: the m-prefix of the instant-free pool on the shared cursor.
           while (scratch.instant_free.size() < m && instant_cursor < cluster_size) {
             if (calendar.is_free(instant_cursor, t, t)) {
               scratch.instant_free.push_back(instant_cursor);
+              scratch.instant_cps.push_back(request.params.node_cps(instant_cursor));
             }
             ++instant_cursor;
           }
-          if (scratch.instant_free.size() >= m) {
-            scratch.window_nodes.assign(scratch.instant_free.begin(),
-                                        scratch.instant_free.begin() +
-                                            static_cast<std::ptrdiff_t>(m));
-            for (cluster::NodeId id : scratch.window_nodes) {
-              scratch.window_cps.push_back(request.params.node_cps(id));
-            }
+          if (scratch.instant_free.size() < m) {
+            instant_shortfall = true;
+            break;
           }
+          scratch.window_nodes.assign(
+              scratch.instant_free.begin(),
+              scratch.instant_free.begin() + static_cast<std::ptrdiff_t>(m));
+          scratch.window_cps.assign(
+              scratch.instant_cps.begin(),
+              scratch.instant_cps.begin() + static_cast<std::ptrdiff_t>(m));
+          next = scratch.batch.window_duration_prefix(scratch.instant_cps, m);
         } else {
+          // Re-selection over a positive window is an arbitrary id set (not
+          // a pool prefix): one-shot streaming kernel, still allocation-free.
+          scratch.window_nodes.clear();
+          scratch.window_cps.clear();
           for (cluster::NodeId id = 0;
                id < cluster_size && scratch.window_nodes.size() < m; ++id) {
             if (calendar.is_free(id, t, t + duration)) {
@@ -467,29 +491,56 @@ PlanResult plan_opr_mn_backfill(const PlanRequest& request, PlannerScratch& scra
               scratch.window_cps.push_back(request.params.node_cps(id));
             }
           }
+          if (scratch.window_nodes.size() < m) {
+            // Free-over-window implies free-at-instant, so only a positive
+            // window can fall short here; it may still resolve with more
+            // nodes (shorter window).
+            window_shortfall = true;
+            break;
+          }
+          next = PlannerBatch::window_duration(request.params.cms, sigma,
+                                               scratch.window_cps, m);
         }
-        if (scratch.window_nodes.size() < m) {
-          // Free-over-window implies free-at-instant, so a shortfall with
-          // duration == 0 rules this t out for every m; a shortfall at a
-          // positive window may still resolve with more nodes (shorter
-          // window).
-          instant_shortfall = duration == 0.0;
-          break;
-        }
-        dlt::general_het_alpha_into(request.params.cms, scratch.window_cps, m,
-                                    scratch.alpha);
-        const double next = sigma * request.params.cms +
-                            scratch.alpha.back() * sigma * scratch.window_cps.back();
         if (next == duration) {
           selected = true;
           break;
         }
+        previous = duration;
         duration = next;
       }
-      if (instant_shortfall) break;  // next candidate time
-      if (!selected) continue;       // window did not settle; try more nodes
+      if (instant_shortfall) break;     // next candidate time
+      if (window_shortfall) continue;   // try more nodes
+      if (!selected) {
+        // The (selection, duration) fixed point did not settle within the
+        // iteration budget (the selection can 2-cycle when reservations make
+        // node sets flip between two window lengths). Fall back to the
+        // conservative window W = max of the last two iterates: re-select
+        // over W, then verify that selection's own duration fits inside W,
+        // so every accepted member is genuinely free across its reservation.
+        ++scratch.counters.backfill_fixed_point_fallbacks;
+        const double window = std::max(previous, duration);
+        scratch.window_nodes.clear();
+        scratch.window_cps.clear();
+        for (cluster::NodeId id = 0;
+             id < cluster_size && scratch.window_nodes.size() < m; ++id) {
+          if (calendar.is_free(id, t, t + window)) {
+            scratch.window_nodes.push_back(id);
+            scratch.window_cps.push_back(request.params.node_cps(id));
+          }
+        }
+        if (scratch.window_nodes.size() < m) continue;  // try more nodes
+        const double exec =
+            PlannerBatch::window_duration(request.params.cms, sigma,
+                                          scratch.window_cps, m);
+        if (exec > window) continue;  // conservative window still too tight
+        duration = exec;
+        selected = true;
+      }
       if (t + duration > deadline + kDeadlineEps) continue;  // more nodes shrink it
 
+      // Only the accepted selection materializes its normalized alpha.
+      dlt::general_het_alpha_into(request.params.cms, scratch.window_cps, m,
+                                  scratch.alpha);
       PlanResult result;
       TaskPlan& plan = result.plan;
       plan.task = task.id;

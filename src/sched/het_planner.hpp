@@ -37,6 +37,7 @@
 
 #include "dlt/het_model.hpp"
 #include "sched/partition_rule.hpp"
+#include "sched/planner_batch.hpp"
 
 namespace rtdls::sched::het {
 
@@ -50,6 +51,13 @@ struct PlannerScratch {
   std::vector<double> cps;
   std::vector<double> alpha;        ///< general_het_alpha output
   dlt::HetPartition partition;      ///< generalized Eq.-1 model
+  /// Batched SoA candidate-evaluation kernels: the post-crossing walk's
+  /// incremental alpha cursor and the DLT path's flat equivalent-model
+  /// columns live here (reused across plan() calls, zero allocation in
+  /// steady state).
+  PlannerBatch batch;
+  /// Counters surfaced through PartitionRule::planner_counters().
+  PlannerCounters counters;
   // multi-round state (slot-aligned with the chosen prefix)
   std::vector<Time> round_free;
   std::vector<Time> sorted_free;
@@ -59,10 +67,12 @@ struct PlannerScratch {
   // backfill state
   std::vector<cluster::NodeId> window_nodes;
   std::vector<double> window_cps;
-  /// Backfill instant-free pool: ids free at the current candidate time, in
-  /// id order, grown incrementally across node counts (see
-  /// plan_opr_mn_backfill).
+  /// Backfill instant-free pool: ids free at the current candidate time (and
+  /// their speeds), in id order, grown incrementally across node counts; the
+  /// zero-length-window seeds are prefixes of this pool, which is what lets
+  /// the m-loop ride the shared alpha cursor (see plan_opr_mn_backfill).
   std::vector<cluster::NodeId> instant_free;
+  std::vector<double> instant_cps;
 };
 
 /// EDF/FIFO-DLT: IIT-utilizing partition on the generalized equivalent

@@ -33,7 +33,7 @@ TaskPlan make_opr_plan(const PlanRequest& request, std::size_t assigned, Time rn
                         free_times.begin() + static_cast<std::ptrdiff_t>(assigned));
   plan.reserve_from.assign(assigned, rn);  // simultaneous allocation: IITs wasted
   plan.node_release.assign(assigned, est);
-  plan.alpha = dlt::homogeneous_partition(request.params, assigned);
+  dlt::homogeneous_partition_into(request.params, assigned, plan.alpha);
   plan.est_completion = est;
   return plan;
 }
@@ -63,6 +63,10 @@ class OprMnRule final : public PartitionRule {
   }
 
   std::string_view name() const override { return "OPR-MN"; }
+
+  // Same first-position hard rejections as the DLT rule (shared
+  // resolve_node_count / het scan).
+  bool hard_rejects_at_front() const override { return true; }
 
  private:
   NodeSearch search_;

@@ -54,6 +54,15 @@ struct PlanResult {
   }
 };
 
+/// Planner-internal event counters a rule may expose (collected into
+/// SimMetrics per run; see Simulator::run).
+struct PlannerCounters {
+  /// OPR-MN-BF (selection, duration) fixed points that did not settle within
+  /// the iteration budget and took the conservative-window fallback instead
+  /// of being silently skipped.
+  std::size_t backfill_fixed_point_fallbacks = 0;
+};
+
 /// Abstract partitioning + node-assignment rule.
 ///
 /// Thread affinity: plan() is a pure function of the request (identical
@@ -76,6 +85,28 @@ class PartitionRule {
   /// True when the rule plans against PlanRequest::calendar (gap-aware
   /// backfilling) instead of the sorted release times.
   virtual bool uses_calendar() const { return false; }
+
+  /// Exactness contract for the admission controller's batched queue screen
+  /// (het::QueueScreen): a rule returning true promises that whenever
+  ///   deadline - front <= 0            (kDeadlinePassed), or
+  ///   sigma*Cms >= deadline - front    (kTransmissionTooLong)
+  /// holds at the availability row's front (= r_1 of the row the task plans
+  /// against), its plan() returns infeasible with that exact reason - so the
+  /// controller may reject straight off precomputed columns without calling
+  /// plan(). Holds for the first-position hard rejections of the DLT/OPR-MN
+  /// prefix scans (monotone in r_n, so position 1 fires first) and for
+  /// dlt::minimum_nodes' gamma test (fl(a/b) >= 1 whenever a >= b, so the
+  /// closed form rejects identically). Must stay false for rules that modify
+  /// the deadline (output-aware decorator) or plan against a calendar.
+  virtual bool hard_rejects_at_front() const { return false; }
+
+  /// Planner counters accumulated since the last reset (rules without
+  /// counters report zeros).
+  virtual PlannerCounters planner_counters() const { return {}; }
+
+  /// Clears the counters (const for the same reason plan() is: counters live
+  /// in the rule's mutable scratch).
+  virtual void reset_planner_counters() const {}
 };
 
 /// How the n_min-based rules resolve the circular dependence between the

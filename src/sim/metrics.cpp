@@ -27,6 +27,9 @@ std::string SimMetrics::summary() const {
   out << "utilization=" << utilization() << " iit_fraction=" << iit_fraction() << '\n';
   out << "theorem4 violations=" << theorem4_violations
       << " deadline misses=" << deadline_misses << '\n';
+  if (backfill_fixed_point_fallbacks > 0) {
+    out << "backfill fixed-point fallbacks=" << backfill_fixed_point_fallbacks << '\n';
+  }
   return out.str();
 }
 

@@ -50,6 +50,11 @@ struct SimMetrics {
   std::size_t deadline_misses = 0;      ///< actual completion > deadline
                                         ///< (only possible in shared-link mode)
 
+  // --- planner internals ---
+  /// OPR-MN-BF het (selection, duration) fixed points that did not settle
+  /// within the iteration budget and took the conservative-window fallback.
+  std::size_t backfill_fixed_point_fallbacks = 0;
+
   // --- cluster accounting ---
   double busy_time = 0.0;      ///< sum of per-node committed busy time
   double idle_gap_time = 0.0;  ///< sum of per-node inserted idle time

@@ -49,6 +49,7 @@ SimMetrics ClusterSimulator::run(const std::vector<workload::Task>& tasks, Time 
   queue_.clear();
   controller_.invalidate();
   controller_.reset_session_stats();
+  algorithm_->rule->reset_planner_counters();
   now_ = 0.0;
   next_version_ = 1;
   channel_free_ = 0.0;
@@ -96,6 +97,8 @@ SimMetrics ClusterSimulator::run(const std::vector<workload::Task>& tasks, Time 
   const auto session_peak = controller_.peak_session_memory();
   metrics_.admission_peak_bytes = session_peak.bytes;
   metrics_.admission_peak_dense_bytes = session_peak.dense_equivalent_bytes;
+  metrics_.backfill_fixed_point_fallbacks =
+      algorithm_->rule->planner_counters().backfill_fixed_point_fallbacks;
   return metrics_;
 }
 

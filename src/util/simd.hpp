@@ -1,0 +1,22 @@
+// Vectorization hints for the batched planning kernels.
+//
+// The kernels in sched/planner_batch.cpp are written as flat
+// structure-of-arrays loops whose vectorizable parts are purely elementwise
+// (independent lanes, no cross-iteration reduction), so widening them to
+// SIMD cannot change a single bit of the result: IEEE divide/multiply/add
+// are exact per lane regardless of vector width, and the serial prefix
+// scans that ARE order-sensitive stay scalar. The RTDLS_SIMD cmake option
+// turns on wide codegen (-march=x86-64-v3) with FP contraction pinned off
+// (-ffp-contract=off) - fused multiply-adds round once instead of twice and
+// WOULD diverge from the scalar reference - and defines RTDLS_SIMD_ENABLED,
+// which arms the ivdep hint below. The differential property tests run
+// under both settings in CI and assert bit-identical schedules.
+#pragma once
+
+#if defined(RTDLS_SIMD_ENABLED) && defined(__GNUC__) && !defined(__clang__)
+#define RTDLS_IVDEP _Pragma("GCC ivdep")
+#elif defined(RTDLS_SIMD_ENABLED) && defined(__clang__)
+#define RTDLS_IVDEP _Pragma("clang loop vectorize(enable)")
+#else
+#define RTDLS_IVDEP
+#endif
