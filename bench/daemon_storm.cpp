@@ -1,0 +1,163 @@
+// Daemon latency storm: M concurrent clients hammering a live rtdlsd over
+// its Unix socket, reporting admission latency order statistics and
+// throughput (BENCH_daemon.json in CI).
+//
+// The daemon runs in-process (same binary, real socket, real worker pool),
+// so the measured path is the full client->frame->worker->shard->reply round
+// trip without any benchmark-runner process plumbing. Each client owns one
+// connection and one shard stripe; task arrivals advance so the waiting
+// queue stays shallow and every admit exercises the warm-session fast path
+// the daemon is built around.
+//
+//   daemon_storm [out.json]
+//   RTDLS_STORM_CLIENTS=8     concurrent client threads (>= 8 in CI)
+//   RTDLS_STORM_REQUESTS=250  admits per client
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stats/summary.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+#include "util/build_info.hpp"
+
+namespace {
+
+using namespace rtdls;
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  const long parsed = std::atol(value);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+struct ClientStats {
+  std::vector<double> latency_us;
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  std::size_t errors = 0;
+};
+
+void storm_client(const std::string& socket_path, std::size_t thread_index,
+                  std::size_t shard_count, std::size_t requests, ClientStats& out) {
+  svc::Client client(socket_path, /*timeout_ms=*/30000);
+  out.latency_us.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    svc::AdmitRequest request;
+    request.shard = static_cast<std::uint32_t>(thread_index % shard_count);
+    request.task.id = static_cast<cluster::TaskId>(thread_index * requests + i + 1);
+    // Advancing arrivals keep the waiting queue shallow (earlier plans
+    // auto-commit), so the storm measures steady-state admission latency
+    // rather than an ever-growing schedulability test. The step puts the
+    // two clients sharing a shard right around cluster capacity
+    // (2 x sigma*cps / step ~ N), so accepts and rejects both flow.
+    request.task.arrival = static_cast<double>(i) * 2000.0;
+    request.task.sigma = 100.0 + static_cast<double>((thread_index + i) % 7) * 25.0;
+    request.task.rel_deadline = 4000.0 + static_cast<double>(i % 5) * 500.0;
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      const svc::AdmitReply reply = client.admit(request);
+      const auto end = std::chrono::steady_clock::now();
+      out.latency_us.push_back(std::chrono::duration<double, std::micro>(end - start).count());
+      if (reply.accepted) {
+        ++out.accepted;
+      } else {
+        ++out.rejected;
+      }
+    } catch (const svc::ServiceError&) {
+      ++out.errors;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_daemon.json";
+  const std::size_t clients = env_size("RTDLS_STORM_CLIENTS", 8);
+  const std::size_t requests = env_size("RTDLS_STORM_REQUESTS", 250);
+
+  svc::DaemonConfig config;
+  config.socket_path = "/tmp/rtdlsd_storm_" + std::to_string(::getpid()) + ".sock";
+  config.shards = std::min<std::size_t>(clients, 4);
+  config.workers = clients;  // every connection gets a worker: no accept queueing
+  config.default_deadline_ms = 30000;
+  svc::Daemon daemon(std::move(config));
+  daemon.start();
+
+  std::printf("daemon_storm: %zu clients x %zu admits, %zu shard(s), %s\n", clients, requests,
+              daemon.shard_count(), util::build_description().c_str());
+
+  std::vector<ClientStats> stats(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back(storm_client, daemon.config().socket_path, c, daemon.shard_count(),
+                         requests, std::ref(stats[c]));
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  daemon.stop();
+
+  stats::Summary latency;
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  std::size_t errors = 0;
+  for (const ClientStats& s : stats) {
+    for (double us : s.latency_us) latency.add(us);
+    accepted += s.accepted;
+    rejected += s.rejected;
+    errors += s.errors;
+  }
+  if (latency.empty()) {
+    std::fprintf(stderr, "daemon_storm: every request errored\n");
+    return 1;
+  }
+
+  const std::size_t total = clients * requests;
+  const double rps = static_cast<double>(total) / wall;
+  const double p50 = latency.quantile(0.50);
+  const double p90 = latency.quantile(0.90);
+  const double p99 = latency.quantile(0.99);
+  std::printf("admit latency: p50=%.1fus p90=%.1fus p99=%.1fus max=%.1fus mean=%.1fus\n", p50,
+              p90, p99, latency.max(), latency.mean());
+  std::printf("throughput: %zu requests in %.3fs = %.0f req/s (%zu accepted, %zu rejected, "
+              "%zu errors)\n",
+              total, wall, rps, accepted, rejected, errors);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "daemon_storm: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n"
+      << "  \"bench\": \"daemon_storm\",\n"
+      << "  \"build\": \"" << util::build_description() << "\",\n"
+      << "  \"clients\": " << clients << ",\n"
+      << "  \"requests_per_client\": " << requests << ",\n"
+      << "  \"total_requests\": " << total << ",\n"
+      << "  \"accepted\": " << accepted << ",\n"
+      << "  \"rejected\": " << rejected << ",\n"
+      << "  \"errors\": " << errors << ",\n"
+      << "  \"wall_seconds\": " << wall << ",\n"
+      << "  \"requests_per_sec\": " << rps << ",\n"
+      << "  \"admit_latency_us\": {\n"
+      << "    \"p50\": " << p50 << ",\n"
+      << "    \"p90\": " << p90 << ",\n"
+      << "    \"p99\": " << p99 << ",\n"
+      << "    \"max\": " << latency.max() << ",\n"
+      << "    \"mean\": " << latency.mean() << "\n"
+      << "  }\n"
+      << "}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return errors == 0 ? 0 : 1;
+}

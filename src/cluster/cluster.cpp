@@ -74,6 +74,15 @@ void Cluster::release_early(NodeId id, Time at) {
   ++version_;
 }
 
+void Cluster::restore_node(NodeId id, Time free_at, Time busy_time, Time idle_gap_time,
+                           std::size_t commitments) {
+  Node& node = nodes_.at(id);
+  const Time before = node.free_at();
+  node.restore(free_at, busy_time, idle_gap_time, commitments);
+  index_.update(id, before, node.free_at());
+  ++version_;
+}
+
 Time Cluster::total_busy_time() const {
   Time total = 0.0;
   for (const Node& node : nodes_) total += node.busy_time();

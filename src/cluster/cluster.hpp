@@ -78,6 +78,13 @@ class Cluster {
   /// Releases node `id` early at `at` (actual completion before estimate).
   void release_early(NodeId id, Time at);
 
+  /// Restores node `id` to an exact snapshot state (service-layer crash
+  /// recovery): release time and accounting are taken verbatim, the sorted
+  /// index is repositioned, and the availability version is bumped so any
+  /// admission session standing on the old state invalidates.
+  void restore_node(NodeId id, Time free_at, Time busy_time, Time idle_gap_time,
+                    std::size_t commitments);
+
   /// Totals across nodes, for utilization / IIT reports.
   Time total_busy_time() const;
   Time total_idle_gap_time() const;

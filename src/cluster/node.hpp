@@ -46,6 +46,18 @@ class Node {
   /// Number of subtask commitments this node served.
   std::size_t commitments() const { return commitments_; }
 
+  /// Restores an exact accounting state captured by a snapshot (the service
+  /// layer's crash recovery). The committed-task identity is not preserved -
+  /// planning only ever reads free_at, and the accounting fields are report
+  /// material - so a restored node carries kNoTask.
+  void restore(Time free_at, Time busy_time, Time idle_gap_time, std::size_t commitments) {
+    free_at_ = free_at;
+    current_task_ = kNoTask;
+    busy_time_ = busy_time;
+    idle_gap_time_ = idle_gap_time;
+    commitments_ = commitments;
+  }
+
   /// Returns the node to its initial idle state (run-to-run reuse).
   void reset() {
     free_at_ = 0.0;

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <memory>
 #include <stdexcept>
+#include <thread>
 
 #include "exp/runner.hpp"
 #include "sched/registry.hpp"
@@ -116,7 +119,89 @@ class SlotPool {
   std::vector<std::vector<std::unique_ptr<SimSlot>>> free_;
 };
 
+/// Threads abandoned by timed-out cells. They cannot be interrupted (the
+/// simulator has no cancellation points), so they run to completion holding
+/// shared ownership of their trace and SimSlot. Tests join them between
+/// runs; anything still alive at static destruction is detached - joining
+/// there could block exit forever, and a joinable std::thread destructor
+/// would std::terminate.
+class StrayThreads {
+ public:
+  void add(std::thread thread) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    threads_.push_back(std::move(thread));
+  }
+
+  void join_all() {
+    std::vector<std::thread> taken;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      taken.swap(threads_);
+    }
+    for (std::thread& thread : taken) {
+      if (thread.joinable()) thread.join();
+    }
+  }
+
+  ~StrayThreads() {
+    for (std::thread& thread : threads_) {
+      if (thread.joinable()) thread.detach();
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::thread> threads_;
+};
+
+StrayThreads& stray_threads() {
+  static StrayThreads instance;
+  return instance;
+}
+
+using TracePtr = std::shared_ptr<const std::vector<workload::Task>>;
+
+/// Runs one cell attempt under a wall-clock budget. The helper thread takes
+/// shared ownership of the slot and trace; on completion within the budget
+/// the slot returns to the pool and the metrics (or the simulation's
+/// exception) propagate. On timeout the thread is abandoned to the stray
+/// registry - the slot is intentionally NOT returned (it is still running)
+/// and a fresh one will be built on the pool's next miss.
+sim::SimMetrics run_attempt_with_timeout(SlotPool& pool, std::size_t algorithm,
+                                         std::unique_ptr<SimSlot> slot, TracePtr trace,
+                                         double sim_time, double timeout_sec) {
+  struct Shared {
+    std::unique_ptr<SimSlot> slot;
+    TracePtr trace;
+    std::promise<sim::SimMetrics> promise;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->slot = std::move(slot);
+  shared->trace = std::move(trace);
+  std::future<sim::SimMetrics> future = shared->promise.get_future();
+  std::thread worker([shared, sim_time] {
+    try {
+      shared->promise.set_value(shared->slot->simulator.run(*shared->trace, sim_time));
+    } catch (...) {
+      shared->promise.set_exception(std::current_exception());
+    }
+  });
+  if (future.wait_for(std::chrono::duration<double>(timeout_sec)) ==
+      std::future_status::ready) {
+    worker.join();
+    // Release before get(): even when the simulation threw, run() resets all
+    // per-run state on entry, so the slot is safe to reuse.
+    pool.release(algorithm, std::move(shared->slot));
+    return future.get();
+  }
+  stray_threads().add(std::move(worker));
+  throw std::runtime_error("cell exceeded --cell-timeout-sec budget (" +
+                           std::to_string(timeout_sec) + "s)");
+}
+
 }  // namespace
+
+void join_timed_out_cells() { stray_threads().join_all(); }
 
 void run_campaign(const Campaign& campaign, const CampaignOptions& options, ResultSink& sink) {
   const ShardSelection shard = options.shard;
@@ -170,7 +255,10 @@ void run_campaign(const Campaign& campaign, const CampaignOptions& options, Resu
     trace_offsets[s + 1] = trace_offsets[s] + sweeps[s].loads.size() * sweeps[s].runs;
   }
   const std::size_t trace_count = trace_offsets.back();
-  std::vector<std::vector<workload::Task>> traces(trace_count);
+  // shared_ptr rather than plain vectors: a timed-out cell's runaway thread
+  // keeps its trace alive through its own reference after the campaign has
+  // dropped (or finished and freed) it.
+  std::vector<TracePtr> traces(trace_count);
   const auto trace_once = std::make_unique<std::once_flag[]>(trace_count);
   const auto cells_left = std::make_unique<std::atomic<std::size_t>[]>(trace_count);
   for (std::size_t t = 0; t < trace_count; ++t) cells_left[t].store(0, std::memory_order_relaxed);
@@ -186,13 +274,19 @@ void run_campaign(const Campaign& campaign, const CampaignOptions& options, Resu
   std::mutex failed_mutex;
 
   auto run_cell = [&](std::size_t w) {
+    // Cooperative cancellation: cells not yet started are skipped entirely,
+    // leaving them "never run" for `campaign resume` to pick up.
+    if (options.cancel != nullptr && options.cancel->load(std::memory_order_relaxed)) {
+      return;
+    }
     const CellRef ref = campaign.cell(work[w]);
     const SweepSpec& spec = sweeps[ref.sweep];
     const std::size_t t = trace_id(ref);
     std::call_once(trace_once[t], [&] {
-      traces[t] =
-          workload::generate_workload(cell_workload(spec, spec.loads[ref.load], ref.run));
+      traces[t] = std::make_shared<const std::vector<workload::Task>>(
+          workload::generate_workload(cell_workload(spec, spec.loads[ref.load], ref.run)));
     });
+    const TracePtr trace = traces[t];
 
     // The simulate-and-validate part retries (flaky fleet machines); the
     // sink never sees a cell twice, so sink errors stay fatal.
@@ -207,8 +301,15 @@ void run_campaign(const Campaign& campaign, const CampaignOptions& options, Resu
       ++attempts;
       try {
         std::unique_ptr<SimSlot> slot = pools[ref.sweep]->acquire(ref.algorithm);
-        const sim::SimMetrics metrics = slot->simulator.run(traces[t], spec.sim_time);
-        pools[ref.sweep]->release(ref.algorithm, std::move(slot));
+        sim::SimMetrics metrics;
+        if (options.cell_timeout_sec > 0.0) {
+          metrics = run_attempt_with_timeout(*pools[ref.sweep], ref.algorithm,
+                                             std::move(slot), trace, spec.sim_time,
+                                             options.cell_timeout_sec);
+        } else {
+          metrics = slot->simulator.run(*trace, spec.sim_time);
+          pools[ref.sweep]->release(ref.algorithm, std::move(slot));
+        }
 
         theorem4_violations = metrics.theorem4_violations;
         cell.metrics[static_cast<std::size_t>(SweepMetric::kRejectRatio)] =
@@ -230,7 +331,7 @@ void run_campaign(const Campaign& campaign, const CampaignOptions& options, Resu
       }
     }
     if (cells_left[t].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::vector<workload::Task>().swap(traces[t]);
+      traces[t].reset();  // runaway threads hold their own reference
     }
 
     // Theorem-4 halts are deterministic model violations, not flaky-machine

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <fstream>
 #include <functional>
@@ -124,12 +125,32 @@ struct CampaignOptions {
   /// exhausted cell's exception propagates and aborts the run - the
   /// historical fail-fast behavior.
   std::vector<FailedCell>* failed = nullptr;
+  /// Per-cell wall-clock budget in seconds; 0 disables. An attempt that
+  /// exceeds it counts as a failed attempt and flows through the same
+  /// retries/`failed` path as a thrown simulation. The runaway simulation
+  /// itself cannot be interrupted - it keeps running on a helper thread
+  /// (which pins its trace and simulator alive) until it finishes;
+  /// join_timed_out_cells() collects such threads.
+  double cell_timeout_sec = 0.0;
+  /// Cooperative cancellation (the SIGINT/SIGTERM path): when the pointed-to
+  /// flag becomes true, cells not yet started are skipped. Skipped cells
+  /// were never run, so `campaign resume` completes the run; in-flight
+  /// cells finish normally and reach the sink, and close() always runs, so
+  /// a cancelled shard's cell file is valid and flushed.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Executes the campaign's cell queue (or one shard of it) and streams
 /// every completed cell into `sink`. Deterministic per cell regardless of
 /// pool size or sharding.
 void run_campaign(const Campaign& campaign, const CampaignOptions& options, ResultSink& sink);
+
+/// Joins the helper threads left behind by cells that hit
+/// CampaignOptions::cell_timeout_sec (their simulations keep running after
+/// the cell was declared failed). Tests call this between runs so leak
+/// checkers see every thread finish; threads still alive at process exit
+/// are detached instead (never std::terminate).
+void join_timed_out_cells();
 
 /// In-memory aggregation into SweepResults, reproducing run_sweep
 /// bit-for-bit: cells land in their raw[] slots, take() computes the

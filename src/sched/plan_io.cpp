@@ -1,0 +1,73 @@
+#include "sched/plan_io.hpp"
+
+#include <stdexcept>
+
+namespace rtdls::sched {
+
+namespace {
+
+std::vector<cluster::NodeId> read_node_ids(util::WireReader& in) {
+  const std::vector<std::uint64_t> raw = in.u64_array();
+  std::vector<cluster::NodeId> ids;
+  ids.reserve(raw.size());
+  for (std::uint64_t id : raw) ids.push_back(static_cast<cluster::NodeId>(id));
+  return ids;
+}
+
+void write_node_ids(util::WireWriter& out, const std::vector<cluster::NodeId>& ids) {
+  std::vector<std::uint64_t> raw(ids.begin(), ids.end());
+  out.u64_array(raw);
+}
+
+}  // namespace
+
+void write_plan(util::WireWriter& out, const TaskPlan& plan) {
+  out.u64(plan.task);
+  out.u64(plan.nodes);
+  out.f64_array(plan.available);
+  out.f64_array(plan.reserve_from);
+  out.f64_array(plan.node_release);
+  out.f64_array(plan.alpha);
+  out.f64(plan.est_completion);
+  out.u64(plan.rounds);
+  write_node_ids(out, plan.node_ids);
+  out.f64_array(plan.node_cps);
+}
+
+TaskPlan read_plan(util::WireReader& in) {
+  TaskPlan plan;
+  plan.task = in.u64();
+  plan.nodes = static_cast<std::size_t>(in.u64());
+  plan.available = in.f64_array();
+  plan.reserve_from = in.f64_array();
+  plan.node_release = in.f64_array();
+  plan.alpha = in.f64_array();
+  plan.est_completion = in.f64();
+  plan.rounds = static_cast<std::size_t>(in.u64());
+  plan.node_ids = read_node_ids(in);
+  plan.node_cps = in.f64_array();
+  if (!plan.consistent()) {
+    throw std::runtime_error("read_plan: decoded plan is inconsistent");
+  }
+  return plan;
+}
+
+void write_task(util::WireWriter& out, const workload::Task& task) {
+  out.u64(task.id);
+  out.f64(task.spec.arrival);
+  out.f64(task.spec.sigma);
+  out.f64(task.spec.rel_deadline);
+  out.u64(task.user_nodes);
+}
+
+workload::Task read_task(util::WireReader& in) {
+  workload::Task task;
+  task.id = in.u64();
+  task.spec.arrival = in.f64();
+  task.spec.sigma = in.f64();
+  task.spec.rel_deadline = in.f64();
+  task.user_nodes = static_cast<std::size_t>(in.u64());
+  return task;
+}
+
+}  // namespace rtdls::sched

@@ -1,0 +1,40 @@
+// Exact wire serialization of the admission session's semantic state: tasks
+// and their TaskPlans.
+//
+// The snapshot/restore guarantee of the service layer is *bit-identical*
+// future admit decisions, and the session design makes that achievable by
+// serializing surprisingly little: the incremental session's delta stack,
+// checkpoints, and cursor are pure caches of results derivable from
+// (waiting tasks, their plans, cluster availability) - the admission
+// contract says violating cache assumptions "cannot produce wrong schedules
+// ... it only costs speed". So a snapshot carries exactly the semantic
+// inputs - the waiting queue's tasks and plans (this module) plus the
+// cluster/calendar state (svc/snapshot.cpp) - and a restored controller
+// rebuilds its sparse state warm on the first admit, with outcomes
+// bit-identical to the uninterrupted session because every field round-trips
+// through util/wire exactly (doubles as IEEE bit patterns).
+#pragma once
+
+#include "sched/plan.hpp"
+#include "util/wire.hpp"
+#include "workload/task.hpp"
+
+namespace rtdls::sched {
+
+/// Serializes every TaskPlan field, vectors length-prefixed.
+void write_plan(util::WireWriter& out, const TaskPlan& plan);
+
+/// Inverse of write_plan; throws util::WireError on malformed input and
+/// std::runtime_error when the decoded plan is internally inconsistent
+/// (defense against corrupted snapshots - a bad plan must fail restore, not
+/// poison later admission decisions).
+TaskPlan read_plan(util::WireReader& in);
+
+/// Serializes one workload task (id, arrival, sigma, relative deadline,
+/// user-requested node count).
+void write_task(util::WireWriter& out, const workload::Task& task);
+
+/// Inverse of write_task.
+workload::Task read_task(util::WireReader& in);
+
+}  // namespace rtdls::sched

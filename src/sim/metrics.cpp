@@ -33,4 +33,13 @@ std::string SimMetrics::summary() const {
   return out.str();
 }
 
+std::string ServiceCounters::summary() const {
+  std::ostringstream out;
+  out << "connections=" << connections << " requests=" << requests << " (admit=" << admits
+      << " commit=" << commits << " cancel=" << cancels << " status=" << status_queries
+      << " snapshot=" << snapshots << ") errors=" << errors << " timeouts=" << timeouts
+      << " restores=" << restores;
+  return out.str();
+}
+
 }  // namespace rtdls::sim

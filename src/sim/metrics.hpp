@@ -91,4 +91,31 @@ struct SimMetrics {
   std::string summary() const;
 };
 
+/// Counters of the admission-control service (`rtdlsd`): one instance per
+/// daemon, updated under its counters mutex and reported verbatim in
+/// `status` replies and the storm harness. Lives here with the simulation
+/// metrics because it is the same kind of artifact - aggregate run
+/// accounting with a human-readable summary - just over requests instead of
+/// simulated tasks.
+struct ServiceCounters {
+  // --- request volume, by type ---
+  std::size_t connections = 0;  ///< accepted client connections
+  std::size_t requests = 0;     ///< frames decoded and dispatched
+  std::size_t admits = 0;
+  std::size_t commits = 0;
+  std::size_t cancels = 0;
+  std::size_t status_queries = 0;
+  std::size_t snapshots = 0;  ///< snapshot requests served (incl. final)
+
+  // --- failure modes ---
+  std::size_t errors = 0;    ///< error replies sent (bad frames/payloads/...)
+  std::size_t timeouts = 0;  ///< requests that hit their wall-clock deadline
+
+  // --- crash recovery ---
+  std::size_t restores = 0;  ///< shards restored from a snapshot at startup
+
+  /// One-line summary for logs and the storm harness.
+  std::string summary() const;
+};
+
 }  // namespace rtdls::sim

@@ -1,0 +1,418 @@
+#include "svc/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "svc/snapshot.hpp"
+#include "util/build_info.hpp"
+
+namespace rtdls::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Shard lock with a wall-clock acquisition deadline: the first half of the
+/// per-request budget (the handler is the second half).
+class DeadlineLock {
+ public:
+  DeadlineLock(std::timed_mutex& mutex, Clock::time_point deadline) : mutex_(mutex) {
+    locked_ = mutex_.try_lock_until(deadline);
+  }
+  ~DeadlineLock() {
+    if (locked_) mutex_.unlock();
+  }
+  DeadlineLock(const DeadlineLock&) = delete;
+  DeadlineLock& operator=(const DeadlineLock&) = delete;
+  bool locked() const { return locked_; }
+
+ private:
+  std::timed_mutex& mutex_;
+  bool locked_ = false;
+};
+
+}  // namespace
+
+Daemon::Daemon(DaemonConfig config) : config_(std::move(config)) {
+  if (config_.socket_path.empty()) {
+    throw std::invalid_argument("Daemon: socket_path is required");
+  }
+  if (!config_.restore_path.empty()) {
+    // The snapshot is authoritative for everything that shapes decisions:
+    // a restore under different params could not be bit-identical.
+    Snapshot snapshot = read_snapshot(config_.restore_path);
+    config_.algorithm = snapshot.meta.algorithm;
+    config_.params = snapshot.meta.params;
+    config_.incremental = snapshot.meta.incremental;
+    config_.shards = snapshot.shard_blobs.size();
+    ShardConfig shard_config{config_.params, config_.incremental, config_.record_ops};
+    shards_.reserve(config_.shards);
+    for (const auto& blob : snapshot.shard_blobs) {
+      auto slot = std::make_unique<ShardSlot>(config_.algorithm, shard_config);
+      util::WireReader reader(blob);
+      slot->shard.restore_from(reader);
+      reader.expect_done();
+      shards_.push_back(std::move(slot));
+    }
+    counters_.restores = shards_.size();
+  } else {
+    if (config_.shards == 0) throw std::invalid_argument("Daemon: need at least one shard");
+    ShardConfig shard_config{config_.params, config_.incremental, config_.record_ops};
+    shards_.reserve(config_.shards);
+    for (std::size_t i = 0; i < config_.shards; ++i) {
+      shards_.push_back(std::make_unique<ShardSlot>(config_.algorithm, shard_config));
+    }
+  }
+  if (config_.workers == 0) throw std::invalid_argument("Daemon: need at least one worker");
+}
+
+Daemon::~Daemon() {
+  try {
+    stop();
+  } catch (...) {
+    // Destructor cleanup must not throw; a failed final snapshot is the
+    // only throwing path and the explicit stop() caller gets that error.
+  }
+}
+
+void Daemon::start() {
+  if (started_) throw std::logic_error("Daemon::start: already started");
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("Daemon: socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (config_.socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::invalid_argument("Daemon: socket path too long: " + config_.socket_path);
+  }
+  std::strncpy(addr.sun_path, config_.socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(config_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("Daemon: cannot bind/listen on " + config_.socket_path);
+  }
+  started_ = true;
+  accept_thread_ = std::thread(&Daemon::accept_loop, this);
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back(&Daemon::worker_loop, this);
+  }
+}
+
+void Daemon::request_stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  queue_cv_.notify_all();
+}
+
+void Daemon::stop() {
+  if (stopped_) return;
+  request_stop();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (int fd : pending_fds_) ::close(fd);
+    pending_fds_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(config_.socket_path.c_str());
+  }
+  stopped_ = true;
+  if (started_ && !config_.snapshot_path.empty()) {
+    // All threads are joined, so the generous deadline only guards against
+    // a caller still holding a shard lock through shard()/shard_mutex().
+    snapshot_to(config_.snapshot_path, Clock::now() + std::chrono::seconds(30));
+  }
+}
+
+std::size_t Daemon::snapshot_to(const std::string& path, Clock::time_point deadline) {
+  // All shard locks held together: the captured states form one consistent
+  // point in time (a commit between per-shard captures would not).
+  std::vector<std::unique_lock<std::timed_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (auto& slot : shards_) {
+    std::unique_lock<std::timed_mutex> lock(slot->mutex, std::defer_lock);
+    if (!lock.try_lock_until(deadline)) {
+      throw ShardError(ErrorCode::kTimeout, "snapshot: shard locks not acquired in time");
+    }
+    locks.push_back(std::move(lock));
+  }
+  std::vector<std::vector<std::uint8_t>> blobs;
+  blobs.reserve(shards_.size());
+  for (auto& slot : shards_) {
+    util::WireWriter writer;
+    slot->shard.snapshot_to(writer);
+    blobs.push_back(writer.take());
+  }
+  SnapshotMeta meta{config_.algorithm, config_.params, config_.incremental};
+  return write_snapshot(path, meta, blobs);
+}
+
+sim::ServiceCounters Daemon::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mutex_);
+  return counters_;
+}
+
+void Daemon::bump(std::size_t sim::ServiceCounters::* field, std::size_t by) {
+  std::lock_guard<std::mutex> lock(counters_mutex_);
+  counters_.*field += by;
+}
+
+void Daemon::accept_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd entry{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&entry, 1, 200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      pending_fds_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void Daemon::worker_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] {
+        return stop_.load(std::memory_order_relaxed) || !pending_fds_.empty();
+      });
+      if (pending_fds_.empty()) return;  // stop requested, nothing queued
+      fd = pending_fds_.front();
+      pending_fds_.erase(pending_fds_.begin());
+    }
+    serve_connection(fd);
+  }
+}
+
+void Daemon::serve_connection(int fd) {
+  bump(&sim::ServiceCounters::connections);
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> buffer(64 * 1024);
+  bool open = true;
+  while (open && !stop_.load(std::memory_order_relaxed)) {
+    pollfd entry{fd, POLLIN, 0};
+    const int ready = ::poll(&entry, 1, 200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;  // idle; re-check the stop flag
+    const ssize_t received = ::recv(fd, buffer.data(), buffer.size(), 0);
+    if (received <= 0) break;  // peer closed, or error
+    decoder.feed(buffer.data(), static_cast<std::size_t>(received));
+    Frame frame;
+    while (open) {
+      const FrameDecoder::Status status = decoder.next(frame);
+      if (status == FrameDecoder::Status::kNeedMore) break;
+      if (status == FrameDecoder::Status::kError) {
+        bump(&sim::ServiceCounters::errors);
+        send_error(fd, 0, ErrorCode::kBadFrame, decoder.error());
+        open = false;
+        break;
+      }
+      bump(&sim::ServiceCounters::requests);
+      open = handle_frame(fd, frame);
+    }
+  }
+  ::close(fd);
+}
+
+bool Daemon::handle_frame(int fd, const Frame& frame) {
+  const std::uint64_t id = frame.request_id;
+  if (stop_.load(std::memory_order_relaxed)) {
+    bump(&sim::ServiceCounters::errors);
+    send_error(fd, id, ErrorCode::kShuttingDown, "daemon is stopping");
+    return false;
+  }
+  try {
+    util::WireReader in(frame.payload);
+    switch (frame.type) {
+      case MsgType::kAdmitRequest: {
+        const AdmitRequest request = AdmitRequest::decode(in);
+        bump(&sim::ServiceCounters::admits);
+        if (request.shard >= shards_.size()) {
+          throw ShardError(ErrorCode::kUnknownShard,
+                           "shard " + std::to_string(request.shard) + " out of range");
+        }
+        DeadlineLock lock(shards_[request.shard]->mutex, deadline_for(request.deadline_ms));
+        if (!lock.locked()) {
+          throw ShardError(ErrorCode::kTimeout, "admit: shard busy past request deadline");
+        }
+        const AdmitReply reply = shards_[request.shard]->shard.admit(request.task);
+        return send_all(fd, encode_message(MsgType::kAdmitReply, id, reply));
+      }
+      case MsgType::kCommitRequest: {
+        const CommitRequest request = CommitRequest::decode(in);
+        bump(&sim::ServiceCounters::commits);
+        if (request.shard >= shards_.size()) {
+          throw ShardError(ErrorCode::kUnknownShard,
+                           "shard " + std::to_string(request.shard) + " out of range");
+        }
+        DeadlineLock lock(shards_[request.shard]->mutex, deadline_for(0));
+        if (!lock.locked()) {
+          throw ShardError(ErrorCode::kTimeout, "commit: shard busy past request deadline");
+        }
+        const CommitReply reply = shards_[request.shard]->shard.commit(request.task);
+        return send_all(fd, encode_message(MsgType::kCommitReply, id, reply));
+      }
+      case MsgType::kCancelRequest: {
+        const CancelRequest request = CancelRequest::decode(in);
+        bump(&sim::ServiceCounters::cancels);
+        if (request.shard >= shards_.size()) {
+          throw ShardError(ErrorCode::kUnknownShard,
+                           "shard " + std::to_string(request.shard) + " out of range");
+        }
+        DeadlineLock lock(shards_[request.shard]->mutex, deadline_for(0));
+        if (!lock.locked()) {
+          throw ShardError(ErrorCode::kTimeout, "cancel: shard busy past request deadline");
+        }
+        const CancelReply reply = shards_[request.shard]->shard.cancel(request.task);
+        return send_all(fd, encode_message(MsgType::kCancelReply, id, reply));
+      }
+      case MsgType::kStatusRequest: {
+        StatusRequest::decode(in);
+        bump(&sim::ServiceCounters::status_queries);
+        StatusReply reply;
+        reply.build = util::build_description();
+        reply.algorithm = config_.algorithm;
+        reply.node_count = config_.params.node_count;
+        reply.workers = config_.workers;
+        reply.counters = counters();
+        const Clock::time_point deadline = deadline_for(0);
+        reply.shards.reserve(shards_.size());
+        for (std::size_t i = 0; i < shards_.size(); ++i) {
+          DeadlineLock lock(shards_[i]->mutex, deadline);
+          if (!lock.locked()) {
+            throw ShardError(ErrorCode::kTimeout, "status: shard busy past request deadline");
+          }
+          ShardStatus status;
+          status.shard = static_cast<std::uint32_t>(i);
+          shards_[i]->shard.fill_status(status);
+          reply.shards.push_back(status);
+        }
+        return send_all(fd, encode_message(MsgType::kStatusReply, id, reply));
+      }
+      case MsgType::kSnapshotRequest: {
+        const SnapshotRequest request = SnapshotRequest::decode(in);
+        bump(&sim::ServiceCounters::snapshots);
+        const std::string path =
+            request.path.empty() ? config_.snapshot_path : request.path;
+        if (path.empty()) {
+          throw ShardError(ErrorCode::kBadPayload,
+                           "snapshot: no path in request and no configured default");
+        }
+        std::size_t bytes = 0;
+        try {
+          bytes = snapshot_to(path, deadline_for(0));
+        } catch (const std::runtime_error& error) {
+          if (dynamic_cast<const ShardError*>(&error) != nullptr) throw;
+          throw ShardError(ErrorCode::kIo, error.what());
+        }
+        SnapshotReply reply;
+        reply.shards = shards_.size();
+        reply.bytes = bytes;
+        return send_all(fd, encode_message(MsgType::kSnapshotReply, id, reply));
+      }
+      case MsgType::kShutdownRequest: {
+        ShutdownRequest::decode(in);
+        send_all(fd, encode_message(MsgType::kShutdownReply, id, ShutdownReply{}));
+        request_stop();
+        return false;
+      }
+      case MsgType::kDebugSleepRequest: {
+        const DebugSleepRequest request = DebugSleepRequest::decode(in);
+        if (request.shard >= shards_.size()) {
+          throw ShardError(ErrorCode::kUnknownShard,
+                           "shard " + std::to_string(request.shard) + " out of range");
+        }
+        const Clock::time_point deadline = deadline_for(0);
+        DeadlineLock lock(shards_[request.shard]->mutex, deadline);
+        if (!lock.locked()) {
+          throw ShardError(ErrorCode::kTimeout, "debug-sleep: shard busy past request deadline");
+        }
+        // The "hung handler": hold the shard lock, but keep checking the
+        // request deadline so the worker frees itself with kTimeout instead
+        // of sleeping forever - the behavior the timeout tests assert.
+        const Clock::time_point wake =
+            Clock::now() + std::chrono::milliseconds(request.millis);
+        while (Clock::now() < wake) {
+          if (Clock::now() >= deadline) {
+            throw ShardError(ErrorCode::kTimeout, "debug-sleep exceeded request deadline");
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        DebugSleepReply reply;
+        reply.slept_ms = request.millis;
+        return send_all(fd, encode_message(MsgType::kDebugSleepReply, id, reply));
+      }
+      default:
+        throw ShardError(ErrorCode::kUnknownType,
+                         "unknown message type " +
+                             std::to_string(static_cast<std::uint16_t>(frame.type)));
+    }
+  } catch (const ShardError& error) {
+    bump(&sim::ServiceCounters::errors);
+    if (error.code() == ErrorCode::kTimeout) bump(&sim::ServiceCounters::timeouts);
+    send_error(fd, id, error.code(), error.what());
+    return true;
+  } catch (const util::WireError& error) {
+    bump(&sim::ServiceCounters::errors);
+    send_error(fd, id, ErrorCode::kBadPayload, error.what());
+    return true;
+  } catch (const std::exception& error) {
+    bump(&sim::ServiceCounters::errors);
+    send_error(fd, id, ErrorCode::kInternal, error.what());
+    return true;
+  }
+}
+
+void Daemon::send_error(int fd, std::uint64_t request_id, ErrorCode code,
+                        const std::string& message) {
+  ErrorReply reply;
+  reply.code = code;
+  reply.message = message;
+  send_all(fd, encode_message(MsgType::kErrorReply, request_id, reply));
+}
+
+bool Daemon::send_all(int fd, const std::vector<std::uint8_t>& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+Clock::time_point Daemon::deadline_for(std::uint32_t override_ms) const {
+  const std::uint32_t budget = override_ms != 0 ? override_ms : config_.default_deadline_ms;
+  return Clock::now() + std::chrono::milliseconds(budget);
+}
+
+}  // namespace rtdls::svc

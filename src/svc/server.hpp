@@ -1,0 +1,135 @@
+// The rtdlsd daemon: admission control as a long-running service.
+//
+// Architecture: one accept thread + a fixed worker pool over a Unix-domain
+// stream socket. A worker owns a connection for its lifetime and serves its
+// frames in order (per-connection ordering is part of the protocol); request
+// concurrency comes from multiple connections over multiple workers, and
+// state concurrency from sharding - each AdmissionShard is guarded by its
+// own std::timed_mutex, so requests against different shards never contend.
+//
+// Per-request deadlines: every request carries a wall-clock budget (the
+// daemon default, or AdmitRequest::deadline_ms). The budget covers both the
+// shard-lock acquisition (try_lock_until) and the handler itself, so one
+// hung request - simulated by kDebugSleepRequest - times out with a kTimeout
+// error reply instead of wedging a worker forever, and contenders queued on
+// the same shard fail fast instead of piling up. Other shards are untouched.
+//
+// Crash recovery: DaemonConfig::restore_path rebuilds every shard from a
+// snapshot file (svc/snapshot.hpp); the restored daemon's future admit
+// decisions are bit-identical to the uninterrupted one. stop() writes a
+// final snapshot when snapshot_path is set, making SIGTERM lossless.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "svc/shard.hpp"
+
+namespace rtdls::svc {
+
+struct DaemonConfig {
+  std::string socket_path;
+  std::string algorithm = "EDF-DLT";
+  cluster::ClusterParams params;
+  std::size_t shards = 4;
+  std::size_t workers = 4;
+  bool incremental = true;
+  bool record_ops = false;  ///< per-shard op logs (tests; unbounded memory)
+  /// Default per-request wall-clock budget.
+  std::uint32_t default_deadline_ms = 2000;
+  /// Written by stop() (and by explicit snapshot requests with an empty
+  /// path); empty disables the final snapshot.
+  std::string snapshot_path;
+  /// Non-empty: restore every shard from this snapshot file at start; its
+  /// metadata overrides algorithm/params/incremental/shards.
+  std::string restore_path;
+};
+
+class Daemon {
+ public:
+  /// Builds the shards (restoring from DaemonConfig::restore_path if set).
+  /// Throws on invalid config or unusable snapshot. The socket is not
+  /// touched until start().
+  explicit Daemon(DaemonConfig config);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds the socket and launches the accept thread and worker pool.
+  void start();
+
+  /// Asynchronous stop signal; safe from any thread, including a worker
+  /// serving the shutdown request and a signal-handler-polling loop.
+  void request_stop();
+
+  /// True once a stop has been requested (shutdown request or signal path).
+  bool stop_requested() const { return stop_.load(std::memory_order_relaxed); }
+
+  /// Joins everything, closes the socket, and writes the final snapshot (if
+  /// configured). Idempotent; called by the destructor.
+  void stop();
+
+  /// Point-in-time snapshot of every shard to `path`, all shard locks held
+  /// together so the captured states are mutually consistent. Returns the
+  /// file size. Throws ShardError{kTimeout} when the locks cannot be had by
+  /// `deadline`, std::runtime_error on I/O failure.
+  std::size_t snapshot_to(const std::string& path,
+                          std::chrono::steady_clock::time_point deadline);
+
+  const DaemonConfig& config() const { return config_; }
+  sim::ServiceCounters counters() const;
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Direct shard access for in-process callers (tests, the storm bench's
+  /// serial replay). The caller must hold shard_mutex(i).
+  AdmissionShard& shard(std::size_t i) { return shards_[i]->shard; }
+  std::timed_mutex& shard_mutex(std::size_t i) { return shards_[i]->mutex; }
+
+ private:
+  struct ShardSlot {
+    std::timed_mutex mutex;
+    AdmissionShard shard;
+    ShardSlot(const std::string& algorithm, const ShardConfig& config)
+        : shard(algorithm, config) {}
+  };
+
+  void accept_loop();
+  void worker_loop();
+  void serve_connection(int fd);
+  /// Dispatches one frame; returns false when the connection must close
+  /// (frame-level protocol violation or shutdown).
+  bool handle_frame(int fd, const Frame& frame);
+  void send_error(int fd, std::uint64_t request_id, ErrorCode code,
+                  const std::string& message);
+  bool send_all(int fd, const std::vector<std::uint8_t>& bytes);
+  std::chrono::steady_clock::time_point deadline_for(std::uint32_t override_ms) const;
+  void bump(std::size_t sim::ServiceCounters::* field, std::size_t by = 1);
+
+  DaemonConfig config_;
+  std::vector<std::unique_ptr<ShardSlot>> shards_;
+
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::vector<int> pending_fds_;
+
+  mutable std::mutex counters_mutex_;
+  sim::ServiceCounters counters_;
+};
+
+}  // namespace rtdls::svc

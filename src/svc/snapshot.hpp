@@ -1,0 +1,49 @@
+// Daemon snapshot files: crash-recovery state for every shard in one
+// integrity-checked container.
+//
+// Layout (little-endian, util/wire):
+//   8 bytes   magic "RTDLSNP1"
+//   u16       container version (1)
+//   string    algorithm name
+//   u64       node_count, f64 cms, f64 cps     (cluster params)
+//   u8        has speed profile; if set, f64_array of per-node cps
+//   u8        incremental admission flag
+//   u32       shard count
+//   bytes     per shard: u32-length-prefixed blob (AdmissionShard format)
+//   u64       FNV-1a 64 over everything above (truncation/corruption check)
+//
+// A restored daemon rebuilt from (meta, blobs) makes bit-identical admit
+// decisions to the uninterrupted one - see sched/plan_io.hpp for why
+// serializing the semantic state alone suffices.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/types.hpp"
+
+namespace rtdls::svc {
+
+struct SnapshotMeta {
+  std::string algorithm;
+  cluster::ClusterParams params;
+  bool incremental = true;
+};
+
+struct Snapshot {
+  SnapshotMeta meta;
+  std::vector<std::vector<std::uint8_t>> shard_blobs;
+};
+
+/// Writes the snapshot to `path` (atomically: temp file + rename). Returns
+/// the file size in bytes. Throws std::runtime_error on I/O failure.
+std::size_t write_snapshot(const std::string& path, const SnapshotMeta& meta,
+                           const std::vector<std::vector<std::uint8_t>>& shard_blobs);
+
+/// Reads and verifies a snapshot file. Throws std::runtime_error on I/O
+/// failure, bad magic/version, or checksum mismatch; util::WireError on
+/// malformed content.
+Snapshot read_snapshot(const std::string& path);
+
+}  // namespace rtdls::svc

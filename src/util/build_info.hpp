@@ -1,0 +1,23 @@
+// Build attribution: which flags this binary was compiled with.
+//
+// Storm-harness numbers (BENCH_daemon.json) and daemon `status` replies are
+// only comparable when the build behind them is known - a sanitizer build is
+// 5-20x slower, RTDLS_SIMD changes the planner kernels' codegen - so every
+// report carries this one-line description.
+#pragma once
+
+#include <string>
+
+namespace rtdls::util {
+
+/// One-line build description, e.g.
+/// "rtdls (gcc 12.2.0, Release, simd=off, asan=off)".
+std::string build_description();
+
+/// True when the planner kernels were built with RTDLS_SIMD.
+bool build_simd();
+
+/// True when AddressSanitizer is compiled in (RTDLS_SANITIZE).
+bool build_asan();
+
+}  // namespace rtdls::util

@@ -3,6 +3,7 @@
 // against the classic run_sweep path.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -573,6 +574,127 @@ TEST(Campaign, MergeTellsFailedCellsFromNeverRunCells) {
     const std::string what = error.what();
     EXPECT_NE(what.find("never ran"), std::string::npos) << what;
     EXPECT_EQ(what.find("failed on their shard"), std::string::npos) << what;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// --- cell timeouts and cooperative cancellation ----------------------------
+
+TEST(Campaign, CellTimeoutFlowsThroughFailedCellsPath) {
+  // An impossibly small budget fails every attempt through the same
+  // retries/failed machinery as a thrown simulation: nothing reaches the
+  // sink, every cell lands in the report with the budget error. The cells
+  // must be slow enough (hundreds of thousands of tasks -> milliseconds of
+  // wall clock) that they cannot finish inside the thread-spawn window
+  // before the 1ns budget is checked; the trace is generated outside the
+  // budgeted region, so only the simulation itself needs to be slow.
+  const SweepSpec slow = SweepBuilder("camp_slow", "timeout fodder")
+                             .cluster(16, 1.0, 100.0)
+                             .loads({0.9})
+                             .algorithms({"EDF-DLT"})
+                             .runs(2)
+                             .sim_time(3.0e8)
+                             .build();
+  const Campaign campaign({FigureBuilder("fig_slow", "slow figure").panel(slow).build()});
+
+  struct CountingSink : public ResultSink {
+    std::size_t consumed = 0;
+    void consume(const Campaign&, const CellResult&) override { ++consumed; }
+    void close() override {}
+  };
+
+  std::vector<FailedCell> failed;
+  CampaignOptions options;
+  options.cell_timeout_sec = 1e-9;
+  options.retries = 1;
+  options.failed = &failed;
+  CountingSink sink;
+  run_campaign(campaign, options, sink);
+  join_timed_out_cells();
+
+  EXPECT_EQ(sink.consumed, 0u);
+  ASSERT_EQ(failed.size(), campaign.cell_count());
+  for (const FailedCell& cell : failed) {
+    EXPECT_EQ(cell.attempts, 2u);  // first try + one retry, both over budget
+    EXPECT_NE(cell.error.find("cell-timeout-sec budget"), std::string::npos) << cell.error;
+  }
+
+  // Without a failed-cells report the timeout is fail-fast, like any other
+  // exhausted-retries error.
+  CampaignOptions fail_fast;
+  fail_fast.cell_timeout_sec = 1e-9;
+  CountingSink unused;
+  EXPECT_THROW(run_campaign(campaign, fail_fast, unused), std::runtime_error);
+  join_timed_out_cells();
+}
+
+TEST(Campaign, GenerousCellTimeoutIsBitIdentical) {
+  // The timeout path runs attempts on a helper thread; with a budget no sane
+  // cell ever hits, that detour must not change a byte of output.
+  const std::string dir = temp_dir("rtdls_campaign_timeout_id");
+  const Campaign campaign = tiny_campaign();
+
+  const std::string plain_path = dir + "/plain.csv";
+  const std::string budget_path = dir + "/budget.csv";
+  {
+    CellCsvSink sink(plain_path);
+    run_campaign(campaign, CampaignOptions{}, sink);
+  }
+  {
+    CampaignOptions options;
+    options.cell_timeout_sec = 3600.0;
+    CellCsvSink sink(budget_path);
+    run_campaign(campaign, options, sink);
+  }
+  join_timed_out_cells();
+  EXPECT_EQ(slurp(plain_path), slurp(budget_path));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Campaign, CancelSkipsUnstartedCellsResumably) {
+  // The SIGINT path: raise the cancel flag after the first completed cell,
+  // let the run drain, and check the shard file is a valid partial result
+  // that `campaign resume` (missing_cells + append) completes exactly.
+  const std::string dir = temp_dir("rtdls_campaign_cancel");
+  const Campaign campaign = tiny_campaign();
+  const std::string path = dir + "/cells.csv";
+
+  std::atomic<bool> cancel{false};
+  CampaignOptions options;  // default: sequential, so "one completed cell" is exact
+  options.cancel = &cancel;
+  options.progress = [&cancel](const CellRef&, std::size_t done, std::size_t) {
+    if (done >= 1) cancel.store(true);
+  };
+  {
+    CellCsvSink sink(path);
+    run_campaign(campaign, options, sink);
+  }
+
+  std::vector<std::size_t> missing = missing_cells(campaign, {path});
+  ASSERT_EQ(missing.size(), campaign.cell_count() - 1);
+  EXPECT_THROW(merge_cell_files(campaign, {path}), std::runtime_error);
+
+  CampaignOptions resume;
+  resume.cells = &missing;
+  {
+    CellCsvSink sink(path, /*append=*/true);
+    run_campaign(campaign, resume, sink);
+  }
+  EXPECT_TRUE(missing_cells(campaign, {path}).empty());
+
+  // The cancelled-then-resumed file merges to the same figures as one
+  // uninterrupted run.
+  const std::string full = dir + "/full.csv";
+  {
+    CellCsvSink sink(full);
+    run_campaign(campaign, CampaignOptions{}, sink);
+  }
+  const std::vector<SweepResult> resumed = merge_cell_files(campaign, {path});
+  const std::vector<SweepResult> want = merge_cell_files(campaign, {full});
+  ASSERT_EQ(resumed.size(), want.size());
+  for (std::size_t s = 0; s < want.size(); ++s) {
+    EXPECT_EQ(slurp(write_sweep_csv(dir + "/resumed", resumed[s])),
+              slurp(write_sweep_csv(dir + "/want", want[s])));
   }
   std::filesystem::remove_all(dir);
 }

@@ -6,6 +6,9 @@
 //   rtdls_cli sweep --algorithms EDF-OPR-MN,EDF-DLT [...]    load sweep
 //   rtdls_cli figure --id fig03 [...]          reproduce one paper figure
 //   rtdls_cli campaign <list|run|shard|resume|merge>  multi-figure experiment plans
+//   rtdls_cli daemon --socket /tmp/rtdlsd.sock ...   admission-control daemon
+//   rtdls_cli admit|commit|cancel|status|snapshot|shutdown --socket ...
+//                                              client requests against a daemon
 //
 // A campaign is any set of figures flattened into one deterministic
 // cell-level work queue. One machine runs it whole (`campaign run
@@ -16,7 +19,9 @@
 // (--figures) or from declarative spec files (--spec, see exp/spec_io.hpp).
 //
 // Run any subcommand with --help for its options.
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,14 +29,19 @@
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "cluster/speed_profile.hpp"
+#include "dlt/params.hpp"
 #include "exp/campaign.hpp"
 #include "exp/registry.hpp"
 #include "exp/report.hpp"
 #include "exp/spec_io.hpp"
 #include "sched/registry.hpp"
 #include "sim/simulator.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+#include "util/build_info.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
 #include "workload/generator.hpp"
@@ -84,6 +94,21 @@ sim::ReleasePolicy release_from_cli(const util::CliParser& cli) {
   return util::to_lower(cli.get("release").value_or("estimate")) == "actual"
              ? sim::ReleasePolicy::kActual
              : sim::ReleasePolicy::kEstimate;
+}
+
+// --- signals ----------------------------------------------------------------
+
+/// SIGINT/SIGTERM land here. Campaign runs poll it as the cooperative cancel
+/// flag (skipped cells stay resumable, sinks flush); the daemon loop treats
+/// it exactly like a shutdown request (final snapshot included). A lock-free
+/// atomic store is all the handler does, keeping it async-signal-safe.
+std::atomic<bool> g_interrupted{false};
+
+void on_signal(int) { g_interrupted.store(true); }
+
+void install_signal_handlers() {
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
 }
 
 int cmd_algorithms() {
@@ -296,6 +321,9 @@ int report_campaign(const exp::Campaign& campaign, const std::vector<exp::SweepR
 exp::CampaignOptions campaign_options(const util::CliParser& cli, util::ThreadPool& pool) {
   exp::CampaignOptions options;
   options.pool = &pool;
+  options.cell_timeout_sec = cli.get_double("cell-timeout-sec", 0.0);
+  install_signal_handlers();
+  options.cancel = &g_interrupted;
   if (cli.get_flag("progress")) {
     options.progress = [](const exp::CellRef&, std::size_t done, std::size_t total) {
       std::fprintf(stderr, "\rcampaign: %zu/%zu cells", done, total);
@@ -311,6 +339,30 @@ void add_retries_option(util::CliParser& cli) {
                   "re-run a failed cell up to R times, then record it in a "
                   "failed-cells report instead of aborting (default: abort)",
                   "", false});
+  cli.add_option({"cell-timeout-sec",
+                  "per-cell wall-clock budget in seconds; a cell over budget "
+                  "counts as a failed attempt and follows the --retries path "
+                  "(0 = no budget)",
+                  "0", false});
+}
+
+/// Post-run bookkeeping shared by run/shard/resume: collect the helper
+/// threads of any timed-out cells, and turn a SIGINT/SIGTERM cancellation
+/// into the conventional 130 exit after pointing at the resume path.
+/// Returns < 0 when the run was NOT interrupted.
+int finish_campaign_run(const std::string& cells_path) {
+  exp::join_timed_out_cells();
+  if (!g_interrupted.load()) return -1;
+  if (cells_path.empty()) {
+    std::fprintf(stderr, "campaign: interrupted; no --cells file, so completed work was "
+                         "aggregate-only and is lost - rerun to completion\n");
+  } else {
+    std::fprintf(stderr,
+                 "campaign: interrupted; %s holds every completed cell (flushed) - finish "
+                 "with `rtdls_cli campaign resume --cells %s`\n",
+                 cells_path.c_str(), cells_path.c_str());
+  }
+  return 130;
 }
 
 /// Arms `options` for failure tolerance when --retries was passed: cells
@@ -411,6 +463,7 @@ int cmd_campaign_run(int argc, const char* const* argv) {
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
 
+  if (const int code = finish_campaign_run(cells_path); code >= 0) return code;
   if (!failed.empty()) {
     // The aggregate is incomplete; report the gaps instead of charts built
     // on zero-filled cells. A --cells file keeps everything that finished.
@@ -455,6 +508,7 @@ int cmd_campaign_shard(int argc, const char* const* argv) {
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
 
+  if (const int code = finish_campaign_run(cells_path); code >= 0) return code;
   const std::size_t total = campaign.cell_count();
   const std::size_t mine =
       total / options.shard.count + (options.shard.index < total % options.shard.count ? 1 : 0);
@@ -505,6 +559,7 @@ int cmd_campaign_resume(int argc, const char* const* argv) {
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
 
+  if (const int code = finish_campaign_run(cells_path); code >= 0) return code;
   if (!failed.empty()) {
     std::printf("resumed %zu of %zu cells in %.3fs\n", missing.size() - failed.size(),
                 missing.size(), wall);
@@ -576,6 +631,240 @@ int cmd_campaign(int argc, const char* const* argv) {
   return verb[0] == '\0' ? 1 : (std::strcmp(verb, "--help") == 0 ? 0 : 1);
 }
 
+// --- daemon / service -------------------------------------------------------
+
+std::string socket_from_cli(const util::CliParser& cli) {
+  const std::string path = cli.get("socket").value_or("");
+  if (path.empty()) throw std::invalid_argument("--socket path is required");
+  return path;
+}
+
+int cmd_daemon(int argc, const char* const* argv) {
+  util::CliParser cli;
+  cli.add_option({"socket", "unix socket path to listen on", "", false});
+  cli.add_option({"algorithm", "admission algorithm run by every shard", "EDF-DLT", false});
+  cli.add_option({"nodes", "cluster size N per shard", "16", false});
+  cli.add_option({"cms", "unit transmission cost", "1", false});
+  cli.add_option({"cps", "unit processing cost", "100", false});
+  cli.add_option({"het-profile",
+                  "per-node speed profile key (same keys as `simulate --het-profile`)", "",
+                  false});
+  cli.add_option({"shards", "independent admission shards (one cluster each)", "4", false});
+  cli.add_option({"workers", "connection worker threads", "4", false});
+  cli.add_option({"deadline-ms", "default per-request wall-clock budget", "2000", false});
+  cli.add_option({"snapshot",
+                  "snapshot file written on shutdown (and the default target for "
+                  "`rtdls_cli snapshot`)",
+                  "", false});
+  cli.add_option({"restore",
+                  "restore shards from this snapshot file at start (its metadata "
+                  "overrides --algorithm/--nodes/--shards)",
+                  "", false});
+  cli.add_option({"stateless",
+                  "run the stateless Figure-2 test per admit instead of warm "
+                  "incremental sessions",
+                  "", true});
+  cli.add_option({"help", "show usage", "", true});
+  if (!cli.parse(argc, argv) || cli.get_flag("help")) {
+    std::fputs(cli.usage("rtdls_cli daemon").c_str(), stderr);
+    return cli.get_flag("help") ? 0 : 1;
+  }
+
+  svc::DaemonConfig config;
+  config.socket_path = socket_from_cli(cli);
+  config.algorithm = cli.get("algorithm").value_or("EDF-DLT");
+  config.params.node_count = static_cast<std::size_t>(cli.get_int("nodes", 16));
+  config.params.cms = cli.get_double("cms", 1.0);
+  config.params.cps = cli.get_double("cps", 100.0);
+  if (const std::string key = cli.get("het-profile").value_or(""); !key.empty()) {
+    config.params.speed_profile = std::make_shared<const cluster::SpeedProfile>(
+        cluster::parse_speed_profile(key, config.params.node_count, config.params.cps));
+  }
+  config.shards = static_cast<std::size_t>(cli.get_int("shards", 4));
+  config.workers = static_cast<std::size_t>(cli.get_int("workers", 4));
+  config.default_deadline_ms = static_cast<std::uint32_t>(cli.get_int("deadline-ms", 2000));
+  config.snapshot_path = cli.get("snapshot").value_or("");
+  config.restore_path = cli.get("restore").value_or("");
+  config.incremental = !cli.get_flag("stateless");
+
+  svc::Daemon daemon(std::move(config));
+  install_signal_handlers();
+  daemon.start();
+  const svc::DaemonConfig& live = daemon.config();
+  std::printf("rtdlsd: %s on %s - %zu shard(s) x %zu nodes, %zu worker(s), %s sessions\n",
+              live.algorithm.c_str(), live.socket_path.c_str(), daemon.shard_count(),
+              live.params.node_count, live.workers,
+              live.incremental ? "incremental" : "stateless");
+  if (!live.restore_path.empty()) {
+    std::printf("rtdlsd: restored %zu shard(s) from %s\n", daemon.shard_count(),
+                live.restore_path.c_str());
+  }
+  std::printf("rtdlsd: %s\n", util::build_description().c_str());
+  std::fflush(stdout);
+
+  while (!daemon.stop_requested() && !g_interrupted.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  daemon.stop();  // joins workers and writes the final snapshot (if configured)
+  std::printf("rtdlsd: stopped - %s\n", daemon.counters().summary().c_str());
+  if (!live.snapshot_path.empty()) {
+    std::printf("rtdlsd: final snapshot at %s (restart with --restore %s to resume)\n",
+                live.snapshot_path.c_str(), live.snapshot_path.c_str());
+  }
+  return 0;
+}
+
+void add_client_options(util::CliParser& cli) {
+  cli.add_option({"socket", "daemon unix socket path", "", false});
+  cli.add_option({"timeout-ms", "client-side reply timeout", "5000", false});
+  cli.add_option({"help", "show usage", "", true});
+}
+
+svc::Client make_client(const util::CliParser& cli) {
+  return svc::Client(socket_from_cli(cli), cli.get_int("timeout-ms", 5000));
+}
+
+int cmd_admit(int argc, const char* const* argv) {
+  util::CliParser cli;
+  add_client_options(cli);
+  cli.add_option({"shard", "target shard index", "0", false});
+  cli.add_option({"id", "task id (unique within the shard)", "1", false});
+  cli.add_option({"arrival", "arrival time (floored at the shard clock)", "0", false});
+  cli.add_option({"sigma", "task data size", "200", false});
+  cli.add_option({"deadline", "relative deadline", "5000", false});
+  cli.add_option({"user-nodes", "fixed node count n (0 = algorithm decides)", "0", false});
+  cli.add_option({"deadline-ms",
+                  "per-request wall-clock budget override (0 = daemon default)", "0", false});
+  if (!cli.parse(argc, argv) || cli.get_flag("help")) {
+    std::fputs(cli.usage("rtdls_cli admit").c_str(), stderr);
+    return cli.get_flag("help") ? 0 : 1;
+  }
+  svc::Client client = make_client(cli);
+  svc::AdmitRequest request;
+  request.shard = static_cast<std::uint32_t>(cli.get_int("shard", 0));
+  request.deadline_ms = static_cast<std::uint32_t>(cli.get_int("deadline-ms", 0));
+  request.task.id = static_cast<cluster::TaskId>(cli.get_uint64("id", 1));
+  request.task.arrival = cli.get_double("arrival", 0.0);
+  request.task.sigma = cli.get_double("sigma", 200.0);
+  request.task.rel_deadline = cli.get_double("deadline", 500.0);
+  request.task.user_nodes = cli.get_uint64("user-nodes", 0);
+  const svc::AdmitReply reply = client.admit(request);
+  if (reply.accepted) {
+    std::printf("accepted: task %llu on %llu node(s), est completion %.6g "
+                "(decision %llu, %llu waiting)\n",
+                static_cast<unsigned long long>(request.task.id),
+                static_cast<unsigned long long>(reply.nodes), reply.est_completion,
+                static_cast<unsigned long long>(reply.decision_seq),
+                static_cast<unsigned long long>(reply.waiting));
+    return 0;
+  }
+  std::printf("rejected: task %llu - %s", static_cast<unsigned long long>(request.task.id),
+              dlt::infeasibility_name(static_cast<dlt::Infeasibility>(reply.reason)));
+  if (reply.blocking_task != cluster::kNoTask) {
+    std::printf(" (blocked by task %llu)",
+                static_cast<unsigned long long>(reply.blocking_task));
+  }
+  std::printf(" (decision %llu, %llu waiting)\n",
+              static_cast<unsigned long long>(reply.decision_seq),
+              static_cast<unsigned long long>(reply.waiting));
+  return 2;  // distinct from usage/transport errors: the daemon said no
+}
+
+int cmd_commit(int argc, const char* const* argv) {
+  util::CliParser cli;
+  add_client_options(cli);
+  cli.add_option({"shard", "target shard index", "0", false});
+  cli.add_option({"id", "waiting task id to commit", "1", false});
+  if (!cli.parse(argc, argv) || cli.get_flag("help")) {
+    std::fputs(cli.usage("rtdls_cli commit").c_str(), stderr);
+    return cli.get_flag("help") ? 0 : 1;
+  }
+  svc::Client client = make_client(cli);
+  const svc::CommitReply reply =
+      client.commit(static_cast<std::uint32_t>(cli.get_int("shard", 0)),
+                    static_cast<cluster::TaskId>(cli.get_uint64("id", 1)));
+  std::printf("committed at %.6g (%llu earlier-due plan(s) committed alongside)\n",
+              reply.committed_at, static_cast<unsigned long long>(reply.also_committed));
+  return 0;
+}
+
+int cmd_cancel(int argc, const char* const* argv) {
+  util::CliParser cli;
+  add_client_options(cli);
+  cli.add_option({"shard", "target shard index", "0", false});
+  cli.add_option({"id", "waiting task id to cancel", "1", false});
+  if (!cli.parse(argc, argv) || cli.get_flag("help")) {
+    std::fputs(cli.usage("rtdls_cli cancel").c_str(), stderr);
+    return cli.get_flag("help") ? 0 : 1;
+  }
+  svc::Client client = make_client(cli);
+  client.cancel(static_cast<std::uint32_t>(cli.get_int("shard", 0)),
+                static_cast<cluster::TaskId>(cli.get_uint64("id", 1)));
+  std::puts("cancelled");
+  return 0;
+}
+
+int cmd_status(int argc, const char* const* argv) {
+  util::CliParser cli;
+  add_client_options(cli);
+  if (!cli.parse(argc, argv) || cli.get_flag("help")) {
+    std::fputs(cli.usage("rtdls_cli status").c_str(), stderr);
+    return cli.get_flag("help") ? 0 : 1;
+  }
+  svc::Client client = make_client(cli);
+  const svc::StatusReply status = client.status();
+  std::printf("build:     %s\n", status.build.c_str());
+  std::printf("algorithm: %s (%llu nodes/shard, %llu worker(s))\n", status.algorithm.c_str(),
+              static_cast<unsigned long long>(status.node_count),
+              static_cast<unsigned long long>(status.workers));
+  std::printf("service:   %s\n", status.counters.summary().c_str());
+  for (const svc::ShardStatus& shard : status.shards) {
+    std::printf("shard %u: now=%.6g waiting=%llu admits=%llu (%llu accepted, %llu rejected) "
+                "committed=%llu cancelled=%llu session=%lluB (peak %lluB, dense %lluB)\n",
+                shard.shard, shard.now, static_cast<unsigned long long>(shard.waiting),
+                static_cast<unsigned long long>(shard.admits),
+                static_cast<unsigned long long>(shard.accepted),
+                static_cast<unsigned long long>(shard.rejected),
+                static_cast<unsigned long long>(shard.committed),
+                static_cast<unsigned long long>(shard.cancelled),
+                static_cast<unsigned long long>(shard.session_bytes),
+                static_cast<unsigned long long>(shard.peak_session_bytes),
+                static_cast<unsigned long long>(shard.session_dense_bytes));
+  }
+  return 0;
+}
+
+int cmd_snapshot(int argc, const char* const* argv) {
+  util::CliParser cli;
+  add_client_options(cli);
+  cli.add_option({"out",
+                  "server-side snapshot path (empty = the daemon's --snapshot default)", "",
+                  false});
+  if (!cli.parse(argc, argv) || cli.get_flag("help")) {
+    std::fputs(cli.usage("rtdls_cli snapshot").c_str(), stderr);
+    return cli.get_flag("help") ? 0 : 1;
+  }
+  svc::Client client = make_client(cli);
+  const svc::SnapshotReply reply = client.snapshot(cli.get("out").value_or(""));
+  std::printf("snapshot written: %llu shard(s), %llu bytes\n",
+              static_cast<unsigned long long>(reply.shards),
+              static_cast<unsigned long long>(reply.bytes));
+  return 0;
+}
+
+int cmd_shutdown(int argc, const char* const* argv) {
+  util::CliParser cli;
+  add_client_options(cli);
+  if (!cli.parse(argc, argv) || cli.get_flag("help")) {
+    std::fputs(cli.usage("rtdls_cli shutdown").c_str(), stderr);
+    return cli.get_flag("help") ? 0 : 1;
+  }
+  svc::Client client = make_client(cli);
+  client.shutdown();
+  std::puts("shutdown acknowledged");
+  return 0;
+}
+
 void print_usage() {
   std::fputs(
       "usage: rtdls_cli <command> [options]\n"
@@ -585,7 +874,11 @@ void print_usage() {
       "  simulate     run one algorithm over a trace or generated workload\n"
       "  sweep        reject-ratio load sweep for a set of algorithms\n"
       "  figure       reproduce a paper figure / ablation by id\n"
-      "  campaign     run/shard/merge multi-figure experiment plans\n",
+      "  campaign     run/shard/merge multi-figure experiment plans\n"
+      "  daemon       serve admission control over a unix socket (rtdlsd)\n"
+      "  admit | commit | cancel | status | snapshot | shutdown\n"
+      "               client requests against a running daemon (--socket)\n"
+      "  --version    print the build description (flags, sanitizers, SIMD)\n",
       stderr);
 }
 
@@ -598,12 +891,24 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   try {
+    if (command == "--version" || command == "version") {
+      std::printf("%s (protocol v%u)\n", util::build_description().c_str(),
+                  static_cast<unsigned>(svc::kProtocolVersion));
+      return 0;
+    }
     if (command == "algorithms") return cmd_algorithms();
     if (command == "generate") return cmd_generate(argc - 1, argv + 1);
     if (command == "simulate") return cmd_simulate(argc - 1, argv + 1);
     if (command == "sweep") return cmd_sweep(argc - 1, argv + 1);
     if (command == "figure") return cmd_figure(argc - 1, argv + 1);
     if (command == "campaign") return cmd_campaign(argc - 1, argv + 1);
+    if (command == "daemon") return cmd_daemon(argc - 1, argv + 1);
+    if (command == "admit") return cmd_admit(argc - 1, argv + 1);
+    if (command == "commit") return cmd_commit(argc - 1, argv + 1);
+    if (command == "cancel") return cmd_cancel(argc - 1, argv + 1);
+    if (command == "status") return cmd_status(argc - 1, argv + 1);
+    if (command == "snapshot") return cmd_snapshot(argc - 1, argv + 1);
+    if (command == "shutdown") return cmd_shutdown(argc - 1, argv + 1);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
