@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "cluster/types.hpp"
+#include "util/annotations.hpp"
 
 namespace rtdls::cluster {
 
@@ -139,7 +140,7 @@ inline void merge_releases_het(std::vector<Time>& state, std::vector<NodeId>& id
 /// order (what AvailabilityDelta::new_times would record) - callers that
 /// keep deltas in flat storage (the admission session) append it directly
 /// instead of paying a per-task delta allocation.
-inline void apply_releases(std::vector<Time>& state, const std::vector<Time>& releases,
+RTDLS_HOT inline void apply_releases(std::vector<Time>& state, const std::vector<Time>& releases,
                            std::vector<Time>& scratch,
                            AvailabilityDelta* delta = nullptr) {
   const std::size_t k = releases.size();
@@ -166,7 +167,7 @@ inline void apply_releases(std::vector<Time>& state, const std::vector<Time>& re
 /// necessarily sorted - het multi-round releases keep slot identity) and
 /// re-enter in pair order. Consumes the first releases.size() positions.
 /// Same scratch contract: on return it holds the k (time, id) pairs sorted.
-inline void apply_releases_het(std::vector<Time>& state, std::vector<NodeId>& ids,
+RTDLS_HOT inline void apply_releases_het(std::vector<Time>& state, std::vector<NodeId>& ids,
                                const std::vector<Time>& releases,
                                const std::vector<NodeId>& release_ids,
                                std::vector<std::pair<Time, NodeId>>& scratch,
@@ -202,7 +203,7 @@ inline void apply_releases_het(std::vector<Time>& state, std::vector<NodeId>& id
 /// exactly what AvailabilityDelta::new_times/new_ids would hold. Consumes
 /// the first k entries of the row and merges the new entries back in -
 /// bit-identical to the apply_releases call that recorded them.
-inline void apply_delta(std::vector<Time>& state, const Time* new_times,
+RTDLS_HOT inline void apply_delta(std::vector<Time>& state, const Time* new_times,
                         std::size_t k) {
   if (k > state.size()) {
     throw std::invalid_argument("apply_delta: delta wider than the row");
@@ -210,7 +211,7 @@ inline void apply_delta(std::vector<Time>& state, const Time* new_times,
   detail::merge_releases(state, new_times, k);
 }
 
-inline void apply_delta_het(std::vector<Time>& state, std::vector<NodeId>& ids,
+RTDLS_HOT inline void apply_delta_het(std::vector<Time>& state, std::vector<NodeId>& ids,
                             const Time* new_times, const NodeId* new_ids,
                             std::size_t k) {
   if (k > state.size()) {
@@ -221,12 +222,12 @@ inline void apply_delta_het(std::vector<Time>& state, std::vector<NodeId>& ids,
 
 /// Replays a recorded delta onto the dense row it was produced from (or any
 /// bit-identical copy).
-inline void apply_delta(std::vector<Time>& state, const AvailabilityDelta& delta) {
+RTDLS_HOT inline void apply_delta(std::vector<Time>& state, const AvailabilityDelta& delta) {
   apply_delta(state, delta.new_times.data(), delta.nodes());
 }
 
 /// Het replay (state/ids row, id payloads from the delta).
-inline void apply_delta_het(std::vector<Time>& state, std::vector<NodeId>& ids,
+RTDLS_HOT inline void apply_delta_het(std::vector<Time>& state, std::vector<NodeId>& ids,
                             const AvailabilityDelta& delta) {
   if (delta.new_ids.size() != delta.nodes()) {
     throw std::invalid_argument("apply_delta_het: misaligned id payload");

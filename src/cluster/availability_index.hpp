@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "cluster/types.hpp"
+#include "util/annotations.hpp"
 
 namespace rtdls::cluster {
 
@@ -56,21 +57,21 @@ class AvailabilityIndex {
   /// Repositions `node` after its release time changed from `from` to `to`.
   /// `from` must be the node's currently indexed time (throws
   /// std::logic_error otherwise - a desynced index is a bug, not a state).
-  void update(NodeId node, Time from, Time to);
+  RTDLS_HOT void update(NodeId node, Time from, Time to);
 
   /// Number of nodes with free_at <= t: the paper's AN(t) ("available
   /// nodes by t") quantity. O(log N).
-  std::size_t available_by(Time t) const;
+  RTDLS_HOT std::size_t available_by(Time t) const;
 
   /// k-th smallest release time (0-based): the instant k+1 nodes are
   /// simultaneously available. k must be < size().
-  Time kth_free_time(std::size_t k) const;
+  RTDLS_HOT Time kth_free_time(std::size_t k) const;
 
   /// Writes the sorted availability snapshot floored at `now` into `out`:
   /// bit-identical to sorting max(free_at, now) over all nodes, without the
   /// sort (the floored prefix collapses to `now`; the rest is already
   /// ordered). O(N) copy.
-  void availability_into(Time now, std::vector<Time>& out) const;
+  RTDLS_HOT void availability_into(Time now, std::vector<Time>& out) const;
 
   /// Same snapshot plus the matching node ids (ids[i] owns times[i]),
   /// strictly ordered by (floored time, id): the floored prefix all ties at
@@ -80,7 +81,7 @@ class AvailabilityIndex {
   /// cps and record the concrete nodes their alpha was computed for, and
   /// the strict (time, id) order is the invariant the admission session's
   /// functional state evolution preserves. O(N) plus the prefix id sort.
-  void availability_with_ids_into(Time now, std::vector<Time>& times,
+  RTDLS_HOT void availability_with_ids_into(Time now, std::vector<Time>& times,
                                   std::vector<NodeId>& ids) const;
 
   /// Ids of the `n` earliest-available nodes at `now`, ties broken by id:
@@ -88,7 +89,7 @@ class AvailabilityIndex {
   /// Nodes already free at `now` all tie, so the floored prefix is reduced
   /// to its n smallest ids via a partial selection instead of a full sort.
   /// n must not exceed size().
-  void earliest_free_nodes_into(Time now, std::size_t n, std::vector<NodeId>& out) const;
+  RTDLS_HOT void earliest_free_nodes_into(Time now, std::size_t n, std::vector<NodeId>& out) const;
 
   /// Debug/tests: true iff the invariants hold against the authoritative
   /// per-node release times (free_times[i] = node i's free_at()).

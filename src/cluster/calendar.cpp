@@ -3,13 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
-namespace rtdls::cluster {
+#include "util/fp.hpp"
 
-namespace {
-// Reservations may abut within this tolerance without counting as overlap
-// (plans produce exact completion times that become the next start).
-constexpr Time kEps = 1e-9;
-}  // namespace
+namespace rtdls::cluster {
 
 NodeCalendar::NodeCalendar(std::size_t nodes) : busy_(nodes) {
   if (nodes == 0) throw std::invalid_argument("NodeCalendar: need >= 1 node");
@@ -24,11 +20,11 @@ void NodeCalendar::reserve(NodeId id, Time start, Time end) {
   // Check the neighbours for overlap.
   if (insert_at != intervals.begin()) {
     const Interval& before = *(insert_at - 1);
-    if (before.end > start + kEps) {
+    if (fp::after(before.end, start)) {
       throw std::logic_error("NodeCalendar::reserve: overlaps earlier reservation");
     }
   }
-  if (insert_at != intervals.end() && insert_at->start + kEps < end) {
+  if (insert_at != intervals.end() && fp::before(insert_at->start, end)) {
     throw std::logic_error("NodeCalendar::reserve: overlaps later reservation");
   }
   intervals.insert(insert_at, Interval{start, end});
@@ -37,8 +33,8 @@ void NodeCalendar::reserve(NodeId id, Time start, Time end) {
 bool NodeCalendar::is_free(NodeId id, Time start, Time end) const {
   const auto& intervals = busy_.at(id);
   for (const Interval& interval : intervals) {
-    if (interval.start >= end - kEps) break;  // sorted: nothing later overlaps
-    if (interval.end > start + kEps) return false;
+    if (fp::at_or_after(interval.start, end)) break;  // sorted: nothing later overlaps
+    if (fp::after(interval.end, start)) return false;
   }
   return true;
 }
@@ -48,8 +44,8 @@ Time NodeCalendar::earliest_fit(NodeId id, Time from, Time duration) const {
   if (duration <= 0.0) return from;  // the empty window fits anywhere
   Time candidate = from;
   for (const Interval& interval : intervals) {
-    if (interval.end <= candidate + kEps) continue;        // already past it
-    if (interval.start >= candidate + duration - kEps) break;  // gap fits
+    if (fp::at_or_before(interval.end, candidate)) continue;      // already past it
+    if (fp::at_or_after(interval.start, candidate + duration)) break;  // gap fits
     candidate = interval.end;  // collide: restart after this reservation
   }
   return candidate;
@@ -70,15 +66,16 @@ std::vector<Time> NodeCalendar::candidate_times(Time from) const {
     }
   }
   std::sort(times.begin(), times.end());
-  // Anchor-based dedupe: |a-b| <= kEps is not transitive, so handing it to
+  // Anchor-based dedupe: |a-b| <= tol is not transitive, so handing it to
   // std::unique is unspecified - depending on which elements the
-  // implementation compares, a chain of near-equal edges (each within kEps
-  // of its neighbour) could collapse into one candidate arbitrarily far
-  // from the dropped edges. Comparing against the last KEPT time instead
-  // guarantees every dropped edge lies within kEps of a surviving anchor.
+  // implementation compares, a chain of near-equal edges (each within
+  // tolerance of its neighbour) could collapse into one candidate
+  // arbitrarily far from the dropped edges. Comparing against the last
+  // KEPT time instead guarantees every dropped edge lies within
+  // fp::kTimeTolerance of a surviving anchor.
   std::size_t kept = 0;
   for (std::size_t i = 0; i < times.size(); ++i) {
-    if (kept == 0 || times[i] > times[kept - 1] + kEps) times[kept++] = times[i];
+    if (kept == 0 || fp::after(times[i], times[kept - 1])) times[kept++] = times[i];
   }
   times.resize(kept);
   return times;

@@ -2,11 +2,12 @@
 
 #include <stdexcept>
 
+#include "util/fp.hpp"
 namespace rtdls::cluster {
 
 void Node::commit(TaskId task, Time usable_from, Time start, Time end) {
   if (end < start) throw std::invalid_argument("Node::commit: end before start");
-  if (start + 1e-9 < free_at_) {
+  if (fp::before(start, free_at_)) {
     throw std::logic_error("Node::commit: overlapping commitment");
   }
   if (start > usable_from) idle_gap_time_ += start - usable_from;

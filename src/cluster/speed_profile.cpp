@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include "util/fp.hpp"
 
 namespace rtdls::cluster {
 
@@ -94,7 +95,7 @@ SpeedProfile SpeedProfile::log_normal(std::size_t nodes, double mean_cps, double
   require(nodes > 0, "need >= 1 node");
   require(valid_cps(mean_cps), "mean_cps must be finite and > 0");
   require(std::isfinite(cv) && cv >= 0.0, "cv must be >= 0");
-  if (cv == 0.0) return homogeneous(nodes, mean_cps);
+  if (fp::exact_eq(cv, 0.0)) return homogeneous(nodes, mean_cps);
   // X = exp(mu + s*Z) has mean exp(mu + s^2/2) and CV sqrt(exp(s^2) - 1).
   const double s2 = std::log1p(cv * cv);
   const double mu = std::log(mean_cps) - 0.5 * s2;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "dlt/params.hpp"
+#include "util/annotations.hpp"
 
 namespace rtdls::dlt {
 
@@ -71,7 +72,7 @@ class AlphaRecurrence {
   void reset(double cms);
 
   /// Appends the next node (unit cost `cps` > 0); O(1).
-  void extend(double cps);
+  RTDLS_HOT void extend(double cps);
 
   /// Number of nodes consumed so far.
   std::size_t size() const { return products_.size(); }
@@ -79,7 +80,7 @@ class AlphaRecurrence {
   /// alpha_n of the current prefix: the last unnormalized product over the
   /// running denominator - the exact division general_het_alpha_into
   /// performs when normalizing its last entry.
-  double alpha_last() const { return products_.back() / denom_; }
+  RTDLS_HOT double alpha_last() const { return products_.back() / denom_; }
 
   /// Normalized alpha of the current prefix (general_het_alpha_into's
   /// output, bit for bit). O(n); intended for the one accepted prefix.

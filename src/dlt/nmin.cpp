@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include "util/fp.hpp"
 
 namespace rtdls::dlt {
 
@@ -28,7 +29,7 @@ NminResult minimum_nodes(const ClusterParams& params, double sigma,
   double n = std::ceil(raw);
   // Guard against raw being an exact integer nudged up by rounding: accept
   // n-1 when it still satisfies beta^(n-1) <= gamma within one ulp-ish slack.
-  if (n >= 2.0 && std::pow(beta, n - 1.0) <= gamma * (1.0 + 1e-12)) {
+  if (n >= 2.0 && fp::le_rel(std::pow(beta, n - 1.0), gamma)) {
     n -= 1.0;
   }
   if (n < 1.0) n = 1.0;

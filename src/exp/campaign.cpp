@@ -10,6 +10,7 @@
 
 #include "exp/runner.hpp"
 #include "sched/registry.hpp"
+#include "util/annotations.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
 
@@ -128,14 +129,14 @@ class SlotPool {
 class StrayThreads {
  public:
   void add(std::thread thread) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(stray_mutex_);
     threads_.push_back(std::move(thread));
   }
 
   void join_all() {
     std::vector<std::thread> taken;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<std::mutex> lock(stray_mutex_);
       taken.swap(threads_);
     }
     for (std::thread& thread : taken) {
@@ -150,7 +151,7 @@ class StrayThreads {
   }
 
  private:
-  std::mutex mutex_;
+  std::mutex stray_mutex_ RTDLS_LOCK_LEVEL(30);
   std::vector<std::thread> threads_;
 };
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "exp/report.hpp"
+#include "util/fp.hpp"
 #include "util/strings.hpp"
 
 namespace rtdls::exp {
@@ -39,7 +40,7 @@ ShapeCheck check_winner(const SweepResult& panel, const std::string& winner) {
     if (&curve == winner_curve) continue;
     const double other = curve_mean(curve);
     detail << " vs " << curve.algorithm << "=" << util::format_double(other, 4);
-    if (winner_mean > other + kShapeTolerance) check.passed = false;
+    if (fp::after(winner_mean, other, kShapeTolerance)) check.passed = false;
   }
   check.detail = detail.str();
   return check;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dlt/homogeneous.hpp"
+#include "util/fp.hpp"
 #include "dlt/nmin.hpp"
 #include "sched/het_planner.hpp"
 #include "sched/rule_detail.hpp"
@@ -48,7 +49,7 @@ class OprMnBackfillRule final : public PartitionRule {
       std::size_t m = need.nodes;
       double duration =
           dlt::homogeneous_execution_time(request.params, task.sigma(), m);
-      if (t + duration > deadline + 1e-9) {
+      if (fp::after(t + duration, deadline)) {
         // n_min's "accept n-1 within 1e-12 relative slack" nudge can make
         // E(m) overshoot the deadline by more than the 1e-9 tolerance at
         // large time magnitudes. That makes only this node count tight, not
@@ -57,7 +58,7 @@ class OprMnBackfillRule final : public PartitionRule {
         if (m >= calendar.size()) continue;
         const double retry =
             dlt::homogeneous_execution_time(request.params, task.sigma(), m + 1);
-        if (t + retry > deadline + 1e-9) continue;
+        if (fp::after(t + retry, deadline)) continue;
         m += 1;
         duration = retry;
       }

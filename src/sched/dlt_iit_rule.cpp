@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "dlt/het_model.hpp"
+#include "util/fp.hpp"
 #include "dlt/nmin.hpp"
 #include "sched/het_planner.hpp"
 #include "sched/rule_detail.hpp"
@@ -54,7 +55,7 @@ class DltIitRule final : public PartitionRule {
                                   scratch_);
     const dlt::HetPartition& part = scratch_;
     const Time est = part.estimated_completion();
-    if (est > deadline + 1e-9) {
+    if (fp::after(est, deadline)) {
       // Live under kOptimistic (the n nodes gathered too late); a
       // floating-point guard under kIterative.
       return PlanResult::infeasible(dlt::Infeasibility::kNeedsMoreNodes);

@@ -6,15 +6,13 @@
 #include <utility>
 
 #include "cluster/calendar.hpp"
+#include "util/fp.hpp"
 #include "cluster/speed_profile.hpp"
 #include "sched/rule_detail.hpp"
 
 namespace rtdls::sched::het {
 
 namespace {
-
-// Same deadline tolerance as the homogeneous rules.
-constexpr double kDeadlineEps = 1e-9;
 
 /// Fills scratch.cps with the actual speed at every availability position.
 void gather_cps(const PlanRequest& request, PlannerScratch& scratch) {
@@ -179,7 +177,7 @@ std::pair<std::size_t, dlt::Infeasibility> first_feasible_prefix(
     }
     gather_cps_prefix(request, scratch, n);
     const Time est = estimate_at(n);
-    if (est <= deadline + kDeadlineEps) return {n, dlt::Infeasibility::kNone};
+    if (fp::at_or_before(est, deadline)) return {n, dlt::Infeasibility::kNone};
   }
   return {0, dlt::Infeasibility::kNeedsMoreNodes};
 }
@@ -271,7 +269,7 @@ PlanResult plan_opr_an(const PlanRequest& request, PlannerScratch& scratch) {
   const double exec =
       sigma * request.params.cms + scratch.alpha.back() * sigma * scratch.cps[n - 1];
   const Time est = rn + exec;
-  if (est > deadline + kDeadlineEps) {
+  if (fp::after(est, deadline)) {
     return PlanResult::infeasible(dlt::Infeasibility::kNeedsMoreNodes);
   }
 
@@ -312,7 +310,7 @@ PlanResult plan_user_split(const PlanRequest& request, PlannerScratch& scratch) 
     plan.node_release[i] = channel_free + chunk * scratch.cps[i];
     est = std::max(est, plan.node_release[i]);
   }
-  if (est > deadline + kDeadlineEps) {
+  if (fp::after(est, deadline)) {
     return PlanResult::infeasible(dlt::Infeasibility::kNeedsMoreNodes);
   }
 
@@ -395,7 +393,7 @@ PlanResult plan_multiround(const PlanRequest& request, std::size_t rounds,
                   single.plan.node_cps, rounds, 0.0, scratch, rollout,
                   &scratch.slot_alpha);
   const Time est = rollout.task_completion();
-  if (est > task.abs_deadline() + kDeadlineEps) {
+  if (fp::after(est, task.abs_deadline())) {
     // R installments happened to be slower here; keep the single-round plan.
     return single;
   }
@@ -459,7 +457,7 @@ PlanResult plan_opr_mn_backfill(const PlanRequest& request, PlannerScratch& scra
       bool instant_shortfall = false;
       bool window_shortfall = false;
       for (int iteration = 0; iteration < 4; ++iteration) {
-        if (duration == 0.0) {
+        if (fp::exact_eq(duration, 0.0)) {
           // Seed: the m-prefix of the instant-free pool on the shared cursor.
           while (scratch.instant_free.size() < m && instant_cursor < cluster_size) {
             if (calendar.is_free(instant_cursor, t, t)) {
@@ -536,7 +534,7 @@ PlanResult plan_opr_mn_backfill(const PlanRequest& request, PlannerScratch& scra
         duration = exec;
         selected = true;
       }
-      if (t + duration > deadline + kDeadlineEps) continue;  // more nodes shrink it
+      if (fp::after(t + duration, deadline)) continue;  // more nodes shrink it
 
       // Only the accepted selection materializes its normalized alpha.
       dlt::general_het_alpha_into(request.params.cms, scratch.window_cps, m,

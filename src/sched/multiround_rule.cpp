@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "dlt/multiround.hpp"
+#include "util/fp.hpp"
 #include "dlt/nmin.hpp"
 #include "sched/het_planner.hpp"
 #include "sched/rule_detail.hpp"
@@ -44,7 +45,7 @@ class MultiRoundRule final : public PartitionRule {
     const dlt::MultiRoundSchedule schedule = dlt::build_multiround_schedule(
         request.params, task.sigma(), available, rounds_);
     const Time est = schedule.task_completion();
-    if (est > deadline + 1e-9) {
+    if (fp::after(est, deadline)) {
       // R installments happened to be slower here; the single-round plan
       // is guaranteed feasible with this node count.
       return fallback_->plan(request);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dlt/homogeneous.hpp"
+#include "util/fp.hpp"
 #include "dlt/nmin.hpp"
 #include "sched/het_planner.hpp"
 #include "sched/rule_detail.hpp"
@@ -55,7 +56,7 @@ class OprMnRule final : public PartitionRule {
 
     PlanResult result;
     result.plan = make_opr_plan(request, assigned, free_times[assigned - 1]);
-    if (result.plan.est_completion > deadline + 1e-9) {
+    if (fp::after(result.plan.est_completion, deadline)) {
       // Live under kOptimistic; floating-point guard under kIterative.
       return PlanResult::infeasible(dlt::Infeasibility::kNeedsMoreNodes);
     }
@@ -88,7 +89,7 @@ class OprAnRule final : public PartitionRule {
 
     PlanResult result;
     result.plan = make_opr_plan(request, n, rn);
-    if (result.plan.est_completion > deadline + 1e-9) {
+    if (fp::after(result.plan.est_completion, deadline)) {
       return PlanResult::infeasible(dlt::Infeasibility::kNeedsMoreNodes);
     }
     return result;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include "util/fp.hpp"
 
 namespace rtdls::sched {
 
@@ -19,14 +20,14 @@ bool TaskPlan::consistent() const {
   if (!std::is_sorted(available.begin(), available.end())) return false;
   double alpha_sum = 0.0;
   for (double a : alpha) {
-    if (!(a > 0.0) || a > 1.0 + 1e-12) return false;
+    if (!(a > 0.0) || fp::after(a, 1.0, fp::kRelSlack)) return false;
     alpha_sum += a;
   }
-  if (std::fabs(alpha_sum - 1.0) > 1e-9) return false;
+  if (!fp::near(alpha_sum, 1.0)) return false;
   for (std::size_t i = 0; i < nodes; ++i) {
     // A reservation may not begin before the node is available.
-    if (reserve_from[i] + 1e-9 < available[i]) return false;
-    if (node_release[i] + 1e-9 < reserve_from[i]) return false;
+    if (fp::before(reserve_from[i], available[i])) return false;
+    if (fp::before(node_release[i], reserve_from[i])) return false;
   }
   return true;
 }

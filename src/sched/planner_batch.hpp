@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "dlt/het_model.hpp"
+#include "util/annotations.hpp"
 #include "dlt/params.hpp"
 #include "workload/task.hpp"
 
@@ -53,13 +54,13 @@ class PlannerBatch {
 
   /// OPR-MN estimate at prefix n: r_n + sigma*Cms + alpha_n*sigma*cps_n,
   /// alpha_n from the cursor. O(1) amortized per inspected prefix.
-  Time opr_walk_estimate(const std::vector<Time>& free, const std::vector<double>& cps,
+  RTDLS_HOT Time opr_walk_estimate(const std::vector<Time>& free, const std::vector<double>& cps,
                          std::size_t n);
 
   /// DLT-IIT estimate at prefix n: the generalized Eq.-1 equivalent model's
   /// r_n + E_hat, evaluated on flat columns. E_ref comes from the cursor in
   /// O(1); the cps_tilde stage is O(n) with vectorizable elementwise passes.
-  Time dlt_walk_estimate(const std::vector<Time>& free, const std::vector<double>& cps,
+  RTDLS_HOT Time dlt_walk_estimate(const std::vector<Time>& free, const std::vector<double>& cps,
                          std::size_t n);
 
   /// Normalized alpha of the last opr_walk_estimate prefix
@@ -78,11 +79,11 @@ class PlannerBatch {
 
   /// Window duration of the m-prefix of the cursor's column (extends the
   /// cursor as the pool grows): sigma*Cms + alpha_m*sigma*cps_m.
-  Time window_duration_prefix(const std::vector<double>& cps, std::size_t m);
+  RTDLS_HOT Time window_duration_prefix(const std::vector<double>& cps, std::size_t m);
 
   /// One-shot window duration of an arbitrary m-node set; streams the
   /// recurrence, allocation-free.
-  static Time window_duration(double cms, double sigma, const std::vector<double>& cps,
+  RTDLS_HOT static Time window_duration(double cms, double sigma, const std::vector<double>& cps,
                               std::size_t m);
 
   // --- batch interface ------------------------------------------------------
@@ -90,7 +91,7 @@ class PlannerBatch {
   /// Estimates for ALL prefixes n = 1..count in one forward pass (each entry
   /// bit-identical to the scalar per-prefix evaluation): out[n-1] =
   /// free[n-1] + sigma*Cms + alpha_n*sigma*cps[n-1]. O(1) per prefix.
-  static void opr_mn_estimates(double cms, double sigma, const std::vector<Time>& free,
+  RTDLS_HOT static void opr_mn_estimates(double cms, double sigma, const std::vector<Time>& free,
                                const std::vector<double>& cps, std::size_t count,
                                std::vector<Time>& out);
 
@@ -125,7 +126,7 @@ class QueueScreen {
   /// The paper's two hard rejections for task `i` evaluated at availability
   /// row front `front` (= r_1 of the row the task would plan against).
   /// Bit-identical to het::hard_reject / dlt::minimum_nodes at r_1.
-  dlt::Infeasibility screen(std::size_t i, Time front) const {
+  RTDLS_HOT dlt::Infeasibility screen(std::size_t i, Time front) const {
     const Time slack = deadline_[i] - front;
     if (slack <= 0.0) return dlt::Infeasibility::kDeadlinePassed;
     if (tx_floor_[i] >= slack) return dlt::Infeasibility::kTransmissionTooLong;

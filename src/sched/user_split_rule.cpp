@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "dlt/user_split.hpp"
+#include "util/fp.hpp"
 #include "sched/het_planner.hpp"
 #include "sched/rule_detail.hpp"
 
@@ -33,7 +34,7 @@ class UserSplitRule final : public PartitionRule {
                                 free_times.begin() + static_cast<std::ptrdiff_t>(n));
     const dlt::UserSplitSchedule schedule =
         dlt::build_user_split_schedule(request.params, task.sigma(), available);
-    if (schedule.task_completion() > deadline + 1e-9) {
+    if (fp::after(schedule.task_completion(), deadline)) {
       return PlanResult::infeasible(dlt::Infeasibility::kNeedsMoreNodes);
     }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include "util/fp.hpp"
 
 namespace rtdls::sim {
 
@@ -47,7 +48,7 @@ ResultTimeline roll_out_with_results(const cluster::ClusterParams& params, doubl
   }
   ResultTimeline timeline;
   timeline.input = roll_out(params, sigma, plan, channel_available);
-  if (delta == 0.0) {
+  if (fp::exact_eq(delta, 0.0)) {
     timeline.result_tx_start = timeline.input.completion;
     timeline.result_tx_end = timeline.input.completion;
     timeline.task_completion = timeline.input.task_completion();

@@ -7,15 +7,10 @@
 #include "dlt/homogeneous.hpp"
 #include "dlt/multiround.hpp"
 #include "sim/exec_model.hpp"
+#include "util/fp.hpp"
 #include "util/log.hpp"
 
 namespace rtdls::sim {
-
-namespace {
-// Completion comparisons tolerate accumulated floating-point drift relative
-// to the magnitudes involved (times up to ~1e7, costs up to ~1e6).
-constexpr double kTimeEps = 1e-6;
-}  // namespace
 
 ClusterSimulator::ClusterSimulator(SimulatorConfig config, const sched::Algorithm& algorithm)
     : config_(config),
@@ -276,12 +271,12 @@ bool ClusterSimulator::commit_task(Time now, const WaitingEntry& entry) {
   }
 
   if (config_.validate) {
-    if (!config_.shared_link && actual > estimate + kTimeEps) {
+    if (!config_.shared_link && fp::after(actual, estimate, fp::kEventTolerance)) {
       ++metrics_.theorem4_violations;
       RTDLS_LOG(kError) << "Theorem 4 violated: task " << task.id << " actual=" << actual
                         << " estimate=" << estimate;
     }
-    if (actual > task.abs_deadline() + kTimeEps) {
+    if (fp::after(actual, task.abs_deadline(), fp::kEventTolerance)) {
       ++metrics_.deadline_misses;
     }
   }

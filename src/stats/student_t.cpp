@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include "util/fp.hpp"
 
 namespace rtdls::stats {
 
@@ -32,7 +33,6 @@ namespace {
 // (Numerical-Recipes style modified Lentz algorithm).
 double beta_continued_fraction(double a, double b, double x) {
   constexpr int kMaxIterations = 300;
-  constexpr double kEpsilon = 3.0e-14;
   constexpr double kTiny = 1.0e-300;
 
   const double qab = a + b;
@@ -60,7 +60,7 @@ double beta_continued_fraction(double a, double b, double x) {
     d = 1.0 / d;
     const double delta = d * c;
     h *= delta;
-    if (std::fabs(delta - 1.0) < kEpsilon) break;
+    if (fp::near_strict(delta, 1.0, fp::kConvergenceEps)) break;
   }
   return h;
 }
@@ -87,7 +87,7 @@ double student_t_cdf(double t, double dof) {
   if (!(dof > 0.0)) {
     throw std::invalid_argument("student_t_cdf: dof must be > 0");
   }
-  if (t == 0.0) return 0.5;
+  if (fp::exact_eq(t, 0.0)) return 0.5;
   const double x = dof / (dof + t * t);
   const double p = 0.5 * regularized_incomplete_beta(dof / 2.0, 0.5, x);
   return t > 0.0 ? 1.0 - p : p;
@@ -100,7 +100,7 @@ double student_t_quantile(double p, double dof) {
   if (!(dof > 0.0)) {
     throw std::invalid_argument("student_t_quantile: dof must be > 0");
   }
-  if (p == 0.5) return 0.0;
+  if (fp::exact_eq(p, 0.5)) return 0.0;
   // Symmetric distribution: reduce to the upper half.
   if (p < 0.5) return -student_t_quantile(1.0 - p, dof);
 
@@ -119,7 +119,7 @@ double student_t_quantile(double p, double dof) {
     } else {
       hi = mid;
     }
-    if (hi - lo < 1.0e-12 * (1.0 + hi)) break;
+    if (fp::near_strict(hi, lo, fp::kRelSlack * (1.0 + hi))) break;
   }
   return 0.5 * (lo + hi);
 }

@@ -18,12 +18,28 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Deadline-bounded acquisition via try_lock polling. try_lock_until is the
+/// natural call, but libstdc++ lowers it to pthread_mutex_clocklock, which
+/// the libtsan shipped with GCC 12 does not intercept - every acquisition
+/// then reports as "unlock of an unlocked mutex" under
+/// RTDLS_SANITIZE=thread. Polling keeps the wall-clock deadline semantics on
+/// interceptable primitives, identically in every build mode; the
+/// uncontended path is still a single try_lock, and contended waiters poll
+/// at 50us.
+bool poll_lock_until(std::timed_mutex& mutex, Clock::time_point deadline) {
+  for (;;) {
+    if (mutex.try_lock()) return true;
+    if (Clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
 /// Shard lock with a wall-clock acquisition deadline: the first half of the
 /// per-request budget (the handler is the second half).
 class DeadlineLock {
  public:
   DeadlineLock(std::timed_mutex& mutex, Clock::time_point deadline) : mutex_(mutex) {
-    locked_ = mutex_.try_lock_until(deadline);
+    locked_ = poll_lock_until(mutex_, deadline);
   }
   ~DeadlineLock() {
     if (locked_) mutex_.unlock();
@@ -60,7 +76,7 @@ Daemon::Daemon(DaemonConfig config) : config_(std::move(config)) {
       reader.expect_done();
       shards_.push_back(std::move(slot));
     }
-    counters_.restores = shards_.size();
+    counters_.restores.store(shards_.size(), std::memory_order_relaxed);
   } else {
     if (config_.shards == 0) throw std::invalid_argument("Daemon: need at least one shard");
     ShardConfig shard_config{config_.params, config_.incremental, config_.record_ops};
@@ -145,11 +161,10 @@ std::size_t Daemon::snapshot_to(const std::string& path, Clock::time_point deadl
   std::vector<std::unique_lock<std::timed_mutex>> locks;
   locks.reserve(shards_.size());
   for (auto& slot : shards_) {
-    std::unique_lock<std::timed_mutex> lock(slot->mutex, std::defer_lock);
-    if (!lock.try_lock_until(deadline)) {
+    if (!poll_lock_until(slot->shard_mutex, deadline)) {
       throw ShardError(ErrorCode::kTimeout, "snapshot: shard locks not acquired in time");
     }
-    locks.push_back(std::move(lock));
+    locks.emplace_back(slot->shard_mutex, std::adopt_lock);
   }
   std::vector<std::vector<std::uint8_t>> blobs;
   blobs.reserve(shards_.size());
@@ -163,13 +178,22 @@ std::size_t Daemon::snapshot_to(const std::string& path, Clock::time_point deadl
 }
 
 sim::ServiceCounters Daemon::counters() const {
-  std::lock_guard<std::mutex> lock(counters_mutex_);
-  return counters_;
+  sim::ServiceCounters out;
+  out.connections = counters_.connections.load(std::memory_order_relaxed);
+  out.requests = counters_.requests.load(std::memory_order_relaxed);
+  out.admits = counters_.admits.load(std::memory_order_relaxed);
+  out.commits = counters_.commits.load(std::memory_order_relaxed);
+  out.cancels = counters_.cancels.load(std::memory_order_relaxed);
+  out.status_queries = counters_.status_queries.load(std::memory_order_relaxed);
+  out.snapshots = counters_.snapshots.load(std::memory_order_relaxed);
+  out.errors = counters_.errors.load(std::memory_order_relaxed);
+  out.timeouts = counters_.timeouts.load(std::memory_order_relaxed);
+  out.restores = counters_.restores.load(std::memory_order_relaxed);
+  return out;
 }
 
-void Daemon::bump(std::size_t sim::ServiceCounters::* field, std::size_t by) {
-  std::lock_guard<std::mutex> lock(counters_mutex_);
-  counters_.*field += by;
+void Daemon::bump(std::atomic<std::size_t> AtomicCounters::* field, std::size_t by) {
+  (counters_.*field).fetch_add(by, std::memory_order_relaxed);
 }
 
 void Daemon::accept_loop() {
@@ -208,7 +232,7 @@ void Daemon::worker_loop() {
 }
 
 void Daemon::serve_connection(int fd) {
-  bump(&sim::ServiceCounters::connections);
+  bump(&AtomicCounters::connections);
   FrameDecoder decoder;
   std::vector<std::uint8_t> buffer(64 * 1024);
   bool open = true;
@@ -228,12 +252,12 @@ void Daemon::serve_connection(int fd) {
       const FrameDecoder::Status status = decoder.next(frame);
       if (status == FrameDecoder::Status::kNeedMore) break;
       if (status == FrameDecoder::Status::kError) {
-        bump(&sim::ServiceCounters::errors);
+        bump(&AtomicCounters::errors);
         send_error(fd, 0, ErrorCode::kBadFrame, decoder.error());
         open = false;
         break;
       }
-      bump(&sim::ServiceCounters::requests);
+      bump(&AtomicCounters::requests);
       open = handle_frame(fd, frame);
     }
   }
@@ -243,7 +267,7 @@ void Daemon::serve_connection(int fd) {
 bool Daemon::handle_frame(int fd, const Frame& frame) {
   const std::uint64_t id = frame.request_id;
   if (stop_.load(std::memory_order_relaxed)) {
-    bump(&sim::ServiceCounters::errors);
+    bump(&AtomicCounters::errors);
     send_error(fd, id, ErrorCode::kShuttingDown, "daemon is stopping");
     return false;
   }
@@ -252,12 +276,12 @@ bool Daemon::handle_frame(int fd, const Frame& frame) {
     switch (frame.type) {
       case MsgType::kAdmitRequest: {
         const AdmitRequest request = AdmitRequest::decode(in);
-        bump(&sim::ServiceCounters::admits);
+        bump(&AtomicCounters::admits);
         if (request.shard >= shards_.size()) {
           throw ShardError(ErrorCode::kUnknownShard,
                            "shard " + std::to_string(request.shard) + " out of range");
         }
-        DeadlineLock lock(shards_[request.shard]->mutex, deadline_for(request.deadline_ms));
+        DeadlineLock lock(shards_[request.shard]->shard_mutex, deadline_for(request.deadline_ms));
         if (!lock.locked()) {
           throw ShardError(ErrorCode::kTimeout, "admit: shard busy past request deadline");
         }
@@ -266,12 +290,12 @@ bool Daemon::handle_frame(int fd, const Frame& frame) {
       }
       case MsgType::kCommitRequest: {
         const CommitRequest request = CommitRequest::decode(in);
-        bump(&sim::ServiceCounters::commits);
+        bump(&AtomicCounters::commits);
         if (request.shard >= shards_.size()) {
           throw ShardError(ErrorCode::kUnknownShard,
                            "shard " + std::to_string(request.shard) + " out of range");
         }
-        DeadlineLock lock(shards_[request.shard]->mutex, deadline_for(0));
+        DeadlineLock lock(shards_[request.shard]->shard_mutex, deadline_for(0));
         if (!lock.locked()) {
           throw ShardError(ErrorCode::kTimeout, "commit: shard busy past request deadline");
         }
@@ -280,12 +304,12 @@ bool Daemon::handle_frame(int fd, const Frame& frame) {
       }
       case MsgType::kCancelRequest: {
         const CancelRequest request = CancelRequest::decode(in);
-        bump(&sim::ServiceCounters::cancels);
+        bump(&AtomicCounters::cancels);
         if (request.shard >= shards_.size()) {
           throw ShardError(ErrorCode::kUnknownShard,
                            "shard " + std::to_string(request.shard) + " out of range");
         }
-        DeadlineLock lock(shards_[request.shard]->mutex, deadline_for(0));
+        DeadlineLock lock(shards_[request.shard]->shard_mutex, deadline_for(0));
         if (!lock.locked()) {
           throw ShardError(ErrorCode::kTimeout, "cancel: shard busy past request deadline");
         }
@@ -294,7 +318,7 @@ bool Daemon::handle_frame(int fd, const Frame& frame) {
       }
       case MsgType::kStatusRequest: {
         StatusRequest::decode(in);
-        bump(&sim::ServiceCounters::status_queries);
+        bump(&AtomicCounters::status_queries);
         StatusReply reply;
         reply.build = util::build_description();
         reply.algorithm = config_.algorithm;
@@ -304,7 +328,7 @@ bool Daemon::handle_frame(int fd, const Frame& frame) {
         const Clock::time_point deadline = deadline_for(0);
         reply.shards.reserve(shards_.size());
         for (std::size_t i = 0; i < shards_.size(); ++i) {
-          DeadlineLock lock(shards_[i]->mutex, deadline);
+          DeadlineLock lock(shards_[i]->shard_mutex, deadline);
           if (!lock.locked()) {
             throw ShardError(ErrorCode::kTimeout, "status: shard busy past request deadline");
           }
@@ -317,7 +341,7 @@ bool Daemon::handle_frame(int fd, const Frame& frame) {
       }
       case MsgType::kSnapshotRequest: {
         const SnapshotRequest request = SnapshotRequest::decode(in);
-        bump(&sim::ServiceCounters::snapshots);
+        bump(&AtomicCounters::snapshots);
         const std::string path =
             request.path.empty() ? config_.snapshot_path : request.path;
         if (path.empty()) {
@@ -349,7 +373,7 @@ bool Daemon::handle_frame(int fd, const Frame& frame) {
                            "shard " + std::to_string(request.shard) + " out of range");
         }
         const Clock::time_point deadline = deadline_for(0);
-        DeadlineLock lock(shards_[request.shard]->mutex, deadline);
+        DeadlineLock lock(shards_[request.shard]->shard_mutex, deadline);
         if (!lock.locked()) {
           throw ShardError(ErrorCode::kTimeout, "debug-sleep: shard busy past request deadline");
         }
@@ -374,16 +398,16 @@ bool Daemon::handle_frame(int fd, const Frame& frame) {
                              std::to_string(static_cast<std::uint16_t>(frame.type)));
     }
   } catch (const ShardError& error) {
-    bump(&sim::ServiceCounters::errors);
-    if (error.code() == ErrorCode::kTimeout) bump(&sim::ServiceCounters::timeouts);
+    bump(&AtomicCounters::errors);
+    if (error.code() == ErrorCode::kTimeout) bump(&AtomicCounters::timeouts);
     send_error(fd, id, error.code(), error.what());
     return true;
   } catch (const util::WireError& error) {
-    bump(&sim::ServiceCounters::errors);
+    bump(&AtomicCounters::errors);
     send_error(fd, id, ErrorCode::kBadPayload, error.what());
     return true;
   } catch (const std::exception& error) {
-    bump(&sim::ServiceCounters::errors);
+    bump(&AtomicCounters::errors);
     send_error(fd, id, ErrorCode::kInternal, error.what());
     return true;
   }

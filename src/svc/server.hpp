@@ -9,7 +9,8 @@
 //
 // Per-request deadlines: every request carries a wall-clock budget (the
 // daemon default, or AdmitRequest::deadline_ms). The budget covers both the
-// shard-lock acquisition (try_lock_until) and the handler itself, so one
+// shard-lock acquisition (deadline-bounded try_lock polling) and the handler
+// itself, so one
 // hung request - simulated by kDebugSleepRequest - times out with a kTimeout
 // error reply instead of wedging a worker forever, and contenders queued on
 // the same shard fail fast instead of piling up. Other shards are untouched.
@@ -31,6 +32,7 @@
 #include <vector>
 
 #include "sim/metrics.hpp"
+#include "util/annotations.hpp"
 #include "svc/shard.hpp"
 
 namespace rtdls::svc {
@@ -92,11 +94,11 @@ class Daemon {
   /// Direct shard access for in-process callers (tests, the storm bench's
   /// serial replay). The caller must hold shard_mutex(i).
   AdmissionShard& shard(std::size_t i) { return shards_[i]->shard; }
-  std::timed_mutex& shard_mutex(std::size_t i) { return shards_[i]->mutex; }
+  std::timed_mutex& shard_mutex(std::size_t i) { return shards_[i]->shard_mutex; }
 
  private:
   struct ShardSlot {
-    std::timed_mutex mutex;
+    std::timed_mutex shard_mutex RTDLS_LOCK_LEVEL(20);
     AdmissionShard shard;
     ShardSlot(const std::string& algorithm, const ShardConfig& config)
         : shard(algorithm, config) {}
@@ -112,7 +114,27 @@ class Daemon {
                   const std::string& message);
   bool send_all(int fd, const std::vector<std::uint8_t>& bytes);
   std::chrono::steady_clock::time_point deadline_for(std::uint32_t override_ms) const;
-  void bump(std::size_t sim::ServiceCounters::* field, std::size_t by = 1);
+
+  /// Worker-shared mirror of sim::ServiceCounters, one relaxed atomic per
+  /// field. The counters are independent monotonic event tallies with no
+  /// cross-field invariant, so relaxed increments suffice; counters()
+  /// materializes a plain snapshot for replies and logs. (Previously a
+  /// plain struct under counters_mutex_ - a lock per bump on the request
+  /// path, and the lock order was undeclared.)
+  struct AtomicCounters {
+    std::atomic<std::size_t> connections{0};
+    std::atomic<std::size_t> requests{0};
+    std::atomic<std::size_t> admits{0};
+    std::atomic<std::size_t> commits{0};
+    std::atomic<std::size_t> cancels{0};
+    std::atomic<std::size_t> status_queries{0};
+    std::atomic<std::size_t> snapshots{0};
+    std::atomic<std::size_t> errors{0};
+    std::atomic<std::size_t> timeouts{0};
+    std::atomic<std::size_t> restores{0};
+  };
+
+  void bump(std::atomic<std::size_t> AtomicCounters::* field, std::size_t by = 1);
 
   DaemonConfig config_;
   std::vector<std::unique_ptr<ShardSlot>> shards_;
@@ -124,12 +146,11 @@ class Daemon {
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
 
-  std::mutex queue_mutex_;
+  std::mutex queue_mutex_ RTDLS_LOCK_LEVEL(10);
   std::condition_variable queue_cv_;
   std::vector<int> pending_fds_;
 
-  mutable std::mutex counters_mutex_;
-  sim::ServiceCounters counters_;
+  AtomicCounters counters_;
 };
 
 }  // namespace rtdls::svc

@@ -21,7 +21,11 @@ constexpr std::uint16_t kContainerVersion = 1;
 std::size_t write_snapshot(const std::string& path, const SnapshotMeta& meta,
                            const std::vector<std::vector<std::uint8_t>>& shard_blobs) {
   std::vector<std::uint8_t> body;
-  body.insert(body.end(), kMagic, kMagic + sizeof(kMagic));
+  // Element-wise on purpose: the range insert of a char[] into an empty
+  // byte vector trips GCC 12's -Wstringop-overflow through the inlined
+  // memmove (false positive), and this path is cold.
+  body.reserve(sizeof(kMagic));
+  for (const char c : kMagic) body.push_back(static_cast<std::uint8_t>(c));
   util::WireWriter out(body);
   out.u16(kContainerVersion);
   out.string(meta.algorithm);

@@ -45,7 +45,10 @@ bool CliParser::parse(int argc, const char* const* argv) {
         error_ = "flag --" + name + " does not take a value";
         return false;
       }
-      values_[name] = "1";
+      // Fill-construct instead of assigning the literal: GCC 12 inlines the
+      // literal assign into a char_traits memcpy it then misdiagnoses under
+      // -Wrestrict (false positive).
+      values_[name] = std::string(1, '1');
       continue;
     }
     if (inline_value) {

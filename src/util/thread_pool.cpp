@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(pool_mutex_);
     stopping_ = true;
   }
   work_available_.notify_all();
@@ -28,14 +28,14 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(pool_mutex_);
     queue_.push_back(std::move(task));
   }
   work_available_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(pool_mutex_);
   idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
@@ -43,7 +43,7 @@ void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      std::unique_lock<std::mutex> lock(pool_mutex_);
       work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) {
         if (stopping_) return;
@@ -55,7 +55,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<std::mutex> lock(pool_mutex_);
       --active_;
       if (queue_.empty() && active_ == 0) idle_.notify_all();
     }

@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/annotations.hpp"
+
 namespace rtdls::util {
 
 /// A simple fixed-size thread pool with a FIFO task queue.
@@ -50,7 +52,7 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mutex_;
+  std::mutex pool_mutex_ RTDLS_LOCK_LEVEL(40);
   std::condition_variable work_available_;
   std::condition_variable idle_;
   std::deque<std::function<void()>> queue_;

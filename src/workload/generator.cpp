@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "dlt/homogeneous.hpp"
+#include "util/fp.hpp"
 #include "dlt/user_split.hpp"
 #include "workload/distributions.hpp"
 
@@ -55,7 +56,7 @@ Task generate_task(const WorkloadParams& params, Xoshiro256StarStar& rng,
     if (deadline > min_cost) break;
     deadline = 0.0;
   }
-  if (deadline == 0.0) deadline = min_cost * (1.0 + 1e-9);
+  if (fp::exact_eq(deadline, 0.0)) deadline = fp::rel_above(min_cost);
   task.spec.rel_deadline = deadline;
 
   // User-Split request: n ~ U{N_min, ..., N}. N_min can exceed N for tight

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Suppression pragmas are not an accepted way to satisfy the static checks:
+# a finding in src/ is fixed or the check is wrong (and then the check is
+# fixed). Fails when any clang-tidy/rtdls suppression marker appears under
+# the directories given as arguments (default: src).
+set -eu
+cd "$(dirname "$0")/../.."
+dirs="${*:-src}"
+# shellcheck disable=SC2086  # word-splitting the dir list is intended
+if grep -rn --include='*.hpp' --include='*.cpp' -E 'NOLINT|rtdls-verify-(off|disable|suppress)' $dirs; then
+  echo "error: suppression pragmas found (fix the finding or fix the check)" >&2
+  exit 1
+fi
+echo "no suppression pragmas under: $dirs"

@@ -1,0 +1,687 @@
+#include "checks.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+
+namespace rtdls::verify {
+
+namespace {
+
+bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+const std::set<std::string>& control_keywords() {
+  static const std::set<std::string> kw = {
+      "if",     "for",    "while",    "switch",   "catch",  "return",
+      "sizeof", "alignof", "decltype", "noexcept", "static_assert",
+      "alignas", "throw",
+  };
+  return kw;
+}
+
+/// Containers and strings that own heap storage; declaring one locally (or
+/// constructing a temporary) inside a hot path is an allocation.
+const std::set<std::string>& owning_types() {
+  static const std::set<std::string> types = {
+      "vector", "string", "basic_string", "deque", "list", "forward_list",
+      "map", "set", "multimap", "multiset", "unordered_map", "unordered_set",
+      "unordered_multimap", "unordered_multiset", "function", "stringstream",
+      "ostringstream", "istringstream",
+  };
+  return types;
+}
+
+const std::set<std::string>& growth_methods() {
+  static const std::set<std::string> methods = {
+      "push_back", "emplace_back", "resize", "reserve", "insert", "emplace",
+      "append",    "assign",       "push_front", "emplace_front",
+  };
+  return methods;
+}
+
+const std::set<std::string>& mutex_types() {
+  static const std::set<std::string> types = {
+      "mutex", "timed_mutex", "recursive_mutex", "recursive_timed_mutex",
+      "shared_mutex", "shared_timed_mutex",
+  };
+  return types;
+}
+
+const std::set<std::string>& std_guard_types() {
+  static const std::set<std::string> types = {
+      "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+  };
+  return types;
+}
+
+/// Given tokens[i] == "<" directly after an identifier, tries to match a
+/// template-argument list: identifiers, ::, commas, nested <>, *, &,
+/// numbers, and a few punctuation tokens. Returns the index of the closing
+/// ">" or 0 when this does not look like template syntax.
+std::size_t match_template_args(const std::vector<Token>& tokens, std::size_t i) {
+  int depth = 0;
+  const std::size_t limit = std::min(tokens.size(), i + 64);
+  for (std::size_t j = i; j < limit; ++j) {
+    const Token& t = tokens[j];
+    if (is_punct(t, "<")) {
+      ++depth;
+    } else if (is_punct(t, ">")) {
+      if (--depth == 0) return j;
+    } else if (is_punct(t, ">>")) {
+      depth -= 2;
+      if (depth <= 0) return j;
+    } else if (t.kind == TokenKind::kIdentifier || t.kind == TokenKind::kNumber ||
+               is_punct(t, "::") || is_punct(t, ",") || is_punct(t, "*") ||
+               is_punct(t, "&") || is_punct(t, "[") || is_punct(t, "]")) {
+      // plausible template-argument content
+    } else {
+      return 0;
+    }
+  }
+  return 0;
+}
+
+/// Finds the matching close brace/paren for tokens[open] (an "(" or "{").
+std::size_t match_balanced(const std::vector<Token>& tokens, std::size_t open) {
+  const std::string& open_text = tokens[open].text;
+  const std::string close_text = open_text == "(" ? ")" : "}";
+  int depth = 0;
+  for (std::size_t j = open; j < tokens.size(); ++j) {
+    if (is_punct(tokens[j], open_text)) ++depth;
+    if (is_punct(tokens[j], close_text) && --depth == 0) return j;
+  }
+  return tokens.size() ? tokens.size() - 1 : 0;
+}
+
+}  // namespace
+
+std::string Diagnostic::render() const {
+  std::ostringstream out;
+  out << file << ":" << line << ":" << col << ": warning: " << message << " ["
+      << check << "]";
+  return out.str();
+}
+
+void Analyzer::add_file(const std::string& path, const std::string& content) {
+  files_.push_back({path, lex(content)});
+  symbols_collected_ = false;
+}
+
+bool Analyzer::add_file_from_disk(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  add_file(path, buffer.str());
+  return true;
+}
+
+void Analyzer::set_fp_allowlist(std::vector<std::string> substrings) {
+  fp_allowlist_ = std::move(substrings);
+}
+
+bool Analyzer::fp_allowlisted(const std::string& path) const {
+  for (const std::string& s : fp_allowlist_) {
+    if (path.find(s) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// --- pass 1: symbols --------------------------------------------------------
+
+void Analyzer::collect_symbols() {
+  if (symbols_collected_) return;
+  mutexes_.clear();
+  value_mutex_names_.clear();
+  reference_mutex_names_.clear();
+  mutex_levels_.clear();
+  guard_classes_.clear();
+  functions_.clear();
+  hot_declared_names_.clear();
+
+  for (std::size_t fi = 0; fi < files_.size(); ++fi) {
+    const File& file = files_[fi];
+    const std::vector<Token>& tokens = file.tokens;
+
+    // Class-scope stack: (class name, brace depth at which its body opened).
+    std::vector<std::pair<std::string, int>> class_stack;
+    int depth = 0;
+    // Start of the current declaration (token after the last ; { } or
+    // access-specifier colon) - used to look for RTDLS_HOT and class heads.
+    std::size_t decl_start = 0;
+    // Pending class head: saw class/struct NAME, waiting for '{' or ';'.
+    std::string pending_class;
+
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      const Token& t = tokens[i];
+
+      if ((is_ident(t, "class") || is_ident(t, "struct")) &&
+          (i == 0 || !is_ident(tokens[i - 1], "enum"))) {
+        if (i + 1 < tokens.size() && tokens[i + 1].kind == TokenKind::kIdentifier) {
+          pending_class = tokens[i + 1].text;
+        }
+        continue;
+      }
+
+      if (is_punct(t, "{")) {
+        if (!pending_class.empty()) {
+          class_stack.emplace_back(pending_class, depth);
+          pending_class.clear();
+        }
+        ++depth;
+        decl_start = i + 1;
+        continue;
+      }
+      if (is_punct(t, "}")) {
+        --depth;
+        while (!class_stack.empty() && class_stack.back().second >= depth) {
+          class_stack.pop_back();
+        }
+        decl_start = i + 1;
+        continue;
+      }
+      if (is_punct(t, ";")) {
+        pending_class.clear();  // forward declaration
+        decl_start = i + 1;
+        continue;
+      }
+      if (is_punct(t, ":") && i > 0 &&
+          (is_ident(tokens[i - 1], "public") || is_ident(tokens[i - 1], "private") ||
+           is_ident(tokens[i - 1], "protected"))) {
+        decl_start = i + 1;
+        continue;
+      }
+
+      // Mutex member declaration: std :: <mutex-type> [&] NAME
+      //   [RTDLS_LOCK_LEVEL ( N )] ;
+      if (is_ident(t, "std") && i + 2 < tokens.size() && is_punct(tokens[i + 1], "::") &&
+          tokens[i + 2].kind == TokenKind::kIdentifier &&
+          mutex_types().count(tokens[i + 2].text)) {
+        std::size_t j = i + 3;
+        bool is_ref = false;
+        if (j < tokens.size() && is_punct(tokens[j], "&")) {
+          is_ref = true;
+          ++j;
+        }
+        if (j < tokens.size() && tokens[j].kind == TokenKind::kIdentifier) {
+          MutexDecl decl;
+          decl.name = tokens[j].text;
+          decl.enclosing_class = class_stack.empty() ? "" : class_stack.back().first;
+          decl.file = file.path;
+          decl.line = tokens[j].line;
+          decl.is_reference = is_ref;
+          std::size_t k = j + 1;
+          if (k + 3 < tokens.size() && is_ident(tokens[k], "RTDLS_LOCK_LEVEL") &&
+              is_punct(tokens[k + 1], "(") && tokens[k + 2].kind == TokenKind::kNumber) {
+            decl.level = static_cast<int>(tokens[k + 2].value);
+            k += 4;
+          }
+          if (k < tokens.size() && is_punct(tokens[k], ";")) {
+            mutexes_.push_back(decl);
+            if (is_ref) {
+              reference_mutex_names_.insert(decl.name);
+              if (!decl.enclosing_class.empty()) guard_classes_.insert(decl.enclosing_class);
+            } else {
+              value_mutex_names_.insert(decl.name);
+              if (decl.level >= 0) {
+                // Uniqueness is checked in check_lock_levels_unique; keep
+                // the first declaration's level for resolution.
+                mutex_levels_.emplace(decl.name, decl.level);
+              }
+            }
+          }
+        }
+      }
+
+      // Function definition or hot prototype: NAME ( ... ) [trailer] { / ;
+      if (t.kind == TokenKind::kIdentifier && i + 1 < tokens.size() &&
+          is_punct(tokens[i + 1], "(") && !control_keywords().count(t.text) &&
+          t.text != "RTDLS_LOCK_LEVEL") {
+        const std::size_t close = match_balanced(tokens, i + 1);
+        if (close + 1 >= tokens.size()) continue;
+
+        // Walk the trailer: const/noexcept/override/final, trailing return,
+        // constructor init list - until the body '{', a ';', or something
+        // that rules out a function. In an init list, a '{' directly after
+        // an identifier is a member brace-initializer, anything else is
+        // the body.
+        std::size_t j = close + 1;
+        bool is_definition = false, is_declaration = false, bail = false;
+        bool in_init_list = false;
+        while (j < tokens.size() && !bail) {
+          const Token& tr = tokens[j];
+          if (is_punct(tr, ";")) {
+            is_declaration = true;
+            break;
+          }
+          if (is_punct(tr, "{")) {
+            if (in_init_list && tokens[j - 1].kind == TokenKind::kIdentifier) {
+              j = match_balanced(tokens, j) + 1;
+              continue;
+            }
+            is_definition = true;
+            break;
+          }
+          if (is_ident(tr, "const") || is_ident(tr, "override") || is_ident(tr, "final")) {
+            ++j;
+            continue;
+          }
+          if (is_ident(tr, "noexcept")) {
+            ++j;
+            if (j < tokens.size() && is_punct(tokens[j], "(")) {
+              j = match_balanced(tokens, j) + 1;
+            }
+            continue;
+          }
+          if (is_punct(tr, "->")) {  // trailing return type
+            ++j;
+            while (j < tokens.size() && !is_punct(tokens[j], "{") &&
+                   !is_punct(tokens[j], ";")) {
+              if (is_punct(tokens[j], "<")) {
+                const std::size_t c = match_template_args(tokens, j);
+                if (c != 0) {
+                  j = c + 1;
+                  continue;
+                }
+              }
+              ++j;
+            }
+            continue;
+          }
+          if (is_punct(tr, ":")) {
+            in_init_list = true;
+            ++j;
+            continue;
+          }
+          if (in_init_list) {
+            if (is_punct(tr, "(")) {
+              j = match_balanced(tokens, j) + 1;
+              continue;
+            }
+            if (tr.kind == TokenKind::kIdentifier || is_punct(tr, ",") ||
+                is_punct(tr, "::") || is_punct(tr, "<") || is_punct(tr, ">")) {
+              ++j;
+              continue;
+            }
+          }
+          bail = true;
+        }
+        if (bail || (!is_definition && !is_declaration)) continue;
+
+        bool hot = false;
+        for (std::size_t k = decl_start; k < i; ++k) {
+          if (is_ident(tokens[k], "RTDLS_HOT")) hot = true;
+        }
+
+        std::string qualified = t.text;
+        if (i >= 2 && is_punct(tokens[i - 1], "::") &&
+            tokens[i - 2].kind == TokenKind::kIdentifier) {
+          qualified = tokens[i - 2].text + "::" + t.text;
+        } else if (!class_stack.empty()) {
+          qualified = class_stack.back().first + "::" + t.text;
+        }
+
+        if (is_declaration) {
+          if (hot) hot_declared_names_.insert(t.text);
+          continue;
+        }
+
+        // Definition: record it and skip the body for the outer scan (the
+        // body is re-scanned by the checks; nested lambdas stay inside it).
+        FunctionDef fn;
+        fn.name = t.text;
+        fn.qualified = qualified;
+        fn.file_index = fi;
+        fn.body_begin = j;
+        fn.body_end = match_balanced(tokens, j);
+        fn.line = t.line;
+        fn.hot = hot;
+        if (hot) fn.hot_via = qualified;
+        functions_.push_back(fn);
+        // Skip the body wholesale: its braces are balanced, so the outer
+        // depth is unchanged, and member declarations never live in bodies.
+        i = fn.body_end;
+        decl_start = i + 1;
+      }
+    }
+  }
+  propagate_hot();
+  symbols_collected_ = true;
+}
+
+void Analyzer::propagate_hot() {
+  // Seed: annotated definitions, plus definitions whose name carries a hot
+  // prototype elsewhere (annotation in the header, definition in the .cpp).
+  for (FunctionDef& fn : functions_) {
+    if (!fn.hot && hot_declared_names_.count(fn.name)) {
+      fn.hot = true;
+      fn.hot_via = fn.qualified;
+    }
+  }
+
+  // Transitive closure over calls resolvable by bare name inside the file
+  // set. Names are approximate (no overload resolution), which errs on the
+  // strict side: a hot-named callee makes every same-named definition hot.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionDef& caller : functions_) {
+      if (!caller.hot) continue;
+      const std::vector<Token>& tokens = files_[caller.file_index].tokens;
+      for (std::size_t i = caller.body_begin; i < caller.body_end; ++i) {
+        const Token& t = tokens[i];
+        if (t.kind != TokenKind::kIdentifier || !is_punct(tokens[i + 1], "(")) continue;
+        if (control_keywords().count(t.text)) continue;
+        for (FunctionDef& callee : functions_) {
+          if (callee.hot || callee.name != t.text) continue;
+          callee.hot = true;
+          callee.hot_via = caller.hot_via.empty() ? caller.qualified : caller.hot_via;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+// --- check: rtdls-no-raw-float-compare --------------------------------------
+
+void Analyzer::check_float_compare(const File& file, std::vector<Diagnostic>& out) const {
+  if (fp_allowlisted(file.path)) return;
+  const std::vector<Token>& tokens = file.tokens;
+
+  std::size_t stmt_begin = 0;
+  for (std::size_t i = 0; i <= tokens.size(); ++i) {
+    const bool boundary = i == tokens.size() || is_punct(tokens[i], ";") ||
+                          is_punct(tokens[i], "{") || is_punct(tokens[i], "}");
+    if (!boundary) continue;
+
+    // Analyze the statement span [stmt_begin, i).
+    bool has_comparison = false;
+    bool has_abs = false;
+    for (std::size_t j = stmt_begin; j < i; ++j) {
+      const Token& t = tokens[j];
+      if (t.kind == TokenKind::kIdentifier && (t.text == "fabs" || t.text == "abs")) {
+        has_abs = true;
+      }
+      if (!is_comparison_punct(t)) continue;
+      if (t.text == "<" && j > stmt_begin &&
+          tokens[j - 1].kind == TokenKind::kIdentifier) {
+        const std::size_t close = match_template_args(tokens, j);
+        if (close != 0 && close < i) {
+          j = close;  // template-argument list, not a comparison
+          continue;
+        }
+      }
+      has_comparison = true;
+    }
+
+    for (std::size_t j = stmt_begin; j < i; ++j) {
+      const Token& t = tokens[j];
+
+      if ((is_punct(t, "==") || is_punct(t, "!="))) {
+        const Token* prev = j > stmt_begin ? &tokens[j - 1] : nullptr;
+        const Token* next = j + 1 < i ? &tokens[j + 1] : nullptr;
+        const bool float_operand =
+            (prev && prev->kind == TokenKind::kNumber && prev->is_float) ||
+            (next && next->kind == TokenKind::kNumber && next->is_float);
+        if (float_operand) {
+          out.push_back({file.path, t.line, t.col,
+                         "raw " + t.text +
+                             " against a float literal; use fp::exact_eq / "
+                             "fp::exact_ne (util/fp.hpp) to mark bit-exact "
+                             "comparison as intended",
+                         kCheckFloatCompare});
+        }
+      }
+
+      if (t.kind == TokenKind::kNumber && t.is_float && t.value > 0.0 &&
+          t.value <= 1e-5 && (has_comparison || has_abs)) {
+        std::ostringstream msg;
+        msg << "raw epsilon literal " << t.text
+            << " in a comparison; anchor the tolerance in util/fp.hpp and "
+               "compare through the fp:: helpers";
+        out.push_back({file.path, t.line, t.col, msg.str(), kCheckFloatCompare});
+      }
+
+      if (t.kind == TokenKind::kIdentifier && has_comparison && is_epsilon_name(t.text)) {
+        const bool fp_qualified = j >= stmt_begin + 2 && is_punct(tokens[j - 1], "::") &&
+                                  is_ident(tokens[j - 2], "fp");
+        if (!fp_qualified) {
+          out.push_back({file.path, t.line, t.col,
+                         "epsilon-named constant '" + t.text +
+                             "' used in a comparison; tolerances live in "
+                             "util/fp.hpp and comparisons go through the "
+                             "fp:: helpers",
+                         kCheckFloatCompare});
+        }
+      }
+    }
+    stmt_begin = i + 1;
+  }
+}
+
+// --- check: rtdls-hot-path-alloc --------------------------------------------
+
+void Analyzer::check_hot_alloc(const FunctionDef& fn, std::vector<Diagnostic>& out) const {
+  const std::vector<Token>& tokens = files_[fn.file_index].tokens;
+  const std::string where =
+      fn.qualified + (fn.hot_via == fn.qualified || fn.hot_via.empty()
+                          ? " (annotated RTDLS_HOT)"
+                          : " (reachable from RTDLS_HOT '" + fn.hot_via + "')");
+
+  std::set<std::string> local_owners;  // locally declared owning containers
+
+  for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+
+    if (t.text == "new" || t.text == "delete") {
+      out.push_back({files_[fn.file_index].path, t.line, t.col,
+                     "operator " + t.text + " in hot path " + where, kCheckHotAlloc});
+      continue;
+    }
+    if ((t.text == "malloc" || t.text == "calloc" || t.text == "realloc" ||
+         t.text == "aligned_alloc" || t.text == "strdup") &&
+        i + 1 < fn.body_end && is_punct(tokens[i + 1], "(")) {
+      out.push_back({files_[fn.file_index].path, t.line, t.col,
+                     t.text + "() in hot path " + where, kCheckHotAlloc});
+      continue;
+    }
+    if ((t.text == "make_unique" || t.text == "make_shared" || t.text == "to_string") &&
+        i + 1 < fn.body_end &&
+        (is_punct(tokens[i + 1], "(") || is_punct(tokens[i + 1], "<"))) {
+      out.push_back({files_[fn.file_index].path, t.line, t.col,
+                     t.text + " in hot path " + where, kCheckHotAlloc});
+      continue;
+    }
+
+    // std::<owning-type> ... : local declaration or temporary construction.
+    if (t.text == "std" && i + 2 < fn.body_end && is_punct(tokens[i + 1], "::") &&
+        tokens[i + 2].kind == TokenKind::kIdentifier &&
+        owning_types().count(tokens[i + 2].text)) {
+      const Token& type_token = tokens[i + 2];
+      std::size_t j = i + 3;
+      if (j < fn.body_end && is_punct(tokens[j], "<")) {
+        const std::size_t close = match_template_args(tokens, j);
+        if (close != 0) j = close + 1;
+      }
+      const bool reference_or_pointer =
+          j < fn.body_end && (is_punct(tokens[j], "&") || is_punct(tokens[j], "*"));
+      if (!reference_or_pointer) {
+        out.push_back({files_[fn.file_index].path, type_token.line, type_token.col,
+                       "local std::" + type_token.text + " (owning storage) in hot path " +
+                           where,
+                       kCheckHotAlloc});
+        if (j < fn.body_end && tokens[j].kind == TokenKind::kIdentifier) {
+          local_owners.insert(tokens[j].text);
+        }
+      }
+      i = j;
+      continue;
+    }
+
+    // Growth on a locally declared owner (member scratch stays legal).
+    if (growth_methods().count(t.text) && i >= fn.body_begin + 3 &&
+        is_punct(tokens[i - 1], ".") && tokens[i - 2].kind == TokenKind::kIdentifier &&
+        local_owners.count(tokens[i - 2].text) && i + 1 < fn.body_end &&
+        is_punct(tokens[i + 1], "(")) {
+      out.push_back({files_[fn.file_index].path, t.line, t.col,
+                     tokens[i - 2].text + "." + t.text + "() grows a local container in "
+                         "hot path " + where,
+                     kCheckHotAlloc});
+    }
+  }
+}
+
+// --- check: rtdls-lock-discipline -------------------------------------------
+
+void Analyzer::check_lock_levels_unique(std::vector<Diagnostic>& out) const {
+  std::map<std::string, const MutexDecl*> seen;
+  for (const MutexDecl& decl : mutexes_) {
+    if (decl.is_reference || decl.level < 0) continue;
+    auto [it, inserted] = seen.emplace(decl.name, &decl);
+    if (!inserted && it->second->level != decl.level) {
+      out.push_back({decl.file, decl.line, 1,
+                     "leveled mutex member name '" + decl.name +
+                         "' is not globally unique (also declared in " +
+                         it->second->file + "); rename so lock sites resolve "
+                         "unambiguously",
+                     kCheckLockDiscipline});
+    }
+  }
+}
+
+void Analyzer::check_lock_discipline(const File& file, std::vector<Diagnostic>& out) const {
+  const std::vector<Token>& tokens = file.tokens;
+
+  static const std::set<std::string> lock_methods = {
+      "lock", "unlock", "try_lock", "try_lock_for", "try_lock_until",
+      "lock_shared", "unlock_shared",
+  };
+
+  // Naked lock calls: NAME . method ( where NAME is a value-typed mutex
+  // member. Names that are also declared as reference members somewhere
+  // (guard internals) are exempt - the guard owns the discipline.
+  for (std::size_t i = 2; i + 1 < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != TokenKind::kIdentifier || !lock_methods.count(t.text)) continue;
+    if (!is_punct(tokens[i + 1], "(")) continue;
+    if (!is_punct(tokens[i - 1], ".")) continue;
+    const Token& object = tokens[i - 2];
+    if (object.kind != TokenKind::kIdentifier) continue;
+    if (!value_mutex_names_.count(object.text)) continue;
+    if (reference_mutex_names_.count(object.text)) continue;
+    out.push_back({file.path, t.line, t.col,
+                   "naked " + t.text + "() on mutex member '" + object.text +
+                       "'; acquire through a guard (std::lock_guard, "
+                       "std::unique_lock, or a project guard type)",
+                   kCheckLockDiscipline});
+  }
+
+  // Lock-order tracking per function body.
+  for (const FunctionDef& fn : functions_) {
+    if (&files_[fn.file_index] != &file) continue;
+
+    struct Held {
+      std::string name;
+      int level;
+      int depth;
+      int line;
+    };
+    std::vector<Held> held;
+    int depth = 0;
+
+    for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+      const Token& t = tokens[i];
+      if (is_punct(t, "{")) {
+        ++depth;
+        continue;
+      }
+      if (is_punct(t, "}")) {
+        --depth;
+        while (!held.empty() && held.back().depth > depth) held.pop_back();
+        continue;
+      }
+
+      // Guard construction:
+      //   std :: guard_type [<...>] VAR ( args )
+      //   GuardClass VAR ( args )
+      std::size_t args_open = 0;
+      if (is_ident(t, "std") && i + 2 < fn.body_end && is_punct(tokens[i + 1], "::") &&
+          tokens[i + 2].kind == TokenKind::kIdentifier &&
+          std_guard_types().count(tokens[i + 2].text)) {
+        std::size_t j = i + 3;
+        if (j < fn.body_end && is_punct(tokens[j], "<")) {
+          const std::size_t close = match_template_args(tokens, j);
+          if (close != 0) j = close + 1;
+        }
+        if (j + 1 < fn.body_end && tokens[j].kind == TokenKind::kIdentifier &&
+            is_punct(tokens[j + 1], "(")) {
+          args_open = j + 1;
+        }
+      } else if (t.kind == TokenKind::kIdentifier && guard_classes_.count(t.text) &&
+                 i + 2 < fn.body_end && tokens[i + 1].kind == TokenKind::kIdentifier &&
+                 is_punct(tokens[i + 2], "(")) {
+        args_open = i + 2;
+      }
+      if (args_open == 0) continue;
+
+      const std::size_t args_close = match_balanced(tokens, args_open);
+      for (std::size_t j = args_open + 1; j < args_close; ++j) {
+        const Token& arg = tokens[j];
+        if (arg.kind != TokenKind::kIdentifier) continue;
+        auto level_it = mutex_levels_.find(arg.text);
+        if (level_it == mutex_levels_.end()) continue;
+        const int level = level_it->second;
+        for (const Held& h : held) {
+          if (h.level > level) {
+            std::ostringstream msg;
+            msg << "lock-order inversion: acquiring '" << arg.text << "' (level "
+                << level << ") while holding '" << h.name << "' (level " << h.level
+                << ", acquired at line " << h.line
+                << "); the declared order acquires lower RTDLS_LOCK_LEVEL first";
+            out.push_back({file.path, arg.line, arg.col, msg.str(), kCheckLockDiscipline});
+            break;
+          }
+        }
+        held.push_back({arg.text, level, depth, arg.line});
+      }
+      i = args_close;
+    }
+  }
+}
+
+// --- driver -----------------------------------------------------------------
+
+std::vector<Diagnostic> Analyzer::run(const std::set<std::string>& checks) {
+  collect_symbols();
+  auto enabled = [&checks](const char* name) {
+    return checks.empty() || checks.count(name) != 0;
+  };
+
+  std::vector<Diagnostic> out;
+  if (enabled(kCheckLockDiscipline)) check_lock_levels_unique(out);
+  for (const File& file : files_) {
+    if (enabled(kCheckFloatCompare)) check_float_compare(file, out);
+    if (enabled(kCheckLockDiscipline)) check_lock_discipline(file, out);
+  }
+  if (enabled(kCheckHotAlloc)) {
+    for (const FunctionDef& fn : functions_) {
+      if (fn.hot) check_hot_alloc(fn, out);
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const Diagnostic& a, const Diagnostic& b) {
+    return std::tie(a.file, a.line, a.col, a.check, a.message) <
+           std::tie(b.file, b.line, b.col, b.check, b.message);
+  });
+  return out;
+}
+
+}  // namespace rtdls::verify

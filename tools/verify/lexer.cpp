@@ -1,0 +1,227 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace rtdls::verify {
+
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+// Longest-match punctuators we care to keep distinct. Everything else is
+// emitted as a single character.
+constexpr std::string_view kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "<=>", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "++",  "--", "+=", "-=", "*=", "/=", "%=",
+    "&=",  "|=",  "^=",  ".*",
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1, col = 1;
+
+  auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n && i < src.size(); ++k, ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') advance(1);
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      advance(2);
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) advance(1);
+      advance(2);
+      continue;
+    }
+
+    // Preprocessor directive: consume the logical line (with \ continuations).
+    if (c == '#' && (out.empty() || col == 1 ||
+                     (i > 0 && (src[i - 1] == '\n' || std::isspace(static_cast<unsigned char>(src[i - 1])))))) {
+      // Only treat as a directive at (possibly indented) line start.
+      bool at_line_start = true;
+      for (std::size_t k = i; k > 0; --k) {
+        const char p = src[k - 1];
+        if (p == '\n') break;
+        if (p != ' ' && p != '\t') {
+          at_line_start = false;
+          break;
+        }
+      }
+      if (at_line_start) {
+        while (i < src.size()) {
+          if (src[i] == '\\' && i + 1 < src.size() && src[i + 1] == '\n') {
+            advance(2);
+            continue;
+          }
+          if (src[i] == '\n') break;
+          advance(1);
+        }
+        continue;
+      }
+    }
+
+    // Raw string literal.
+    if (c == 'R' && i + 1 < src.size() && src[i + 1] == '"') {
+      const int tline = line, tcol = col;
+      advance(2);
+      std::string delim;
+      while (i < src.size() && src[i] != '(') {
+        delim += src[i];
+        advance(1);
+      }
+      advance(1);  // '('
+      const std::string closer = ")" + delim + "\"";
+      while (i < src.size() && src.substr(i, closer.size()) != closer) advance(1);
+      advance(closer.size());
+      out.push_back({TokenKind::kString, "R\"...\"", tline, tcol, false, 0.0});
+      continue;
+    }
+
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const int tline = line, tcol = col;
+      const char quote = c;
+      advance(1);
+      while (i < src.size() && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < src.size()) advance(1);
+        advance(1);
+      }
+      advance(1);
+      out.push_back({TokenKind::kString, quote == '"' ? "\"...\"" : "'...'", tline, tcol,
+                     false, 0.0});
+      continue;
+    }
+
+    // Numeric literal (also .5-style floats).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < src.size() && std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      const int tline = line, tcol = col;
+      std::string text;
+      const bool hex = c == '0' && i + 1 < src.size() && (src[i + 1] == 'x' || src[i + 1] == 'X');
+      while (i < src.size()) {
+        const char d = src[i];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '.' || d == '\'') {
+          text += d;
+          advance(1);
+          continue;
+        }
+        // Exponent sign: 1e-9, 0x1p+3.
+        if ((d == '+' || d == '-') && !text.empty()) {
+          const char prev = text.back();
+          const bool exp = !hex ? (prev == 'e' || prev == 'E') : (prev == 'p' || prev == 'P');
+          if (exp) {
+            text += d;
+            advance(1);
+            continue;
+          }
+        }
+        break;
+      }
+      Token token{TokenKind::kNumber, text, tline, tcol, false, 0.0};
+      std::string clean;
+      for (char d : text) {
+        if (d != '\'') clean += d;
+      }
+      if (!hex) {
+        token.is_float = clean.find('.') != std::string::npos ||
+                         clean.find('e') != std::string::npos ||
+                         clean.find('E') != std::string::npos;
+        // Suffix-only floats (1f) are rare enough to ignore; suffixes on a
+        // dotted/exponent literal are already covered above.
+        token.value = std::strtod(clean.c_str(), nullptr);
+      } else {
+        token.value = static_cast<double>(std::strtoull(clean.c_str(), nullptr, 16));
+      }
+      out.push_back(std::move(token));
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      const int tline = line, tcol = col;
+      std::string text;
+      while (i < src.size() && ident_char(src[i])) {
+        text += src[i];
+        advance(1);
+      }
+      out.push_back({TokenKind::kIdentifier, std::move(text), tline, tcol, false, 0.0});
+      continue;
+    }
+
+    // Punctuator, longest match first.
+    {
+      const int tline = line, tcol = col;
+      std::string text(1, c);
+      for (std::string_view p : kPuncts) {
+        if (src.substr(i, p.size()) == p) {
+          text = std::string(p);
+          break;
+        }
+      }
+      advance(text.size());
+      out.push_back({TokenKind::kPunct, std::move(text), tline, tcol, false, 0.0});
+    }
+  }
+  return out;
+}
+
+bool is_comparison_punct(const Token& token) {
+  if (token.kind != TokenKind::kPunct) return false;
+  return token.text == "<" || token.text == ">" || token.text == "<=" ||
+         token.text == ">=" || token.text == "==" || token.text == "!=";
+}
+
+bool is_epsilon_name(std::string_view text) {
+  // Split into segments at '_' and lower-to-upper camelCase boundaries,
+  // then look for an exact segment match.
+  std::vector<std::string> segments;
+  std::string current;
+  char prev = '\0';
+  for (char c : text) {
+    if (c == '_') {
+      if (!current.empty()) segments.push_back(current);
+      current.clear();
+    } else {
+      if (std::isupper(static_cast<unsigned char>(c)) &&
+          std::islower(static_cast<unsigned char>(prev)) && !current.empty()) {
+        segments.push_back(current);
+        current.clear();
+      }
+      current += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    prev = c;
+  }
+  if (!current.empty()) segments.push_back(current);
+  for (const std::string& segment : segments) {
+    if (segment == "eps" || segment == "epsilon" || segment == "tol" ||
+        segment == "tolerance" || segment == "keps" || segment == "kepsilon" ||
+        segment == "ktol" || segment == "ktolerance") {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rtdls::verify

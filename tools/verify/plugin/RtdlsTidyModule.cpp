@@ -1,0 +1,297 @@
+// clang-tidy plugin exposing the rtdls-verify checks on the real AST.
+//
+// Load with:
+//   clang-tidy -load=librtdls_tidy_plugin.so \
+//       -checks='rtdls-no-raw-float-compare,rtdls-hot-path-alloc,rtdls-lock-discipline' \
+//       -p build <files>
+//
+// These are the AST-exact implementations of the checks described in
+// ../checks.hpp: where the token-based engine approximates (type of ==
+// operands, template brackets vs comparisons, name-based call
+// resolution), the matchers here are precise. The build target is gated
+// on finding Clang development headers plus the clang-tidy module
+// headers, which not every distribution packages - the standalone
+// rtdls_tidy driver remains the enforcement path that runs everywhere.
+//
+// Annotation mapping (src/util/annotations.hpp):
+//   RTDLS_HOT           -> [[clang::annotate("rtdls_hot")]]
+//   RTDLS_LOCK_LEVEL(n) -> __attribute__((annotate("rtdls_lock_level_<n>")))
+
+#include <optional>
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+namespace rtdls_tidy {
+
+using namespace clang;
+using namespace clang::ast_matchers;
+using clang::tidy::ClangTidyCheck;
+using clang::tidy::ClangTidyContext;
+
+namespace {
+
+bool hasAnnotation(const Decl *decl, llvm::StringRef annotation) {
+  if (!decl) return false;
+  for (const auto *attr : decl->specific_attrs<AnnotateAttr>()) {
+    if (attr->getAnnotation() == annotation) return true;
+  }
+  return false;
+}
+
+std::optional<int> lockLevel(const Decl *decl) {
+  if (!decl) return std::nullopt;
+  constexpr llvm::StringRef prefix = "rtdls_lock_level_";
+  for (const auto *attr : decl->specific_attrs<AnnotateAttr>()) {
+    llvm::StringRef text = attr->getAnnotation();
+    if (text.startswith(prefix)) {
+      int level = 0;
+      if (!text.drop_front(prefix.size()).getAsInteger(10, level)) return level;
+    }
+  }
+  return std::nullopt;
+}
+
+bool inFpAllowlist(const SourceManager &sm, SourceLocation loc) {
+  const llvm::StringRef file = sm.getFilename(sm.getSpellingLoc(loc));
+  return file.contains("util/fp");
+}
+
+AST_MATCHER(FunctionDecl, isRtdlsHot) {
+  // The annotation may sit on any redeclaration (header vs definition).
+  for (const FunctionDecl *redecl : Node.redecls()) {
+    if (hasAnnotation(redecl, "rtdls_hot")) return true;
+  }
+  return false;
+}
+
+bool isOwningRecordName(llvm::StringRef name) {
+  return name == "vector" || name == "basic_string" || name == "deque" ||
+         name == "list" || name == "forward_list" || name == "map" ||
+         name == "set" || name == "multimap" || name == "multiset" ||
+         name == "unordered_map" || name == "unordered_set" ||
+         name == "unordered_multimap" || name == "unordered_multiset" ||
+         name == "function" || name == "basic_stringstream";
+}
+
+bool isMutexRecordName(llvm::StringRef name) {
+  return name == "mutex" || name == "timed_mutex" || name == "recursive_mutex" ||
+         name == "recursive_timed_mutex" || name == "shared_mutex" ||
+         name == "shared_timed_mutex";
+}
+
+}  // namespace
+
+// --- rtdls-no-raw-float-compare ---------------------------------------------
+
+class NoRawFloatCompareCheck : public ClangTidyCheck {
+ public:
+  NoRawFloatCompareCheck(llvm::StringRef name, ClangTidyContext *context)
+      : ClangTidyCheck(name, context) {}
+
+  void registerMatchers(MatchFinder *finder) override {
+    finder->addMatcher(
+        binaryOperator(hasAnyOperatorName("==", "!="),
+                       hasEitherOperand(ignoringParenImpCasts(
+                           expr(hasType(realFloatingPointType())))))
+            .bind("eq"),
+        this);
+    finder->addMatcher(
+        binaryOperator(isComparisonOperator(),
+                       forEachDescendant(floatLiteral().bind("lit")))
+            .bind("cmp"),
+        this);
+  }
+
+  void check(const MatchFinder::MatchResult &result) override {
+    const SourceManager &sm = *result.SourceManager;
+    if (const auto *eq = result.Nodes.getNodeAs<BinaryOperator>("eq")) {
+      if (inFpAllowlist(sm, eq->getOperatorLoc())) return;
+      diag(eq->getOperatorLoc(),
+           "raw %0 on floating-point operands; use fp::exact_eq / fp::exact_ne "
+           "(util/fp.hpp) to mark bit-exact comparison as intended")
+          << eq->getOpcodeStr();
+      return;
+    }
+    const auto *lit = result.Nodes.getNodeAs<FloatingLiteral>("lit");
+    if (!lit) return;
+    if (inFpAllowlist(sm, lit->getLocation())) return;
+    const double value = std::abs(lit->getValueAsApproximateDouble());
+    if (value > 0.0 && value <= 1e-5) {
+      diag(lit->getLocation(),
+           "raw epsilon literal in a comparison; anchor the tolerance in "
+           "util/fp.hpp and compare through the fp:: helpers");
+    }
+  }
+};
+
+// --- rtdls-hot-path-alloc ---------------------------------------------------
+
+class HotPathAllocCheck : public ClangTidyCheck {
+ public:
+  HotPathAllocCheck(llvm::StringRef name, ClangTidyContext *context)
+      : ClangTidyCheck(name, context) {}
+
+  void registerMatchers(MatchFinder *finder) override {
+    const auto hot_fn = functionDecl(isRtdlsHot());
+    finder->addMatcher(
+        cxxNewExpr(hasAncestor(hot_fn.bind("fn"))).bind("new"), this);
+    finder->addMatcher(
+        cxxDeleteExpr(hasAncestor(hot_fn.bind("fn"))).bind("del"), this);
+    finder->addMatcher(
+        callExpr(callee(functionDecl(hasAnyName(
+                     "malloc", "calloc", "realloc", "aligned_alloc",
+                     "::std::make_unique", "::std::make_shared", "::std::to_string"))),
+                 hasAncestor(hot_fn.bind("fn")))
+            .bind("call"),
+        this);
+    // Local owning-container or string declarations: the amortized
+    // scratch-reuse contract only covers *member* scratch.
+    finder->addMatcher(
+        varDecl(hasLocalStorage(), unless(parmVarDecl()),
+                hasType(cxxRecordDecl(isInStdNamespace()).bind("record")),
+                hasAncestor(hot_fn.bind("fn")))
+            .bind("var"),
+        this);
+  }
+
+  void check(const MatchFinder::MatchResult &result) override {
+    const auto *fn = result.Nodes.getNodeAs<FunctionDecl>("fn");
+    const std::string where =
+        fn ? (" in RTDLS_HOT path '" + fn->getQualifiedNameAsString() + "'") : "";
+    if (const auto *e = result.Nodes.getNodeAs<CXXNewExpr>("new")) {
+      diag(e->getBeginLoc(), "operator new%0") << where;
+    } else if (const auto *e = result.Nodes.getNodeAs<CXXDeleteExpr>("del")) {
+      diag(e->getBeginLoc(), "operator delete%0") << where;
+    } else if (const auto *e = result.Nodes.getNodeAs<CallExpr>("call")) {
+      diag(e->getBeginLoc(), "allocating call%0") << where;
+    } else if (const auto *var = result.Nodes.getNodeAs<VarDecl>("var")) {
+      const auto *record = result.Nodes.getNodeAs<CXXRecordDecl>("record");
+      if (!record || !isOwningRecordName(record->getName())) return;
+      diag(var->getLocation(), "local std::%0 (owning storage)%1")
+          << record->getName() << where;
+    }
+  }
+};
+
+// --- rtdls-lock-discipline --------------------------------------------------
+
+class LockDisciplineCheck : public ClangTidyCheck {
+ public:
+  LockDisciplineCheck(llvm::StringRef name, ClangTidyContext *context)
+      : ClangTidyCheck(name, context) {}
+
+  void registerMatchers(MatchFinder *finder) override {
+    // Naked lock()/unlock() on a mutex-typed *field*: guard types hold a
+    // mutex reference, so their internal calls are not member-field
+    // accesses on a mutex value and do not match.
+    finder->addMatcher(
+        cxxMemberCallExpr(
+            callee(cxxMethodDecl(hasAnyName("lock", "unlock", "try_lock",
+                                            "try_lock_for", "try_lock_until"),
+                                 ofClass(cxxRecordDecl(isInStdNamespace())))),
+            on(ignoringParenImpCasts(
+                memberExpr(member(fieldDecl().bind("field"))).bind("member"))))
+            .bind("naked"),
+        this);
+    // Guard constructions, visited per function in source order for the
+    // level check.
+    finder->addMatcher(
+        functionDecl(isDefinition(), hasBody(compoundStmt())).bind("body_fn"), this);
+  }
+
+  void check(const MatchFinder::MatchResult &result) override {
+    if (const auto *call = result.Nodes.getNodeAs<CXXMemberCallExpr>("naked")) {
+      const auto *field = result.Nodes.getNodeAs<FieldDecl>("field");
+      if (!field || field->getType()->isReferenceType()) return;
+      const auto *record = field->getType()->getAsCXXRecordDecl();
+      if (!record || !isMutexRecordName(record->getName())) return;
+      diag(call->getBeginLoc(),
+           "naked mutex call on member '%0'; acquire through a guard")
+          << field->getName();
+      return;
+    }
+    const auto *fn = result.Nodes.getNodeAs<FunctionDecl>("body_fn");
+    if (fn && fn->hasBody()) checkLockOrder(fn, *result.Context);
+  }
+
+ private:
+  void checkLockOrder(const FunctionDecl *fn, ASTContext &context) {
+    // Collect guard constructions (any automatic variable whose type holds
+    // a mutex reference, or a std guard) in source order and compare the
+    // RTDLS_LOCK_LEVEL annotations of the referenced mutex fields.
+    struct Visitor : RecursiveASTVisitor<Visitor> {
+      LockDisciplineCheck *check = nullptr;
+      std::vector<std::pair<int, const FieldDecl *>> held;
+
+      bool VisitVarDecl(VarDecl *var) {
+        if (!var->hasLocalStorage() || !var->getInit()) return true;
+        const FieldDecl *field = referencedMutexField(var->getInit());
+        if (!field) return true;
+        const std::optional<int> level = lockLevel(field);
+        if (!level) return true;
+        for (const auto &[held_level, held_field] : held) {
+          if (held_level > *level) {
+            check->diag(var->getLocation(),
+                        "lock-order inversion: acquiring '%0' (level %1) while "
+                        "holding '%2' (level %3)")
+                << field->getName() << *level << held_field->getName() << held_level;
+            break;
+          }
+        }
+        held.emplace_back(*level, field);
+        return true;
+      }
+
+      static const FieldDecl *referencedMutexField(const Expr *init) {
+        // First mutex-typed member reference anywhere in the initializer.
+        struct Finder : RecursiveASTVisitor<Finder> {
+          const FieldDecl *found = nullptr;
+          bool VisitMemberExpr(MemberExpr *member) {
+            const auto *field = dyn_cast<FieldDecl>(member->getMemberDecl());
+            if (!field) return true;
+            const auto *record = field->getType()->getAsCXXRecordDecl();
+            if (record && isMutexRecordName(record->getName())) {
+              found = field;
+              return false;
+            }
+            return true;
+          }
+        };
+        Finder finder;
+        finder.TraverseStmt(const_cast<Expr *>(init));
+        return finder.found;
+      }
+    };
+    Visitor visitor;
+    visitor.check = this;
+    visitor.TraverseStmt(fn->getBody());
+    (void)context;
+  }
+};
+
+// --- module registration ----------------------------------------------------
+
+class RtdlsTidyModule : public clang::tidy::ClangTidyModule {
+ public:
+  void addCheckFactories(clang::tidy::ClangTidyCheckFactories &factories) override {
+    factories.registerCheck<NoRawFloatCompareCheck>("rtdls-no-raw-float-compare");
+    factories.registerCheck<HotPathAllocCheck>("rtdls-hot-path-alloc");
+    factories.registerCheck<LockDisciplineCheck>("rtdls-lock-discipline");
+  }
+};
+
+static clang::tidy::ClangTidyModuleRegistry::Add<RtdlsTidyModule> X(
+    "rtdls-module", "rtdls project-specific invariant checks");
+
+}  // namespace rtdls_tidy
+
+// Anchor the registry entry so -load keeps the module alive.
+volatile int RtdlsTidyModuleAnchorSource = 0;

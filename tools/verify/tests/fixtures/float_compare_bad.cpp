@@ -1,0 +1,21 @@
+// Known-bad fixture for rtdls-no-raw-float-compare. Never compiled, only
+// analyzed: each construct below must produce exactly one diagnostic, and
+// the harness asserts the line numbers, so keep edits append-only.
+
+bool raw_epsilon_window(double est, double deadline) {
+  return est > deadline + 1e-9;  // line 6: raw epsilon literal
+}
+
+bool raw_float_equality(double x) {
+  return x == 1.0;  // line 10: == against a float literal
+}
+
+constexpr double kEps = 1e-9;  // declaration alone is legal...
+
+bool named_epsilon_compare(double a, double b) {
+  return a > b + kEps;  // line 16: ...but comparing through it is not
+}
+
+bool abs_window(double a, double b) {
+  return __builtin_fabs(a - b) < 1e-6;  // line 20: raw epsilon literal
+}

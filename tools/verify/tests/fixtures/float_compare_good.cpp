@@ -1,0 +1,26 @@
+// Known-good fixture for rtdls-no-raw-float-compare: anchored fp::
+// comparators, integer comparisons, template brackets, and large float
+// constants must all pass clean. (Fixtures are analyzed, never compiled,
+// so the fp:: helpers need no declarations here.)
+
+bool anchored_deadline(double est, double deadline) {
+  return rtdls::fp::after(est, deadline);
+}
+
+bool deliberate_sentinel(double deadline) {
+  return rtdls::fp::exact_eq(deadline, 0.0);
+}
+
+bool integer_equality(int a) { return a == 1; }
+
+bool template_brackets(const std::vector<double>& v, unsigned long n) {
+  return sizeof(v) > n;  // > is a real comparison; <...> above is not
+}
+
+bool large_constant(double load) {
+  return load > 0.5;  // magnitudes above 1e-5 are not epsilon literals
+}
+
+bool qualified_tolerance(double a, double b) {
+  return rtdls::fp::near(a, b, rtdls::fp::kTimeTolerance);
+}

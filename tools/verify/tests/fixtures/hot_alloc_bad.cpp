@@ -1,0 +1,20 @@
+// Known-bad fixture for rtdls-hot-path-alloc. Never compiled, only
+// analyzed; the harness asserts line numbers, so keep edits append-only.
+
+double reachable_helper(double x);
+
+RTDLS_HOT double hot_kernel(const double* xs, unsigned long n) {
+  std::vector<double> tmp;      // line 7: local owning container
+  tmp.push_back(xs[0]);         // line 8: growth on a local container
+  double* raw = new double[n];  // line 9: operator new
+  double acc = raw[0];
+  for (unsigned long i = 0; i < n; ++i) acc += reachable_helper(xs[i]);
+  return acc + tmp.size();
+}
+
+// Not annotated itself, but called from hot_kernel: reachable, so the
+// string construction below is a finding too.
+double reachable_helper(double x) {
+  std::string label("x");  // line 18: std::string in a reachable function
+  return x + label.size();
+}

@@ -1,0 +1,27 @@
+// Known-good fixture for rtdls-hot-path-alloc: member-scratch growth (the
+// amortized reuse contract), reads through references, and allocation in
+// cold functions must all pass clean.
+
+class Batch {
+ public:
+  RTDLS_HOT double kernel(unsigned long n) {
+    scratch_.resize(n);  // member scratch: amortized growth is the contract
+    double acc = 0.0;
+    for (unsigned long i = 0; i < n; ++i) acc += scratch_[i];
+    return acc;
+  }
+
+  RTDLS_HOT double reads_only(const std::vector<double>& column) const {
+    return column.empty() ? 0.0 : column[0];  // reference parameter: no alloc
+  }
+
+ private:
+  std::vector<double> scratch_;
+};
+
+// Cold path: allocation is fine outside RTDLS_HOT reachability.
+double cold_setup(unsigned long n) {
+  std::vector<double> staging(n, 0.0);
+  staging.push_back(1.0);
+  return staging[0];
+}

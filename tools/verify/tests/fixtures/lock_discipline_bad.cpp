@@ -1,0 +1,21 @@
+// Known-bad fixture for rtdls-lock-discipline. Never compiled, only
+// analyzed; the harness asserts line numbers, so keep edits append-only.
+
+class BadDaemon {
+ public:
+  void naked_calls() {
+    state_mutex.lock();    // line 7: naked lock()
+    state_mutex.unlock();  // line 8: naked unlock()
+  }
+
+  // Declared order is state (20) before pool (40); taking pool first and
+  // then state inverts it.
+  void inverted_order() {
+    std::lock_guard<std::mutex> pool_guard(pool_mutex);
+    std::lock_guard<std::mutex> state_guard(state_mutex);  // line 15: inversion
+  }
+
+ private:
+  std::mutex state_mutex RTDLS_LOCK_LEVEL(20);
+  std::mutex pool_mutex RTDLS_LOCK_LEVEL(40);
+};

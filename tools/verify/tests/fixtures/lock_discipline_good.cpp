@@ -1,0 +1,40 @@
+// Known-good fixture for rtdls-lock-discipline: guard types (classes
+// holding a mutex reference), ascending acquisition order, and scope-based
+// release must all pass clean.
+
+/// A project guard type: holds a reference, so its internal lock/unlock
+/// calls are the guard discipline, not a violation of it.
+class DeadlineGuard {
+ public:
+  explicit DeadlineGuard(std::timed_mutex& mutex) : guarded_mutex_(mutex) {
+    guarded_mutex_.lock();
+  }
+  ~DeadlineGuard() { guarded_mutex_.unlock(); }
+
+ private:
+  std::timed_mutex& guarded_mutex_;
+};
+
+class GoodService {
+ public:
+  void ascending_order() {
+    std::lock_guard<std::mutex> first(intake_mutex);
+    std::lock_guard<std::mutex> second(worker_mutex);
+  }
+
+  // The inner-scope guard is released at its closing brace, so the
+  // follow-up acquisition of the lower level is sequential, not nested.
+  void scoped_release() {
+    {
+      std::lock_guard<std::mutex> inner(worker_mutex);
+    }
+    std::lock_guard<std::mutex> outer(intake_mutex);
+  }
+
+  void through_guard_type() { DeadlineGuard guard(slow_mutex); }
+
+ private:
+  std::mutex intake_mutex RTDLS_LOCK_LEVEL(10);
+  std::mutex worker_mutex RTDLS_LOCK_LEVEL(30);
+  std::timed_mutex slow_mutex;
+};

@@ -1,0 +1,188 @@
+// Fixture harness for the rtdls-verify checks: runs the analyzer over the
+// known-good / known-bad snippets in tests/fixtures/ and asserts the exact
+// diagnostics (check name, line, message substance). The known-bad
+// fixtures annotate their expected lines in comments; keep them in sync.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "checks.hpp"
+
+namespace {
+
+using rtdls::verify::Analyzer;
+using rtdls::verify::Diagnostic;
+using rtdls::verify::kCheckFloatCompare;
+using rtdls::verify::kCheckHotAlloc;
+using rtdls::verify::kCheckLockDiscipline;
+
+std::string fixture_path(const std::string& name) {
+  return std::string(RTDLS_VERIFY_FIXTURE_DIR) + "/" + name;
+}
+
+std::vector<Diagnostic> analyze(const std::vector<std::string>& fixtures,
+                                const std::set<std::string>& checks = {}) {
+  Analyzer analyzer;
+  for (const std::string& name : fixtures) {
+    EXPECT_TRUE(analyzer.add_file_from_disk(fixture_path(name)))
+        << "unreadable fixture " << name;
+  }
+  return analyzer.run(checks);
+}
+
+testing::AssertionResult has_diag(const std::vector<Diagnostic>& diags,
+                                  const std::string& check, int line,
+                                  const std::string& message_fragment) {
+  for (const Diagnostic& d : diags) {
+    if (d.check == check && d.line == line &&
+        d.message.find(message_fragment) != std::string::npos) {
+      return testing::AssertionSuccess();
+    }
+  }
+  auto result = testing::AssertionFailure()
+                << "no diagnostic [" << check << "] at line " << line
+                << " containing '" << message_fragment << "'; got:";
+  for (const Diagnostic& d : diags) result << "\n  " << d.render();
+  return result;
+}
+
+// --- rtdls-no-raw-float-compare ---------------------------------------------
+
+TEST(FloatCompareCheck, BadFixtureFiresOncePerConstruct) {
+  const auto diags = analyze({"float_compare_bad.cpp"});
+  for (const Diagnostic& d : diags) EXPECT_EQ(d.check, kCheckFloatCompare);
+  EXPECT_TRUE(has_diag(diags, kCheckFloatCompare, 6, "raw epsilon literal 1e-9"));
+  EXPECT_TRUE(has_diag(diags, kCheckFloatCompare, 10, "raw == against a float literal"));
+  EXPECT_TRUE(has_diag(diags, kCheckFloatCompare, 16, "epsilon-named constant 'kEps'"));
+  EXPECT_TRUE(has_diag(diags, kCheckFloatCompare, 20, "raw epsilon literal 1e-6"));
+  EXPECT_EQ(diags.size(), 4u);
+}
+
+TEST(FloatCompareCheck, GoodFixtureIsClean) {
+  const auto diags = analyze({"float_compare_good.cpp"});
+  EXPECT_TRUE(diags.empty()) << diags.front().render();
+}
+
+TEST(FloatCompareCheck, FpAllowlistExemptsTheAnchorHeader) {
+  Analyzer analyzer;
+  analyzer.add_file("src/util/fp.hpp",
+                    "constexpr bool after(double a, double b, double tol) {\n"
+                    "  return a > b + tol;\n"
+                    "}\n");
+  EXPECT_TRUE(analyzer.run({kCheckFloatCompare}).empty());
+}
+
+TEST(FloatCompareCheck, DeclarationAloneIsNotACombination) {
+  Analyzer analyzer;
+  analyzer.add_file("src/x.cpp", "constexpr double kTinyEps = 1e-9;\n");
+  EXPECT_TRUE(analyzer.run({kCheckFloatCompare}).empty());
+}
+
+// --- rtdls-hot-path-alloc ---------------------------------------------------
+
+TEST(HotAllocCheck, BadFixtureFiresIncludingReachability) {
+  const auto diags = analyze({"hot_alloc_bad.cpp"});
+  for (const Diagnostic& d : diags) EXPECT_EQ(d.check, kCheckHotAlloc);
+  EXPECT_TRUE(has_diag(diags, kCheckHotAlloc, 7, "local std::vector"));
+  EXPECT_TRUE(has_diag(diags, kCheckHotAlloc, 8, "tmp.push_back() grows a local"));
+  EXPECT_TRUE(has_diag(diags, kCheckHotAlloc, 9, "operator new"));
+  EXPECT_TRUE(has_diag(diags, kCheckHotAlloc, 18, "local std::string"));
+  EXPECT_TRUE(has_diag(diags, kCheckHotAlloc, 18, "reachable from RTDLS_HOT 'hot_kernel'"));
+  EXPECT_EQ(diags.size(), 4u);
+}
+
+TEST(HotAllocCheck, GoodFixtureMemberScratchIsClean) {
+  const auto diags = analyze({"hot_alloc_good.cpp"});
+  EXPECT_TRUE(diags.empty()) << diags.front().render();
+}
+
+TEST(HotAllocCheck, HotAnnotationOnPrototypeCoversTheDefinition) {
+  Analyzer analyzer;
+  analyzer.add_file("src/a.hpp", "RTDLS_HOT double kernel(unsigned long n);\n");
+  analyzer.add_file("src/a.cpp",
+                    "double kernel(unsigned long n) {\n"
+                    "  std::vector<double> local(n);\n"
+                    "  return local[0];\n"
+                    "}\n");
+  const auto diags = analyzer.run({kCheckHotAlloc});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].file, "src/a.cpp");
+  EXPECT_EQ(diags[0].line, 2);
+}
+
+// --- rtdls-lock-discipline --------------------------------------------------
+
+TEST(LockDisciplineCheck, BadFixtureNakedCallsAndInversion) {
+  const auto diags = analyze({"lock_discipline_bad.cpp"});
+  for (const Diagnostic& d : diags) EXPECT_EQ(d.check, kCheckLockDiscipline);
+  EXPECT_TRUE(has_diag(diags, kCheckLockDiscipline, 7, "naked lock()"));
+  EXPECT_TRUE(has_diag(diags, kCheckLockDiscipline, 8, "naked unlock()"));
+  EXPECT_TRUE(has_diag(diags, kCheckLockDiscipline, 15,
+                       "lock-order inversion: acquiring 'state_mutex' (level 20) "
+                       "while holding 'pool_mutex' (level 40"));
+  EXPECT_EQ(diags.size(), 3u);
+}
+
+TEST(LockDisciplineCheck, GoodFixtureGuardsAndOrderAreClean) {
+  const auto diags = analyze({"lock_discipline_good.cpp"});
+  EXPECT_TRUE(diags.empty()) << diags.front().render();
+}
+
+TEST(LockDisciplineCheck, DuplicateLeveledNamesAreThemselvesFlagged) {
+  Analyzer analyzer;
+  analyzer.add_file("src/a.hpp",
+                    "class A { std::mutex work_mutex RTDLS_LOCK_LEVEL(10); };\n");
+  analyzer.add_file("src/b.hpp",
+                    "class B { std::mutex work_mutex RTDLS_LOCK_LEVEL(20); };\n");
+  const auto diags = analyzer.run({kCheckLockDiscipline});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("not globally unique"), std::string::npos);
+}
+
+TEST(LockDisciplineCheck, EqualLevelSequentialAcquisitionIsLegal) {
+  // The daemon snapshot path takes every shard lock (same level) together;
+  // only strictly-descending acquisition is an inversion.
+  Analyzer analyzer;
+  analyzer.add_file("src/snap.cpp",
+                    "class Snap {\n"
+                    " public:\n"
+                    "  void all() {\n"
+                    "    std::unique_lock<std::timed_mutex> a(shard_mutex);\n"
+                    "    std::unique_lock<std::timed_mutex> b(shard_mutex);\n"
+                    "  }\n"
+                    " private:\n"
+                    "  std::timed_mutex shard_mutex RTDLS_LOCK_LEVEL(20);\n"
+                    "};\n");
+  EXPECT_TRUE(analyzer.run({kCheckLockDiscipline}).empty());
+}
+
+// --- engine plumbing --------------------------------------------------------
+
+TEST(Engine, DiagnosticRenderIsClangTidyCompatible) {
+  const Diagnostic d{"src/x.cpp", 12, 3, "message", kCheckHotAlloc};
+  EXPECT_EQ(d.render(), "src/x.cpp:12:3: warning: message [rtdls-hot-path-alloc]");
+}
+
+TEST(Engine, EpsilonNameSegmentation) {
+  using rtdls::verify::is_epsilon_name;
+  EXPECT_TRUE(is_epsilon_name("kEps"));
+  EXPECT_TRUE(is_epsilon_name("kTimeTolerance"));
+  EXPECT_TRUE(is_epsilon_name("deadline_eps"));
+  EXPECT_TRUE(is_epsilon_name("EPSILON"));
+  EXPECT_FALSE(is_epsilon_name("total"));
+  EXPECT_FALSE(is_epsilon_name("topology"));
+  EXPECT_FALSE(is_epsilon_name("deadline"));
+}
+
+TEST(Engine, CheckFilterRunsOnlyRequestedChecks) {
+  const auto diags = analyze({"float_compare_bad.cpp", "lock_discipline_bad.cpp"},
+                             {kCheckLockDiscipline});
+  EXPECT_EQ(diags.size(), 3u);
+  for (const Diagnostic& d : diags) EXPECT_EQ(d.check, kCheckLockDiscipline);
+}
+
+}  // namespace
