@@ -9,7 +9,13 @@
 // queue stays shallow and every admit exercises the warm-session fast path
 // the daemon is built around.
 //
-//   daemon_storm [out.json]
+// Latency aggregation goes through the obs metrics histogram (the same
+// thread-sharded structure the daemon itself uses for per-shard latency),
+// so the storm's M writer threads also double as a concurrency workout for
+// the scrape path; quantiles are therefore log-bucket interpolations, not
+// exact order statistics (the buckets are ~18% wide).
+//
+//   daemon_storm [out.json] [--trace-out trace.json]
 //   RTDLS_STORM_CLIENTS=8     concurrent client threads (>= 8 in CI)
 //   RTDLS_STORM_REQUESTS=250  admits per client
 #include <unistd.h>
@@ -17,12 +23,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
-#include "stats/summary.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "svc/client.hpp"
 #include "svc/server.hpp"
 #include "util/build_info.hpp"
@@ -39,16 +47,15 @@ std::size_t env_size(const char* name, std::size_t fallback) {
 }
 
 struct ClientStats {
-  std::vector<double> latency_us;
   std::size_t accepted = 0;
   std::size_t rejected = 0;
   std::size_t errors = 0;
 };
 
 void storm_client(const std::string& socket_path, std::size_t thread_index,
-                  std::size_t shard_count, std::size_t requests, ClientStats& out) {
+                  std::size_t shard_count, std::size_t requests, obs::Histogram latency,
+                  ClientStats& out) {
   svc::Client client(socket_path, /*timeout_ms=*/30000);
-  out.latency_us.reserve(requests);
   for (std::size_t i = 0; i < requests; ++i) {
     svc::AdmitRequest request;
     request.shard = static_cast<std::uint32_t>(thread_index % shard_count);
@@ -65,7 +72,7 @@ void storm_client(const std::string& socket_path, std::size_t thread_index,
     try {
       const svc::AdmitReply reply = client.admit(request);
       const auto end = std::chrono::steady_clock::now();
-      out.latency_us.push_back(std::chrono::duration<double, std::micro>(end - start).count());
+      latency.record(std::chrono::duration<double, std::micro>(end - start).count());
       if (reply.accepted) {
         ++out.accepted;
       } else {
@@ -80,9 +87,28 @@ void storm_client(const std::string& socket_path, std::size_t thread_index,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_daemon.json";
+  std::string out_path = "BENCH_daemon.json";
+  std::string trace_path;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--trace-out") == 0 && a + 1 < argc) {
+      trace_path = argv[++a];
+    } else {
+      out_path = argv[a];
+    }
+  }
   const std::size_t clients = env_size("RTDLS_STORM_CLIENTS", 8);
   const std::size_t requests = env_size("RTDLS_STORM_REQUESTS", 250);
+
+#if RTDLS_TRACE_ENABLED
+  if (!trace_path.empty()) obs::TraceRecorder::instance().start();
+#else
+  if (!trace_path.empty()) {
+    std::fprintf(stderr,
+                 "daemon_storm: --trace-out ignored, recorder compiled out "
+                 "(-DRTDLS_TRACE=OFF)\n");
+    trace_path.clear();
+  }
+#endif
 
   svc::DaemonConfig config;
   config.socket_path = "/tmp/rtdlsd_storm_" + std::to_string(::getpid()) + ".sock";
@@ -95,41 +121,46 @@ int main(int argc, char** argv) {
   std::printf("daemon_storm: %zu clients x %zu admits, %zu shard(s), %s\n", clients, requests,
               daemon.shard_count(), util::build_description().c_str());
 
+  // One shared histogram; each client thread's records land in its own
+  // thread-local shard, merged when histogram_sample() scrapes.
+  obs::Registry registry;
+  const obs::Histogram latency =
+      registry.histogram("storm_admit_latency_us", obs::HistogramOptions{1.0, 4, 128});
+
   std::vector<ClientStats> stats(clients);
   std::vector<std::thread> threads;
   threads.reserve(clients);
   const auto wall_start = std::chrono::steady_clock::now();
   for (std::size_t c = 0; c < clients; ++c) {
     threads.emplace_back(storm_client, daemon.config().socket_path, c, daemon.shard_count(),
-                         requests, std::ref(stats[c]));
+                         requests, latency, std::ref(stats[c]));
   }
   for (std::thread& thread : threads) thread.join();
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   daemon.stop();
 
-  stats::Summary latency;
   std::size_t accepted = 0;
   std::size_t rejected = 0;
   std::size_t errors = 0;
   for (const ClientStats& s : stats) {
-    for (double us : s.latency_us) latency.add(us);
     accepted += s.accepted;
     rejected += s.rejected;
     errors += s.errors;
   }
-  if (latency.empty()) {
+  const obs::HistogramSample sample = registry.histogram_sample("storm_admit_latency_us");
+  if (sample.count == 0) {
     std::fprintf(stderr, "daemon_storm: every request errored\n");
     return 1;
   }
 
   const std::size_t total = clients * requests;
   const double rps = static_cast<double>(total) / wall;
-  const double p50 = latency.quantile(0.50);
-  const double p90 = latency.quantile(0.90);
-  const double p99 = latency.quantile(0.99);
+  const double p50 = sample.quantile(0.50);
+  const double p90 = sample.quantile(0.90);
+  const double p99 = sample.quantile(0.99);
   std::printf("admit latency: p50=%.1fus p90=%.1fus p99=%.1fus max=%.1fus mean=%.1fus\n", p50,
-              p90, p99, latency.max(), latency.mean());
+              p90, p99, sample.max, sample.mean());
   std::printf("throughput: %zu requests in %.3fs = %.0f req/s (%zu accepted, %zu rejected, "
               "%zu errors)\n",
               total, wall, rps, accepted, rejected, errors);
@@ -154,10 +185,24 @@ int main(int argc, char** argv) {
       << "    \"p50\": " << p50 << ",\n"
       << "    \"p90\": " << p90 << ",\n"
       << "    \"p99\": " << p99 << ",\n"
-      << "    \"max\": " << latency.max() << ",\n"
-      << "    \"mean\": " << latency.mean() << "\n"
+      << "    \"max\": " << sample.max << ",\n"
+      << "    \"mean\": " << sample.mean() << "\n"
       << "  }\n"
       << "}\n";
   std::printf("wrote %s\n", out_path.c_str());
+
+#if RTDLS_TRACE_ENABLED
+  if (!trace_path.empty()) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::instance();
+    recorder.stop();
+    std::string trace_error;
+    if (!recorder.write_json_file(trace_path, &trace_error)) {
+      std::fprintf(stderr, "daemon_storm: %s\n", trace_error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "daemon_storm: wrote %s (%zu event(s), %zu dropped by ring wrap)\n",
+                 trace_path.c_str(), recorder.event_count(), recorder.dropped());
+  }
+#endif
   return errors == 0 ? 0 : 1;
 }

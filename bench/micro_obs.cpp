@@ -1,0 +1,84 @@
+// google-benchmark microbenches for the obs layer's hot operations: the
+// instrumentation budget. Counter bumps and histogram records sit on the
+// simulator's per-arrival path and the daemon's per-request path, so their
+// cost must stay in the handful-of-ns range; the disabled trace scope must
+// be free (it is the state every span macro is in when no recorder runs).
+#include <benchmark/benchmark.h>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace rtdls;
+
+void BM_CounterAdd(benchmark::State& state) {
+  static obs::Registry registry;
+  obs::Counter counter = registry.counter("bench_counter");
+  for (auto _ : state) {
+    counter.add(1);
+  }
+}
+BENCHMARK(BM_CounterAdd)->ThreadRange(1, 8);
+
+void BM_GaugeSet(benchmark::State& state) {
+  static obs::Registry registry;
+  obs::Gauge gauge = registry.gauge("bench_gauge");
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    gauge.set(++v);
+  }
+}
+BENCHMARK(BM_GaugeSet);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  static obs::Registry registry;
+  obs::Histogram histogram =
+      registry.histogram("bench_histogram", obs::HistogramOptions{1.0, 4, 128});
+  double v = 1.0;
+  for (auto _ : state) {
+    histogram.record(v);
+    v = v < 1.0e6 ? v * 1.7 : 1.0;  // walk the buckets, don't pin one
+  }
+}
+BENCHMARK(BM_HistogramRecord)->ThreadRange(1, 8);
+
+void BM_HistogramScrape(benchmark::State& state) {
+  static obs::Registry registry;
+  obs::Histogram histogram =
+      registry.histogram("bench_scrape", obs::HistogramOptions{1.0, 4, 128});
+  for (int i = 0; i < 10000; ++i) histogram.record(static_cast<double>(i + 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.histogram_sample("bench_scrape"));
+  }
+}
+BENCHMARK(BM_HistogramScrape);
+
+// The cost every RTDLS_TRACE_SCOPE pays when no recorder is armed: one
+// relaxed atomic load when compiled in, literally nothing when
+// RTDLS_TRACE=OFF. This is the number the <=5% idle-tracing acceptance
+// bound rests on.
+void BM_TraceScopeDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    RTDLS_TRACE_SCOPE("bench.noop", "bench");
+    benchmark::DoNotOptimize(state.iterations());
+  }
+}
+BENCHMARK(BM_TraceScopeDisabled);
+
+#if RTDLS_TRACE_ENABLED
+void BM_TraceScopeArmed(benchmark::State& state) {
+  if (state.thread_index() == 0) obs::TraceRecorder::instance().start();
+  for (auto _ : state) {
+    RTDLS_TRACE_SCOPE("bench.armed", "bench");
+    benchmark::DoNotOptimize(state.iterations());
+  }
+  if (state.thread_index() == 0) {
+    obs::TraceRecorder::instance().stop();
+    obs::TraceRecorder::instance().clear();
+  }
+}
+BENCHMARK(BM_TraceScopeArmed);
+#endif
+
+}  // namespace

@@ -1,0 +1,31 @@
+# Asserts that a library built with -DRTDLS_TRACE=OFF contains no trace
+# recorder symbols (see src/obs/trace.hpp). Run as a ctest:
+#   cmake -DRTDLS_LIB=<librtdls.a> [-DNM=<nm>] -P check_no_trace_symbols.cmake
+
+if(NOT RTDLS_LIB)
+  message(FATAL_ERROR "check_no_trace_symbols: RTDLS_LIB not set")
+endif()
+if(NOT NM)
+  find_program(NM nm)
+  if(NOT NM)
+    message(FATAL_ERROR "check_no_trace_symbols: nm not found")
+  endif()
+endif()
+
+execute_process(COMMAND ${NM} ${RTDLS_LIB}
+                OUTPUT_VARIABLE symbols
+                ERROR_VARIABLE nm_err
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "check_no_trace_symbols: ${NM} failed: ${nm_err}")
+endif()
+
+foreach(marker TraceRecorder TraceScope g_trace_armed)
+  if(symbols MATCHES "${marker}")
+    message(FATAL_ERROR
+            "check_no_trace_symbols: '${marker}' present in ${RTDLS_LIB} - "
+            "RTDLS_TRACE=OFF must compile the recorder out entirely")
+  endif()
+endforeach()
+
+message(STATUS "check_no_trace_symbols: ${RTDLS_LIB} is trace-free")

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "exp/runner.hpp"
+#include "obs/metrics.hpp"
 #include "sched/registry.hpp"
 #include "util/annotations.hpp"
 #include "util/csv.hpp"
@@ -200,7 +201,43 @@ sim::SimMetrics run_attempt_with_timeout(SlotPool& pool, std::size_t algorithm,
                            std::to_string(timeout_sec) + "s)");
 }
 
+/// Campaign-level telemetry in the process-global registry, alongside the
+/// simulator/planner counters each cell's run contributes.
+struct CampaignObs {
+  obs::Counter cells;
+  obs::Counter retried;
+  obs::Counter failures;
+
+  CampaignObs() {
+    obs::Registry& reg = obs::Registry::global();
+    cells = reg.counter("rtdls_campaign_cells_total");
+    retried = reg.counter("rtdls_campaign_cell_retries_total");
+    failures = reg.counter("rtdls_campaign_cell_failures_total");
+  }
+};
+
+CampaignObs& campaign_obs() {
+  static CampaignObs instance;
+  return instance;
+}
+
 }  // namespace
+
+HeartbeatFile::HeartbeatFile(std::string path)
+    : path_(std::move(path)), start_(std::chrono::steady_clock::now()) {}
+
+void HeartbeatFile::beat(std::size_t done, std::size_t total, std::size_t failed,
+                         std::size_t last_cell) {
+  std::ofstream file(path_, std::ios::out | std::ios::trunc);
+  if (!file) return;  // advisory: a broken heartbeat must not kill the run
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  util::CsvWriter writer(file);
+  writer.write_row({"done", "total", "failed", "last_cell", "elapsed_sec"});
+  writer.write_row({std::to_string(done), std::to_string(total), std::to_string(failed),
+                    std::to_string(last_cell), util::format_roundtrip(elapsed)});
+  file.flush();
+}
 
 void join_timed_out_cells() { stray_threads().join_all(); }
 
@@ -273,6 +310,11 @@ void run_campaign(const Campaign& campaign, const CampaignOptions& options, Resu
   std::mutex progress_mutex;
   std::size_t done = 0;
   std::mutex failed_mutex;
+  std::atomic<std::size_t> failed_count{0};
+  std::unique_ptr<HeartbeatFile> heartbeat;
+  if (!options.heartbeat_path.empty()) {
+    heartbeat = std::make_unique<HeartbeatFile>(options.heartbeat_path);
+  }
 
   auto run_cell = [&](std::size_t w) {
     // Cooperative cancellation: cells not yet started are skipped entirely,
@@ -347,19 +389,28 @@ void run_campaign(const Campaign& campaign, const CampaignOptions& options, Resu
       last_error = std::make_exception_ptr(std::logic_error(last_what));
     }
 
+    if (attempts > 1) campaign_obs().retried.add(attempts - 1);
     if (!computed) {
+      campaign_obs().failures.inc();
+      failed_count.fetch_add(1, std::memory_order_relaxed);
       if (options.failed == nullptr) std::rethrow_exception(last_error);
       {
         std::lock_guard<std::mutex> lock(failed_mutex);
         options.failed->push_back(FailedCell{work[w], attempts, last_what});
       }
     } else {
+      campaign_obs().cells.inc();
       sink.consume(campaign, cell);
     }
 
-    if (options.progress) {
+    if (options.progress || heartbeat != nullptr) {
       std::lock_guard<std::mutex> lock(progress_mutex);
-      options.progress(ref, ++done, work.size());
+      ++done;
+      if (options.progress) options.progress(ref, done, work.size());
+      if (heartbeat != nullptr) {
+        heartbeat->beat(done, work.size(), failed_count.load(std::memory_order_relaxed),
+                        ref.index);
+      }
     }
   };
 

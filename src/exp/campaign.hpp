@@ -13,6 +13,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <fstream>
 #include <functional>
@@ -138,6 +139,25 @@ struct CampaignOptions {
   /// cells finish normally and reach the sink, and close() always runs, so
   /// a cancelled shard's cell file is valid and flushed.
   const std::atomic<bool>* cancel = nullptr;
+  /// Non-empty: truncate-rewrite a tiny CSV heartbeat sidecar at this path
+  /// after every completed cell (done/total/failed/last cell/elapsed), so a
+  /// fleet operator can poll shard health with `cat`. Deliberately a
+  /// SEPARATE file from the cell CSV: sharded and merged cell files must
+  /// stay byte-identical, and a per-shard progress row would break that.
+  std::string heartbeat_path;
+};
+
+/// The heartbeat sidecar writer behind CampaignOptions::heartbeat_path.
+/// beat() is advisory: an unwritable path is ignored, never a run failure.
+class HeartbeatFile {
+ public:
+  explicit HeartbeatFile(std::string path);
+  void beat(std::size_t done, std::size_t total, std::size_t failed,
+            std::size_t last_cell);
+
+ private:
+  std::string path_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 /// Executes the campaign's cell queue (or one shard of it) and streams

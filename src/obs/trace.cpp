@@ -1,0 +1,247 @@
+#include "obs/trace.hpp"
+
+#if RTDLS_TRACE_ENABLED
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "util/annotations.hpp"
+
+namespace rtdls::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_armed{false};
+}  // namespace detail
+
+namespace {
+
+constexpr std::size_t kDefaultRingCapacity = std::size_t{1} << 16;
+
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  char phase = 'X';
+};
+
+/// One thread's ring. The mutex is uncontended on the record path (only the
+/// owning thread writes; a flush/clear walks all buffers) - and must rank
+/// above the recorder registry mutex it is nested under during flushes.
+struct TraceBuffer {
+  std::mutex ring_mutex RTDLS_LOCK_LEVEL(40);
+  std::vector<TraceEvent> ring;
+  std::size_t next = 0;  ///< total events recorded; ring index = next % size
+  std::uint32_t tid = 0;
+};
+
+void escape_json(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", static_cast<unsigned>(c));
+      out += buffer;
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+struct TraceRecorder::Impl {
+  std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+  mutable std::mutex recorder_mutex RTDLS_LOCK_LEVEL(30);  ///< buffer registry + capacity
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  std::size_t ring_capacity = kDefaultRingCapacity;
+  std::uint32_t next_tid = 1;
+
+  TraceBuffer& local_buffer();
+  void record(const TraceEvent& event);
+};
+
+namespace {
+thread_local std::shared_ptr<TraceBuffer> t_buffer;
+}  // namespace
+
+TraceBuffer& TraceRecorder::Impl::local_buffer() {
+  // The thread-local shared_ptr and the registry both hold the buffer, so
+  // events from exited threads survive until clear().
+  if (t_buffer == nullptr) {
+    std::lock_guard<std::mutex> lock(recorder_mutex);
+    auto buffer = std::make_shared<TraceBuffer>();
+    buffer->ring.resize(ring_capacity);
+    buffer->tid = next_tid++;
+    buffers.push_back(buffer);
+    t_buffer = std::move(buffer);
+  }
+  return *t_buffer;
+}
+
+void TraceRecorder::Impl::record(const TraceEvent& event) {
+  TraceBuffer& buffer = local_buffer();
+  std::lock_guard<std::mutex> lock(buffer.ring_mutex);
+  if (!buffer.ring.empty()) {
+    buffer.ring[buffer.next % buffer.ring.size()] = event;
+    ++buffer.next;
+  }
+}
+
+TraceRecorder::TraceRecorder() : impl_(new Impl()) {}
+
+TraceRecorder& TraceRecorder::instance() {
+  // Leaked on purpose; see Registry::global().
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::start(std::size_t ring_capacity) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->recorder_mutex);
+    if (ring_capacity > 0) impl_->ring_capacity = ring_capacity;
+  }
+  detail::g_trace_armed.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::stop() { detail::g_trace_armed.store(false, std::memory_order_relaxed); }
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(impl_->recorder_mutex);
+  for (auto it = impl_->buffers.begin(); it != impl_->buffers.end();) {
+    // A buffer only referenced by the registry belongs to an exited thread.
+    if (it->use_count() == 1) {
+      it = impl_->buffers.erase(it);
+    } else {
+      std::lock_guard<std::mutex> buffer_lock((*it)->ring_mutex);
+      (*it)->next = 0;
+      ++it;
+    }
+  }
+}
+
+std::uint64_t TraceRecorder::now_ns() const {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - impl_->epoch)
+                                        .count());
+}
+
+void TraceRecorder::complete(const char* name, const char* cat, std::uint64_t begin_ns,
+                             std::uint64_t end_ns) {
+  TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.ts_ns = begin_ns;
+  event.dur_ns = end_ns >= begin_ns ? end_ns - begin_ns : 0;
+  event.phase = 'X';
+  impl_->record(event);
+}
+
+void TraceRecorder::instant(const char* name, const char* cat) {
+  TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.ts_ns = now_ns();
+  event.phase = 'i';
+  impl_->record(event);
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(impl_->recorder_mutex);
+  std::size_t total = 0;
+  for (const auto& buffer : impl_->buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->ring_mutex);
+    total += std::min(buffer->next, buffer->ring.size());
+  }
+  return total;
+}
+
+std::size_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(impl_->recorder_mutex);
+  std::size_t total = 0;
+  for (const auto& buffer : impl_->buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->ring_mutex);
+    if (buffer->next > buffer->ring.size()) total += buffer->next - buffer->ring.size();
+  }
+  return total;
+}
+
+std::size_t TraceRecorder::write_json(std::ostream& out) const {
+  struct Row {
+    TraceEvent event;
+    std::uint32_t tid;
+  };
+  std::vector<Row> rows;
+  {
+    std::lock_guard<std::mutex> lock(impl_->recorder_mutex);
+    for (const auto& buffer : impl_->buffers) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->ring_mutex);
+      const std::size_t kept = std::min(buffer->next, buffer->ring.size());
+      for (std::size_t i = 0; i < kept; ++i) {
+        rows.push_back(Row{buffer->ring[i], buffer->tid});
+      }
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const Row& a, const Row& b) { return a.event.ts_ns < b.event.ts_ns; });
+
+  std::string body;
+  body.reserve(rows.size() * 96 + 64);
+  body += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buffer[160];
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const TraceEvent& event = rows[i].event;
+    if (i > 0) body += ',';
+    body += "{\"name\":\"";
+    escape_json(body, event.name);
+    body += "\",\"cat\":\"";
+    escape_json(body, event.cat);
+    body += "\",\"ph\":\"";
+    body += event.phase;
+    body += '"';
+    // Chrome trace timestamps are microseconds; fractional values are fine.
+    std::snprintf(buffer, sizeof(buffer), ",\"ts\":%.3f",
+                  static_cast<double>(event.ts_ns) / 1000.0);
+    body += buffer;
+    if (event.phase == 'X') {
+      std::snprintf(buffer, sizeof(buffer), ",\"dur\":%.3f",
+                    static_cast<double>(event.dur_ns) / 1000.0);
+      body += buffer;
+    } else {
+      body += ",\"s\":\"t\"";  // instant scope: thread
+    }
+    std::snprintf(buffer, sizeof(buffer), ",\"pid\":1,\"tid\":%u}", rows[i].tid);
+    body += buffer;
+  }
+  body += "]}";
+  out << body;
+  return rows.size();
+}
+
+bool TraceRecorder::write_json_file(const std::string& path, std::string* error) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "trace: cannot open " + path;
+    return false;
+  }
+  write_json(out);
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "trace: write failed for " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace rtdls::obs
+
+#endif  // RTDLS_TRACE_ENABLED

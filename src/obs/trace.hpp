@@ -1,0 +1,132 @@
+// Structured trace-event recorder emitting Chrome trace-event JSON (the
+// format Perfetto and chrome://tracing load directly).
+//
+// Usage:
+//   RTDLS_TRACE_SCOPE("sim.arrival", "sim");     // complete ("X") span
+//   RTDLS_TRACE_INSTANT("svc.timeout", "svc");   // instant ("i") event
+//   obs::TraceRecorder::instance().start();      // arm recording
+//   ... workload ...
+//   obs::TraceRecorder::instance().write_json_file(path);
+//
+// Both macros compile to nothing when the build sets RTDLS_TRACE_ENABLED=0
+// (CMake -DRTDLS_TRACE=OFF): no recorder symbols exist in that build, which
+// the obs_trace_compiled_out ctest asserts with nm. When compiled in but
+// not start()ed, the cost per site is one relaxed atomic load and a branch.
+//
+// Events land in per-thread ring buffers (fixed capacity, oldest events
+// overwritten; the drop count is reported), so memory stays bounded no
+// matter how long a traced run is. Name/category strings must be string
+// literals (or otherwise outlive the recorder) - only the pointers are
+// stored.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#if !defined(RTDLS_TRACE_ENABLED)
+#define RTDLS_TRACE_ENABLED 1
+#endif
+
+#if RTDLS_TRACE_ENABLED
+
+#include <atomic>
+#include <iosfwd>
+#include <string>
+
+namespace rtdls::obs {
+
+namespace detail {
+/// Hot-path arm flag, read before anything else is touched.
+extern std::atomic<bool> g_trace_armed;
+inline bool trace_armed() { return g_trace_armed.load(std::memory_order_relaxed); }
+}  // namespace detail
+
+class TraceRecorder {
+ public:
+  /// Leaked process-wide recorder (same lifetime rationale as
+  /// Registry::global()).
+  static TraceRecorder& instance();
+
+  /// Arms recording. `ring_capacity` sets the per-thread ring size in
+  /// events for buffers created from now on (0 keeps the current setting;
+  /// the default is 64Ki events, ~2.5 MiB per traced thread).
+  void start(std::size_t ring_capacity = 0);
+
+  /// Disarms recording; buffered events are kept for write_json.
+  void stop();
+
+  /// Drops all buffered events (and buffers of exited threads).
+  void clear();
+
+  bool armed() const { return detail::trace_armed(); }
+
+  /// Nanoseconds since the recorder's epoch (process start, effectively).
+  std::uint64_t now_ns() const;
+
+  /// Records a complete span / an instant event on the calling thread.
+  void complete(const char* name, const char* cat, std::uint64_t begin_ns,
+                std::uint64_t end_ns);
+  void instant(const char* name, const char* cat);
+
+  /// Events currently buffered / overwritten by ring wrap-around.
+  std::size_t event_count() const;
+  std::size_t dropped() const;
+
+  /// Writes the Chrome trace-event JSON object; returns events written.
+  std::size_t write_json(std::ostream& out) const;
+
+  /// write_json to `path`; false (with `error` filled) on I/O failure.
+  bool write_json_file(const std::string& path, std::string* error = nullptr) const;
+
+ private:
+  TraceRecorder();
+  struct Impl;
+  Impl* impl_;
+};
+
+/// RAII span: measures construction-to-destruction when the recorder is
+/// armed at construction, otherwise costs one load + branch per end.
+class TraceScope {
+ public:
+  TraceScope(const char* name, const char* cat) : name_(name), cat_(cat) {
+    if (detail::trace_armed()) begin_ns_ = TraceRecorder::instance().now_ns();
+  }
+  ~TraceScope() {
+    if (begin_ns_ != kDisarmed) {
+      TraceRecorder& recorder = TraceRecorder::instance();
+      recorder.complete(name_, cat_, begin_ns_, recorder.now_ns());
+    }
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  static constexpr std::uint64_t kDisarmed = ~std::uint64_t{0};
+  const char* name_;
+  const char* cat_;
+  std::uint64_t begin_ns_ = kDisarmed;
+};
+
+}  // namespace rtdls::obs
+
+#define RTDLS_TRACE_CONCAT_IMPL(a, b) a##b
+#define RTDLS_TRACE_CONCAT(a, b) RTDLS_TRACE_CONCAT_IMPL(a, b)
+#define RTDLS_TRACE_SCOPE(name, cat) \
+  ::rtdls::obs::TraceScope RTDLS_TRACE_CONCAT(rtdls_trace_scope_, __LINE__)(name, cat)
+#define RTDLS_TRACE_INSTANT(name, cat)                                   \
+  do {                                                                   \
+    if (::rtdls::obs::detail::trace_armed()) {                           \
+      ::rtdls::obs::TraceRecorder::instance().instant((name), (cat));    \
+    }                                                                    \
+  } while (false)
+
+#else  // !RTDLS_TRACE_ENABLED
+
+#define RTDLS_TRACE_SCOPE(name, cat) \
+  do {                               \
+  } while (false)
+#define RTDLS_TRACE_INSTANT(name, cat) \
+  do {                                 \
+  } while (false)
+
+#endif  // RTDLS_TRACE_ENABLED

@@ -6,7 +6,36 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
+
 namespace rtdls::sched {
+
+namespace {
+
+/// Process-registry counters for the incremental session's internals. Bumped
+/// at per-arrival granularity (never inside the planner kernels), so the
+/// thread-local relaxed increments are noise next to one plan() call.
+struct AdmissionObs {
+  obs::Counter session_rebuilds =
+      obs::Registry::global().counter("rtdls_admission_session_rebuilds_total");
+  obs::Counter delta_replays =
+      obs::Registry::global().counter("rtdls_admission_delta_replays_total");
+  obs::Counter checkpoints =
+      obs::Registry::global().counter("rtdls_admission_checkpoints_total");
+  obs::Counter opportunistic_checkpoints = obs::Registry::global().counter(
+      "rtdls_admission_opportunistic_checkpoints_total");
+  /// Re-planned suffix length (temp-list entries from the insertion point)
+  /// per accepted incremental admission.
+  obs::Histogram replan_suffix = obs::Registry::global().histogram(
+      "rtdls_admission_replan_suffix", obs::HistogramOptions{1.0, 4, 64});
+};
+
+AdmissionObs& admission_obs() {
+  static AdmissionObs handles;
+  return handles;
+}
+
+}  // namespace
 
 AdmissionController::AdmissionController(Policy policy, const PartitionRule* rule)
     : policy_(policy), rule_(rule) {
@@ -164,6 +193,7 @@ AdmissionController::Checkpoint AdmissionController::take_checkpoint(std::size_t
     checkpoint_pool_.pop_back();
   }
   cp.pos = pos;
+  admission_obs().checkpoints.inc();
   return cp;
 }
 
@@ -242,6 +272,7 @@ void AdmissionController::materialize_row(std::size_t pos) {
     if (het_session_) work_ids_ = base.ids;
   }
   const std::size_t chain = pos - base.pos;
+  admission_obs().delta_replays.add(pos - from);
   for (std::size_t r = from; r < pos; ++r) {
     const std::size_t begin = delta_start(r);
     const std::size_t k = delta_end_[r] - begin;
@@ -260,6 +291,7 @@ void AdmissionController::materialize_row(std::size_t pos) {
   // the memory win the sparse session exists for).
   const std::size_t budget = (head_ + planned_) / checkpoint_every_ + 3;
   if (chain > checkpoint_every_ / 2 && checkpoints_.size() < budget) {
+    admission_obs().opportunistic_checkpoints.inc();
     Checkpoint cp = take_checkpoint(pos);
     cp.times = work_state_;
     if (het_session_) cp.ids = work_ids_;
@@ -324,6 +356,7 @@ AdmissionOutcome AdmissionController::test_incremental(
   if (reuse) reuse = std::equal(waiting.begin(), waiting.end(), order_.begin() + head_);
 
   if (!reuse) {
+    admission_obs().session_rebuilds.inc();
     invalidate();
     node_count_ = n;
     het_session_ = het;
@@ -524,6 +557,7 @@ AdmissionOutcome AdmissionController::test_incremental(
   planned_ = q + 1;
   synced_prefix_ = q + 1;
   note_session_peak();
+  admission_obs().replan_suffix.record(static_cast<double>(q + 1 - p));
 
   outcome.accepted = true;
   outcome.schedule.reserve(q + 1 - outcome.reused_prefix);

@@ -117,6 +117,7 @@ std::pair<std::size_t, dlt::Infeasibility> first_feasible_prefix(
   const std::vector<Time>& free_times = *request.free_times;
   const double cms = request.params.cms;
   const std::size_t cluster_size = free_times.size();
+  ++scratch.counters.resolver_walks;
   scratch.cps.clear();
   scratch.batch.begin_walk(cms, sigma);
   // Fastest unit cost of the profile: the denominator of the jump bound
@@ -176,6 +177,8 @@ std::pair<std::size_t, dlt::Infeasibility> first_feasible_prefix(
       clear = n;
     }
     gather_cps_prefix(request, scratch, n);
+    ++scratch.counters.resolver_positions;
+    ++scratch.counters.batch_passes;
     const Time est = estimate_at(n);
     if (fp::at_or_before(est, deadline)) return {n, dlt::Infeasibility::kNone};
   }
@@ -457,6 +460,7 @@ PlanResult plan_opr_mn_backfill(const PlanRequest& request, PlannerScratch& scra
       bool instant_shortfall = false;
       bool window_shortfall = false;
       for (int iteration = 0; iteration < 4; ++iteration) {
+        ++scratch.counters.backfill_fixed_point_iterations;
         if (fp::exact_eq(duration, 0.0)) {
           // Seed: the m-prefix of the instant-free pool on the shared cursor.
           while (scratch.instant_free.size() < m && instant_cursor < cluster_size) {
@@ -476,6 +480,7 @@ PlanResult plan_opr_mn_backfill(const PlanRequest& request, PlannerScratch& scra
           scratch.window_cps.assign(
               scratch.instant_cps.begin(),
               scratch.instant_cps.begin() + static_cast<std::ptrdiff_t>(m));
+          ++scratch.counters.batch_passes;
           next = scratch.batch.window_duration_prefix(scratch.instant_cps, m);
         } else {
           // Re-selection over a positive window is an arbitrary id set (not
@@ -496,6 +501,7 @@ PlanResult plan_opr_mn_backfill(const PlanRequest& request, PlannerScratch& scra
             window_shortfall = true;
             break;
           }
+          ++scratch.counters.batch_passes;
           next = PlannerBatch::window_duration(request.params.cms, sigma,
                                                scratch.window_cps, m);
         }
@@ -527,6 +533,7 @@ PlanResult plan_opr_mn_backfill(const PlanRequest& request, PlannerScratch& scra
           }
         }
         if (scratch.window_nodes.size() < m) continue;  // try more nodes
+        ++scratch.counters.batch_passes;
         const double exec =
             PlannerBatch::window_duration(request.params.cms, sigma,
                                           scratch.window_cps, m);

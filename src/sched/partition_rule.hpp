@@ -55,12 +55,31 @@ struct PlanResult {
 };
 
 /// Planner-internal event counters a rule may expose (collected into
-/// SimMetrics per run; see Simulator::run).
+/// SimMetrics per run and mirrored to the obs registry; see Simulator::run).
+/// Plain fields, not obs handles: the bump sites are inside RTDLS_HOT
+/// kernels where even a thread-local atomic increment is unwelcome.
 struct PlannerCounters {
   /// OPR-MN-BF (selection, duration) fixed points that did not settle within
   /// the iteration budget and took the conservative-window fallback instead
   /// of being silently skipped.
   std::size_t backfill_fixed_point_fallbacks = 0;
+  /// first_feasible_prefix invocations (one per node-count resolve).
+  std::size_t resolver_walks = 0;
+  /// Candidate prefixes the resolver's linear phase actually evaluated.
+  std::size_t resolver_positions = 0;
+  /// Batched SoA kernel evaluations (walk estimates + window durations).
+  std::size_t batch_passes = 0;
+  /// OPR-MN-BF (selection, duration) fixed-point iterations executed.
+  std::size_t backfill_fixed_point_iterations = 0;
+
+  PlannerCounters& operator+=(const PlannerCounters& other) {
+    backfill_fixed_point_fallbacks += other.backfill_fixed_point_fallbacks;
+    resolver_walks += other.resolver_walks;
+    resolver_positions += other.resolver_positions;
+    batch_passes += other.batch_passes;
+    backfill_fixed_point_iterations += other.backfill_fixed_point_iterations;
+    return *this;
+  }
 };
 
 /// Abstract partitioning + node-assignment rule.

@@ -27,7 +27,15 @@ std::string SimMetrics::summary() const {
   out << "utilization=" << utilization() << " iit_fraction=" << iit_fraction() << '\n';
   out << "theorem4 violations=" << theorem4_violations
       << " deadline misses=" << deadline_misses << '\n';
-  if (backfill_fixed_point_fallbacks > 0) {
+  if (planner_resolver_walks > 0) {
+    out << "planner: resolver walks=" << planner_resolver_walks
+        << " positions=" << planner_resolver_positions
+        << " batch passes=" << planner_batch_passes << '\n';
+  }
+  if (backfill_fixed_point_iterations > 0) {
+    out << "backfill fixed-point iterations=" << backfill_fixed_point_iterations
+        << " fallbacks=" << backfill_fixed_point_fallbacks << '\n';
+  } else if (backfill_fixed_point_fallbacks > 0) {
     out << "backfill fixed-point fallbacks=" << backfill_fixed_point_fallbacks << '\n';
   }
   return out.str();

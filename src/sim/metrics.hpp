@@ -50,10 +50,17 @@ struct SimMetrics {
   std::size_t deadline_misses = 0;      ///< actual completion > deadline
                                         ///< (only possible in shared-link mode)
 
-  // --- planner internals ---
+  // --- planner internals (sched::PlannerCounters, accumulated per run) ---
   /// OPR-MN-BF het (selection, duration) fixed points that did not settle
   /// within the iteration budget and took the conservative-window fallback.
   std::size_t backfill_fixed_point_fallbacks = 0;
+  /// Node-count resolver walks and the candidate prefixes they evaluated.
+  std::size_t planner_resolver_walks = 0;
+  std::size_t planner_resolver_positions = 0;
+  /// Batched SoA kernel evaluations (walk estimates + window durations).
+  std::size_t planner_batch_passes = 0;
+  /// OPR-MN-BF (selection, duration) fixed-point iterations executed.
+  std::size_t backfill_fixed_point_iterations = 0;
 
   // --- cluster accounting ---
   double busy_time = 0.0;      ///< sum of per-node committed busy time

@@ -6,11 +6,41 @@
 #include "dlt/het_model.hpp"
 #include "dlt/homogeneous.hpp"
 #include "dlt/multiround.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/exec_model.hpp"
 #include "util/fp.hpp"
 #include "util/log.hpp"
 
 namespace rtdls::sim {
+
+namespace {
+
+/// Process-registry mirrors of the per-run tallies, bumped once per run (the
+/// per-event hot path only touches SimMetrics / PlannerCounters fields).
+struct SimObs {
+  obs::Counter runs = obs::Registry::global().counter("rtdls_sim_runs_total");
+  obs::Counter arrivals = obs::Registry::global().counter("rtdls_sim_arrivals_total");
+  obs::Counter accepted = obs::Registry::global().counter("rtdls_sim_accepted_total");
+  obs::Counter rejected = obs::Registry::global().counter("rtdls_sim_rejected_total");
+  obs::Counter resolver_walks =
+      obs::Registry::global().counter("rtdls_planner_resolver_walks_total");
+  obs::Counter resolver_positions =
+      obs::Registry::global().counter("rtdls_planner_resolver_positions_total");
+  obs::Counter batch_passes =
+      obs::Registry::global().counter("rtdls_planner_batch_passes_total");
+  obs::Counter fixed_point_iterations = obs::Registry::global().counter(
+      "rtdls_planner_backfill_fixed_point_iterations_total");
+  obs::Counter fixed_point_fallbacks = obs::Registry::global().counter(
+      "rtdls_planner_backfill_fixed_point_fallbacks_total");
+};
+
+SimObs& sim_obs() {
+  static SimObs handles;
+  return handles;
+}
+
+}  // namespace
 
 ClusterSimulator::ClusterSimulator(SimulatorConfig config, const sched::Algorithm& algorithm)
     : config_(config),
@@ -55,6 +85,7 @@ SimMetrics ClusterSimulator::run(const std::vector<workload::Task>& tasks, Time 
   // Arrivals are merged straight from the (sorted) trace; the event heap
   // only carries commit events. Ordering matches the EventPriority rule:
   // at equal instants commitments run before arrivals.
+  RTDLS_TRACE_SCOPE("sim.run", "sim");
   std::size_t next_arrival = 0;
   while (next_arrival < tasks.size() || !queue_.empty()) {
     const bool take_commit =
@@ -92,12 +123,28 @@ SimMetrics ClusterSimulator::run(const std::vector<workload::Task>& tasks, Time 
   const auto session_peak = controller_.peak_session_memory();
   metrics_.admission_peak_bytes = session_peak.bytes;
   metrics_.admission_peak_dense_bytes = session_peak.dense_equivalent_bytes;
-  metrics_.backfill_fixed_point_fallbacks =
-      algorithm_->rule->planner_counters().backfill_fixed_point_fallbacks;
+  const sched::PlannerCounters planner = algorithm_->rule->planner_counters();
+  metrics_.backfill_fixed_point_fallbacks = planner.backfill_fixed_point_fallbacks;
+  metrics_.planner_resolver_walks = planner.resolver_walks;
+  metrics_.planner_resolver_positions = planner.resolver_positions;
+  metrics_.planner_batch_passes = planner.batch_passes;
+  metrics_.backfill_fixed_point_iterations = planner.backfill_fixed_point_iterations;
+
+  SimObs& mirrors = sim_obs();
+  mirrors.runs.inc();
+  mirrors.arrivals.add(metrics_.arrivals);
+  mirrors.accepted.add(metrics_.accepted);
+  mirrors.rejected.add(metrics_.rejected);
+  mirrors.resolver_walks.add(planner.resolver_walks);
+  mirrors.resolver_positions.add(planner.resolver_positions);
+  mirrors.batch_passes.add(planner.batch_passes);
+  mirrors.fixed_point_iterations.add(planner.backfill_fixed_point_iterations);
+  mirrors.fixed_point_fallbacks.add(planner.backfill_fixed_point_fallbacks);
   return metrics_;
 }
 
 void ClusterSimulator::handle_arrival(const workload::Task& task) {
+  RTDLS_TRACE_SCOPE("sim.arrival", "sim");
   const Time now = now_;
   ++metrics_.arrivals;
   metrics_.queue_length.add(static_cast<double>(waiting_.size()));
@@ -106,26 +153,30 @@ void ClusterSimulator::handle_arrival(const workload::Task& task) {
   for (const WaitingEntry& entry : waiting_) waiting_view_.push_back(entry.task);
 
   sched::AdmissionOutcome outcome;
-  if (calendar_) {
-    // Calendar mode: "release time" = end of the node's last committed
-    // reservation (the BF rule itself plans against the gaps).
-    free_scratch_.clear();
-    free_scratch_.reserve(calendar_->size());
-    for (cluster::NodeId id = 0; id < calendar_->size(); ++id) {
-      const auto& busy = calendar_->busy(id);
-      free_scratch_.push_back(std::max(now, busy.empty() ? now : busy.back().end));
+  {
+    RTDLS_TRACE_SCOPE("sim.admit_test", "sim");
+    if (calendar_) {
+      // Calendar mode: "release time" = end of the node's last committed
+      // reservation (the BF rule itself plans against the gaps).
+      free_scratch_.clear();
+      free_scratch_.reserve(calendar_->size());
+      for (cluster::NodeId id = 0; id < calendar_->size(); ++id) {
+        const auto& busy = calendar_->busy(id);
+        free_scratch_.push_back(std::max(now, busy.empty() ? now : busy.back().end));
+      }
+      outcome = controller_.test(&task, waiting_view_, config_.params, free_scratch_, now,
+                                 &*calendar_);
+    } else if (config_.incremental_admission) {
+      outcome =
+          controller_.test_incremental(task, waiting_view_, config_.params, cluster_, now);
+    } else if (config_.params.heterogeneous()) {
+      cluster_.availability_with_ids_into(now, free_scratch_, free_ids_scratch_);
+      outcome = controller_.test(&task, waiting_view_, config_.params, free_scratch_, now,
+                                 nullptr, free_ids_scratch_);
+    } else {
+      cluster_.availability_into(now, free_scratch_);
+      outcome = controller_.test(&task, waiting_view_, config_.params, free_scratch_, now);
     }
-    outcome = controller_.test(&task, waiting_view_, config_.params, free_scratch_, now,
-                               &*calendar_);
-  } else if (config_.incremental_admission) {
-    outcome = controller_.test_incremental(task, waiting_view_, config_.params, cluster_, now);
-  } else if (config_.params.heterogeneous()) {
-    cluster_.availability_with_ids_into(now, free_scratch_, free_ids_scratch_);
-    outcome = controller_.test(&task, waiting_view_, config_.params, free_scratch_, now,
-                               nullptr, free_ids_scratch_);
-  } else {
-    cluster_.availability_into(now, free_scratch_);
-    outcome = controller_.test(&task, waiting_view_, config_.params, free_scratch_, now);
   }
 
   if (!outcome.accepted) {
@@ -165,6 +216,7 @@ void ClusterSimulator::adopt_schedule(std::size_t reused_prefix,
 }
 
 void ClusterSimulator::handle_commit(cluster::TaskId id, std::uint64_t version) {
+  RTDLS_TRACE_SCOPE("sim.commit", "sim");
   const auto it = std::find_if(waiting_.begin(), waiting_.end(), [&](const WaitingEntry& w) {
     return w.task->id == id && w.version == version;
   });
@@ -216,6 +268,7 @@ bool ClusterSimulator::commit_task(Time now, const WaitingEntry& entry) {
   // Multi-round plans already carry their exact rolled-out per-node
   // finishes (built by build_multiround_schedule); re-rolling them through
   // the single-round model would be the wrong execution semantics.
+  RTDLS_TRACE_SCOPE("sim.rollout", "sim");
   ActualTimeline timeline;
   Time actual = 0.0;
   if (plan.rounds > 1) {

@@ -127,6 +127,10 @@ StatusReply Client::status() {
   return call<StatusReply>(MsgType::kStatusRequest, MsgType::kStatusReply, StatusRequest{});
 }
 
+MetricsReply Client::metrics() {
+  return call<MetricsReply>(MsgType::kMetricsRequest, MsgType::kMetricsReply, MetricsRequest{});
+}
+
 SnapshotReply Client::snapshot(const std::string& path) {
   SnapshotRequest request;
   request.path = path;

@@ -41,6 +41,8 @@ class Client {
   CommitReply commit(std::uint32_t shard, cluster::TaskId task);
   CancelReply cancel(std::uint32_t shard, cluster::TaskId task);
   StatusReply status();
+  /// v1.1: Prometheus text scrape of the daemon's metrics registries.
+  MetricsReply metrics();
   SnapshotReply snapshot(const std::string& path);
   /// Fire a shutdown request and wait for the acknowledgment.
   void shutdown();

@@ -18,13 +18,14 @@ const char* error_code_name(ErrorCode code) {
 }
 
 std::vector<std::uint8_t> encode_frame(MsgType type, std::uint64_t request_id,
-                                       const std::vector<std::uint8_t>& payload) {
+                                       const std::vector<std::uint8_t>& payload,
+                                       std::uint16_t version) {
   if (payload.size() > kMaxPayload) throw util::WireError("frame: payload exceeds kMaxPayload");
   std::vector<std::uint8_t> frame;
   frame.reserve(kFrameHeaderSize + payload.size());
   util::WireWriter header(frame);
   header.u32(kFrameMagic);
-  header.u16(kProtocolVersion);
+  header.u16(version);
   header.u16(static_cast<std::uint16_t>(type));
   header.u64(request_id);
   header.u32(static_cast<std::uint32_t>(payload.size()));
@@ -53,7 +54,7 @@ FrameDecoder::Status FrameDecoder::next(Frame& out) {
     return Status::kError;
   }
   const std::uint16_t version = header.u16();
-  if (version != kProtocolVersion) {
+  if (version != kProtocolVersionV10 && version != kProtocolVersion) {
     error_ = "frame: unsupported protocol version " + std::to_string(version);
     return Status::kError;
   }
@@ -71,6 +72,7 @@ FrameDecoder::Status FrameDecoder::next(Frame& out) {
   // error reply) - the frame itself parsed, so the stream survives.
   out.type = static_cast<MsgType>(raw_type);
   out.request_id = request_id;
+  out.version = version;
   const std::uint8_t* payload = buffer_.data() + consumed_ + kFrameHeaderSize;
   out.payload.assign(payload, payload + payload_size);
   consumed_ += kFrameHeaderSize + payload_size;
@@ -250,6 +252,24 @@ ShardStatus ShardStatus::decode(util::WireReader& in) {
   return s;
 }
 
+void ShardLatency::encode(util::WireWriter& out) const {
+  out.u64(count);
+  out.f64(p50_us);
+  out.f64(p90_us);
+  out.f64(p99_us);
+  out.f64(max_us);
+}
+
+ShardLatency ShardLatency::decode(util::WireReader& in) {
+  ShardLatency l;
+  l.count = in.u64();
+  l.p50_us = in.f64();
+  l.p90_us = in.f64();
+  l.p99_us = in.f64();
+  l.max_us = in.f64();
+  return l;
+}
+
 void StatusReply::encode(util::WireWriter& out) const {
   out.string(build);
   out.string(algorithm);
@@ -267,6 +287,14 @@ void StatusReply::encode(util::WireWriter& out) const {
   out.u64(counters.restores);
   out.u32(static_cast<std::uint32_t>(shards.size()));
   for (const ShardStatus& s : shards) s.encode(out);
+  if (extended) {
+    // v1.1 suffix: everything above is byte-identical to a v1.0 reply, so
+    // the extension is invisible to a client that stops at the shard array.
+    out.u64(uptime_ms);
+    out.u64(queue_depth);
+    out.u32(static_cast<std::uint32_t>(shard_latency.size()));
+    for (const ShardLatency& l : shard_latency) l.encode(out);
+  }
 }
 
 StatusReply StatusReply::decode(util::WireReader& in) {
@@ -293,6 +321,39 @@ StatusReply StatusReply::decode(util::WireReader& in) {
   }
   reply.shards.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) reply.shards.push_back(ShardStatus::decode(in));
+  if (in.remaining() > 0) {
+    // v1.1 extension present.
+    reply.extended = true;
+    reply.uptime_ms = in.u64();
+    reply.queue_depth = in.u64();
+    const std::uint32_t lat_count = in.u32();
+    // Each ShardLatency is a fixed 40 bytes; bound-check before reserving.
+    if (static_cast<std::size_t>(lat_count) * 40 > in.remaining()) {
+      throw util::WireError("StatusReply: latency count exceeds payload");
+    }
+    reply.shard_latency.reserve(lat_count);
+    for (std::uint32_t i = 0; i < lat_count; ++i) {
+      reply.shard_latency.push_back(ShardLatency::decode(in));
+    }
+  }
+  in.expect_done();
+  return reply;
+}
+
+// --- Metrics ----------------------------------------------------------------
+
+void MetricsRequest::encode(util::WireWriter&) const {}
+
+MetricsRequest MetricsRequest::decode(util::WireReader& in) {
+  in.expect_done();
+  return MetricsRequest{};
+}
+
+void MetricsReply::encode(util::WireWriter& out) const { out.string(text); }
+
+MetricsReply MetricsReply::decode(util::WireReader& in) {
+  MetricsReply reply;
+  reply.text = in.string();
   in.expect_done();
   return reply;
 }

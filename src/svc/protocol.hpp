@@ -37,7 +37,13 @@
 namespace rtdls::svc {
 
 inline constexpr std::uint32_t kFrameMagic = 0x4C445452;  // 'RTDL'
-inline constexpr std::uint16_t kProtocolVersion = 1;
+/// Wire revisions. 1 = v1.0 (the original protocol), 2 = v1.1 (adds the
+/// metrics request and the extended status-reply section). The decoder
+/// accepts both and records which one each frame carried; the server
+/// encodes every reply at the requester's revision, so a v1.0 client keeps
+/// receiving byte-identical v1.0 replies.
+inline constexpr std::uint16_t kProtocolVersionV10 = 1;
+inline constexpr std::uint16_t kProtocolVersion = 2;
 inline constexpr std::size_t kFrameHeaderSize = 4 + 2 + 2 + 8 + 4;
 /// Payload ceiling: far above any real message (the largest is a StatusReply
 /// over every shard), far below anything that could balloon server memory.
@@ -55,6 +61,8 @@ enum class MsgType : std::uint16_t {
   /// path end to end (the sleeper times out; contenders on the same shard
   /// time out on the lock; other shards are unaffected).
   kDebugSleepRequest = 7,
+  /// v1.1: Prometheus-style text scrape of the daemon's obs registry.
+  kMetricsRequest = 8,
 
   kAdmitReply = 101,
   kCommitReply = 102,
@@ -63,6 +71,7 @@ enum class MsgType : std::uint16_t {
   kSnapshotReply = 105,
   kShutdownReply = 106,
   kDebugSleepReply = 107,
+  kMetricsReply = 108,
   kErrorReply = 255,
 };
 
@@ -84,12 +93,15 @@ const char* error_code_name(ErrorCode code);
 struct Frame {
   MsgType type = MsgType::kErrorReply;
   std::uint64_t request_id = 0;
+  /// Wire revision the frame carried (the server replies at this revision).
+  std::uint16_t version = kProtocolVersion;
   std::vector<std::uint8_t> payload;
 };
 
-/// Encodes a complete frame (header + payload).
+/// Encodes a complete frame (header + payload) at the given wire revision.
 std::vector<std::uint8_t> encode_frame(MsgType type, std::uint64_t request_id,
-                                       const std::vector<std::uint8_t>& payload);
+                                       const std::vector<std::uint8_t>& payload,
+                                       std::uint16_t version = kProtocolVersion);
 
 /// Incremental frame extraction from a byte stream.
 class FrameDecoder {
@@ -217,6 +229,19 @@ struct ShardStatus {
   static ShardStatus decode(util::WireReader& in);
 };
 
+/// v1.1 per-shard request-latency summary (microseconds), extracted from
+/// the daemon's obs histogram for that shard.
+struct ShardLatency {
+  std::uint64_t count = 0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+
+  void encode(util::WireWriter& out) const;
+  static ShardLatency decode(util::WireReader& in);
+};
+
 struct StatusReply {
   std::string build;      ///< util::build_description(): flags attribution
   std::string algorithm;  ///< the admission algorithm every shard runs
@@ -225,8 +250,29 @@ struct StatusReply {
   sim::ServiceCounters counters;
   std::vector<ShardStatus> shards;
 
+  /// v1.1 extension, appended after the shard array so a v1.0 layout is a
+  /// strict prefix. `extended` selects whether encode() writes it; decode()
+  /// sets it from whether the bytes were present.
+  bool extended = false;
+  std::uint64_t uptime_ms = 0;
+  std::uint64_t queue_depth = 0;            ///< connections awaiting a worker
+  std::vector<ShardLatency> shard_latency;  ///< parallel to `shards`
+
   void encode(util::WireWriter& out) const;
   static StatusReply decode(util::WireReader& in);
+};
+
+/// v1.1: scrape the daemon's metrics registries.
+struct MetricsRequest {
+  void encode(util::WireWriter& out) const;
+  static MetricsRequest decode(util::WireReader& in);
+};
+
+struct MetricsReply {
+  std::string text;  ///< Prometheus text exposition
+
+  void encode(util::WireWriter& out) const;
+  static MetricsReply decode(util::WireReader& in);
 };
 
 struct SnapshotRequest {
@@ -280,10 +326,11 @@ struct ErrorReply {
 /// Convenience: encode a payload-bearing message straight into a frame.
 template <typename Message>
 std::vector<std::uint8_t> encode_message(MsgType type, std::uint64_t request_id,
-                                         const Message& message) {
+                                         const Message& message,
+                                         std::uint16_t version = kProtocolVersion) {
   util::WireWriter writer;
   message.encode(writer);
-  return encode_frame(type, request_id, writer.take());
+  return encode_frame(type, request_id, writer.take(), version);
 }
 
 }  // namespace rtdls::svc

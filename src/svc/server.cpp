@@ -9,6 +9,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "svc/snapshot.hpp"
 #include "util/build_info.hpp"
 
@@ -17,6 +18,31 @@ namespace rtdls::svc {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Request-latency histograms cover the whole per-request budget range:
+/// microseconds up to the multi-second deadline ceiling.
+constexpr obs::HistogramOptions kLatencyHistogram{1.0, 4, 128};
+
+std::string shard_latency_name(std::size_t shard) {
+  return "rtdls_shard" + std::to_string(shard) + "_request_latency_us";
+}
+
+/// Records one request's end-to-end wall time (decode through reply write)
+/// into the daemon-wide histogram, and the per-shard one once the request
+/// has resolved to a shard. Handles are value copies; the default-constructed
+/// `shard` member no-ops until assigned.
+struct RequestTimer {
+  obs::Histogram global;
+  obs::Histogram shard;
+  Clock::time_point start = Clock::now();
+
+  ~RequestTimer() {
+    const double us =
+        std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+    global.record(us);
+    shard.record(us);
+  }
+};
 
 /// Deadline-bounded acquisition via try_lock polling. try_lock_until is the
 /// natural call, but libstdc++ lowers it to pthread_mutex_clocklock, which
@@ -86,6 +112,19 @@ Daemon::Daemon(DaemonConfig config) : config_(std::move(config)) {
     }
   }
   if (config_.workers == 0) throw std::invalid_argument("Daemon: need at least one worker");
+  start_time_ = Clock::now();
+  queue_depth_ = obs_.gauge("rtdls_daemon_queue_depth");
+  request_latency_ = obs_.histogram("rtdls_daemon_request_latency_us", kLatencyHistogram);
+  shard_latency_.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shard_latency_.push_back(obs_.histogram(shard_latency_name(i), kLatencyHistogram));
+  }
+}
+
+std::uint64_t Daemon::uptime_ms() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - start_time_)
+          .count());
 }
 
 Daemon::~Daemon() {
@@ -141,6 +180,7 @@ void Daemon::stop() {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     for (int fd : pending_fds_) ::close(fd);
     pending_fds_.clear();
+    queue_depth_.set(0);
   }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -210,6 +250,7 @@ void Daemon::accept_loop() {
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
       pending_fds_.push_back(fd);
+      queue_depth_.set(static_cast<std::int64_t>(pending_fds_.size()));
     }
     queue_cv_.notify_one();
   }
@@ -226,6 +267,7 @@ void Daemon::worker_loop() {
       if (pending_fds_.empty()) return;  // stop requested, nothing queued
       fd = pending_fds_.front();
       pending_fds_.erase(pending_fds_.begin());
+      queue_depth_.set(static_cast<std::int64_t>(pending_fds_.size()));
     }
     serve_connection(fd);
   }
@@ -253,7 +295,9 @@ void Daemon::serve_connection(int fd) {
       if (status == FrameDecoder::Status::kNeedMore) break;
       if (status == FrameDecoder::Status::kError) {
         bump(&AtomicCounters::errors);
-        send_error(fd, 0, ErrorCode::kBadFrame, decoder.error());
+        // The frame header never parsed, so the peer's revision is unknown;
+        // v1.0 frames are decodable by clients of either revision.
+        send_error(fd, 0, kProtocolVersionV10, ErrorCode::kBadFrame, decoder.error());
         open = false;
         break;
       }
@@ -266,57 +310,70 @@ void Daemon::serve_connection(int fd) {
 
 bool Daemon::handle_frame(int fd, const Frame& frame) {
   const std::uint64_t id = frame.request_id;
+  const std::uint16_t ver = frame.version;
   if (stop_.load(std::memory_order_relaxed)) {
     bump(&AtomicCounters::errors);
-    send_error(fd, id, ErrorCode::kShuttingDown, "daemon is stopping");
+    send_error(fd, id, ver, ErrorCode::kShuttingDown, "daemon is stopping");
     return false;
   }
+  RequestTimer timer{request_latency_, {}};
+  RTDLS_TRACE_SCOPE("svc.request", "svc");
   try {
     util::WireReader in(frame.payload);
     switch (frame.type) {
       case MsgType::kAdmitRequest: {
+        RTDLS_TRACE_SCOPE("svc.admit", "svc");
         const AdmitRequest request = AdmitRequest::decode(in);
         bump(&AtomicCounters::admits);
         if (request.shard >= shards_.size()) {
           throw ShardError(ErrorCode::kUnknownShard,
                            "shard " + std::to_string(request.shard) + " out of range");
         }
+        timer.shard = shard_latency_[request.shard];
         DeadlineLock lock(shards_[request.shard]->shard_mutex, deadline_for(request.deadline_ms));
         if (!lock.locked()) {
           throw ShardError(ErrorCode::kTimeout, "admit: shard busy past request deadline");
         }
+        RTDLS_TRACE_INSTANT("svc.shard_locked", "svc");
         const AdmitReply reply = shards_[request.shard]->shard.admit(request.task);
-        return send_all(fd, encode_message(MsgType::kAdmitReply, id, reply));
+        return send_all(fd, encode_message(MsgType::kAdmitReply, id, reply, ver));
       }
       case MsgType::kCommitRequest: {
+        RTDLS_TRACE_SCOPE("svc.commit", "svc");
         const CommitRequest request = CommitRequest::decode(in);
         bump(&AtomicCounters::commits);
         if (request.shard >= shards_.size()) {
           throw ShardError(ErrorCode::kUnknownShard,
                            "shard " + std::to_string(request.shard) + " out of range");
         }
+        timer.shard = shard_latency_[request.shard];
         DeadlineLock lock(shards_[request.shard]->shard_mutex, deadline_for(0));
         if (!lock.locked()) {
           throw ShardError(ErrorCode::kTimeout, "commit: shard busy past request deadline");
         }
+        RTDLS_TRACE_INSTANT("svc.shard_locked", "svc");
         const CommitReply reply = shards_[request.shard]->shard.commit(request.task);
-        return send_all(fd, encode_message(MsgType::kCommitReply, id, reply));
+        return send_all(fd, encode_message(MsgType::kCommitReply, id, reply, ver));
       }
       case MsgType::kCancelRequest: {
+        RTDLS_TRACE_SCOPE("svc.cancel", "svc");
         const CancelRequest request = CancelRequest::decode(in);
         bump(&AtomicCounters::cancels);
         if (request.shard >= shards_.size()) {
           throw ShardError(ErrorCode::kUnknownShard,
                            "shard " + std::to_string(request.shard) + " out of range");
         }
+        timer.shard = shard_latency_[request.shard];
         DeadlineLock lock(shards_[request.shard]->shard_mutex, deadline_for(0));
         if (!lock.locked()) {
           throw ShardError(ErrorCode::kTimeout, "cancel: shard busy past request deadline");
         }
+        RTDLS_TRACE_INSTANT("svc.shard_locked", "svc");
         const CancelReply reply = shards_[request.shard]->shard.cancel(request.task);
-        return send_all(fd, encode_message(MsgType::kCancelReply, id, reply));
+        return send_all(fd, encode_message(MsgType::kCancelReply, id, reply, ver));
       }
       case MsgType::kStatusRequest: {
+        RTDLS_TRACE_SCOPE("svc.status", "svc");
         StatusRequest::decode(in);
         bump(&AtomicCounters::status_queries);
         StatusReply reply;
@@ -325,6 +382,26 @@ bool Daemon::handle_frame(int fd, const Frame& frame) {
         reply.node_count = config_.params.node_count;
         reply.workers = config_.workers;
         reply.counters = counters();
+        reply.extended = ver != kProtocolVersionV10;
+        if (reply.extended) {
+          reply.uptime_ms = uptime_ms();
+          {
+            // Level-10 queue mutex, taken before any level-20 shard lock.
+            std::lock_guard<std::mutex> lock(queue_mutex_);
+            reply.queue_depth = pending_fds_.size();
+          }
+          reply.shard_latency.reserve(shards_.size());
+          for (std::size_t i = 0; i < shards_.size(); ++i) {
+            const obs::HistogramSample sample = obs_.histogram_sample(shard_latency_name(i));
+            ShardLatency latency;
+            latency.count = sample.count;
+            latency.p50_us = sample.quantile(0.5);
+            latency.p90_us = sample.quantile(0.9);
+            latency.p99_us = sample.quantile(0.99);
+            latency.max_us = sample.max;
+            reply.shard_latency.push_back(latency);
+          }
+        }
         const Clock::time_point deadline = deadline_for(0);
         reply.shards.reserve(shards_.size());
         for (std::size_t i = 0; i < shards_.size(); ++i) {
@@ -337,9 +414,39 @@ bool Daemon::handle_frame(int fd, const Frame& frame) {
           shards_[i]->shard.fill_status(status);
           reply.shards.push_back(status);
         }
-        return send_all(fd, encode_message(MsgType::kStatusReply, id, reply));
+        return send_all(fd, encode_message(MsgType::kStatusReply, id, reply, ver));
+      }
+      case MsgType::kMetricsRequest: {
+        RTDLS_TRACE_SCOPE("svc.metrics", "svc");
+        MetricsRequest::decode(in);
+        bump(&AtomicCounters::status_queries);
+        MetricsReply reply;
+        // Service counters are rendered straight from the worker-shared
+        // atomics (no second bookkeeping), then the daemon-local registry
+        // (latencies, queue depth), then the process-global one
+        // (simulator/planner/admission counters).
+        obs::Snapshot service;
+        const auto load = [](const std::atomic<std::size_t>& c) {
+          return static_cast<std::uint64_t>(c.load(std::memory_order_relaxed));
+        };
+        service.counters = {
+            {"rtdls_daemon_connections_total", load(counters_.connections)},
+            {"rtdls_daemon_requests_total", load(counters_.requests)},
+            {"rtdls_daemon_admits_total", load(counters_.admits)},
+            {"rtdls_daemon_commits_total", load(counters_.commits)},
+            {"rtdls_daemon_cancels_total", load(counters_.cancels)},
+            {"rtdls_daemon_status_queries_total", load(counters_.status_queries)},
+            {"rtdls_daemon_snapshots_total", load(counters_.snapshots)},
+            {"rtdls_daemon_errors_total", load(counters_.errors)},
+            {"rtdls_daemon_timeouts_total", load(counters_.timeouts)},
+            {"rtdls_daemon_restores_total", load(counters_.restores)},
+        };
+        reply.text = obs::prometheus_text(service) + obs_.prometheus_text() +
+                     obs::Registry::global().prometheus_text();
+        return send_all(fd, encode_message(MsgType::kMetricsReply, id, reply, ver));
       }
       case MsgType::kSnapshotRequest: {
+        RTDLS_TRACE_SCOPE("svc.snapshot", "svc");
         const SnapshotRequest request = SnapshotRequest::decode(in);
         bump(&AtomicCounters::snapshots);
         const std::string path =
@@ -358,11 +465,11 @@ bool Daemon::handle_frame(int fd, const Frame& frame) {
         SnapshotReply reply;
         reply.shards = shards_.size();
         reply.bytes = bytes;
-        return send_all(fd, encode_message(MsgType::kSnapshotReply, id, reply));
+        return send_all(fd, encode_message(MsgType::kSnapshotReply, id, reply, ver));
       }
       case MsgType::kShutdownRequest: {
         ShutdownRequest::decode(in);
-        send_all(fd, encode_message(MsgType::kShutdownReply, id, ShutdownReply{}));
+        send_all(fd, encode_message(MsgType::kShutdownReply, id, ShutdownReply{}, ver));
         request_stop();
         return false;
       }
@@ -390,7 +497,7 @@ bool Daemon::handle_frame(int fd, const Frame& frame) {
         }
         DebugSleepReply reply;
         reply.slept_ms = request.millis;
-        return send_all(fd, encode_message(MsgType::kDebugSleepReply, id, reply));
+        return send_all(fd, encode_message(MsgType::kDebugSleepReply, id, reply, ver));
       }
       default:
         throw ShardError(ErrorCode::kUnknownType,
@@ -400,25 +507,25 @@ bool Daemon::handle_frame(int fd, const Frame& frame) {
   } catch (const ShardError& error) {
     bump(&AtomicCounters::errors);
     if (error.code() == ErrorCode::kTimeout) bump(&AtomicCounters::timeouts);
-    send_error(fd, id, error.code(), error.what());
+    send_error(fd, id, ver, error.code(), error.what());
     return true;
   } catch (const util::WireError& error) {
     bump(&AtomicCounters::errors);
-    send_error(fd, id, ErrorCode::kBadPayload, error.what());
+    send_error(fd, id, ver, ErrorCode::kBadPayload, error.what());
     return true;
   } catch (const std::exception& error) {
     bump(&AtomicCounters::errors);
-    send_error(fd, id, ErrorCode::kInternal, error.what());
+    send_error(fd, id, ver, ErrorCode::kInternal, error.what());
     return true;
   }
 }
 
-void Daemon::send_error(int fd, std::uint64_t request_id, ErrorCode code,
-                        const std::string& message) {
+void Daemon::send_error(int fd, std::uint64_t request_id, std::uint16_t version,
+                        ErrorCode code, const std::string& message) {
   ErrorReply reply;
   reply.code = code;
   reply.message = message;
-  send_all(fd, encode_message(MsgType::kErrorReply, request_id, reply));
+  send_all(fd, encode_message(MsgType::kErrorReply, request_id, reply, version));
 }
 
 bool Daemon::send_all(int fd, const std::vector<std::uint8_t>& bytes) {

@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/metrics.hpp"
 #include "util/annotations.hpp"
 #include "svc/shard.hpp"
@@ -91,6 +92,14 @@ class Daemon {
   sim::ServiceCounters counters() const;
   std::size_t shard_count() const { return shards_.size(); }
 
+  /// The daemon's private metrics registry (request latencies per shard,
+  /// queue depth). Scraped by the kMetricsRequest op together with the
+  /// process-global registry; exposed for tests and the storm harness.
+  obs::Registry& metrics_registry() { return obs_; }
+
+  /// Milliseconds since the daemon was constructed (monotonic clock).
+  std::uint64_t uptime_ms() const;
+
   /// Direct shard access for in-process callers (tests, the storm bench's
   /// serial replay). The caller must hold shard_mutex(i).
   AdmissionShard& shard(std::size_t i) { return shards_[i]->shard; }
@@ -110,8 +119,9 @@ class Daemon {
   /// Dispatches one frame; returns false when the connection must close
   /// (frame-level protocol violation or shutdown).
   bool handle_frame(int fd, const Frame& frame);
-  void send_error(int fd, std::uint64_t request_id, ErrorCode code,
-                  const std::string& message);
+  /// Error replies echo the requester's wire revision like any other reply.
+  void send_error(int fd, std::uint64_t request_id, std::uint16_t version,
+                  ErrorCode code, const std::string& message);
   bool send_all(int fd, const std::vector<std::uint8_t>& bytes);
   std::chrono::steady_clock::time_point deadline_for(std::uint32_t override_ms) const;
 
@@ -151,6 +161,14 @@ class Daemon {
   std::vector<int> pending_fds_;
 
   AtomicCounters counters_;
+
+  /// Per-daemon registry (NOT the process-global one): a test that runs
+  /// several daemons must not see their latencies blended together.
+  obs::Registry obs_;
+  obs::Gauge queue_depth_;            ///< pending_fds_.size(), maintained at push/pop
+  obs::Histogram request_latency_;    ///< all requests, end to end, microseconds
+  std::vector<obs::Histogram> shard_latency_;  ///< indexed by shard
+  std::chrono::steady_clock::time_point start_time_;
 };
 
 }  // namespace rtdls::svc

@@ -1,5 +1,7 @@
 #include "util/build_info.hpp"
 
+#include "obs/trace.hpp"
+
 namespace rtdls::util {
 
 bool build_simd() {
@@ -24,6 +26,14 @@ bool build_asan() {
 #endif
 }
 
+bool build_trace() {
+#if RTDLS_TRACE_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
 std::string build_description() {
   std::string compiler;
 #if defined(__clang__)
@@ -41,7 +51,8 @@ std::string build_description() {
   const char* mode = "Debug";
 #endif
   return "rtdls (" + compiler + ", " + mode + std::string(", simd=") +
-         (build_simd() ? "on" : "off") + ", asan=" + (build_asan() ? "on" : "off") + ")";
+         (build_simd() ? "on" : "off") + ", asan=" + (build_asan() ? "on" : "off") +
+         ", trace=" + (build_trace() ? "on" : "off") + ")";
 }
 
 }  // namespace rtdls::util

@@ -11,7 +11,7 @@
 namespace rtdls::util {
 
 /// One-line build description, e.g.
-/// "rtdls (gcc 12.2.0, Release, simd=off, asan=off)".
+/// "rtdls (gcc 12.2.0, Release, simd=off, asan=off, trace=on)".
 std::string build_description();
 
 /// True when the planner kernels were built with RTDLS_SIMD.
@@ -19,5 +19,8 @@ bool build_simd();
 
 /// True when AddressSanitizer is compiled in (RTDLS_SANITIZE).
 bool build_asan();
+
+/// True when the trace recorder is compiled in (RTDLS_TRACE).
+bool build_trace();
 
 }  // namespace rtdls::util

@@ -35,18 +35,27 @@ LogLevel parse_log_level(std::string_view name) {
   return LogLevel::kInfo;
 }
 
-Logger::Logger() : level_(LogLevel::kWarn) { init_from_env(); }
+Logger::Logger() : level_(LogLevel::kWarn), epoch_(std::chrono::steady_clock::now()) {
+  init_from_env();
+}
 
 Logger& Logger::instance() {
   static Logger logger;
   return logger;
 }
 
+double Logger::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+}
+
 void Logger::write(LogLevel level, std::string_view message) {
   if (!enabled(level)) return;
   std::lock_guard<std::mutex> lock(g_sink_mutex);
-  std::fprintf(stderr, "[rtdls:%.*s] %.*s\n",
+  // Monotonic elapsed time, not wall clock: lines from one process compare
+  // and diff cleanly, and the stamp can never run backwards.
+  std::fprintf(stderr, "[rtdls:%.*s +%.3f] %.*s\n",
                static_cast<int>(log_level_name(level).size()), log_level_name(level).data(),
+               elapsed_seconds(),
                static_cast<int>(message.size()), message.data());
 }
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -43,15 +44,20 @@ class Logger {
   /// True if a message at `level` would be emitted.
   bool enabled(LogLevel level) const { return level >= this->level(); }
 
-  /// Emits one formatted line to stderr (serialized across threads).
+  /// Emits one formatted line to stderr (serialized across threads), with a
+  /// monotonic `+seconds.millis` timestamp relative to the logger's epoch.
   void write(LogLevel level, std::string_view message);
 
   /// Initializes the level from the RTDLS_LOG environment variable.
   void init_from_env();
 
+  /// Seconds elapsed since the logger's (steady-clock) epoch.
+  double elapsed_seconds() const;
+
  private:
   Logger();
   std::atomic<LogLevel> level_;
+  std::chrono::steady_clock::time_point epoch_;
 };
 
 namespace detail {

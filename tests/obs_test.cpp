@@ -1,0 +1,440 @@
+// Unit tests for src/obs: the metrics registry (counters, gauges, log-scale
+// histograms, thread-sharded write path) and the trace-event recorder.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace rtdls::obs {
+namespace {
+
+// --- counters and gauges ---------------------------------------------------
+
+TEST(ObsCounter, AddAndScrape) {
+  Registry registry;
+  Counter c = registry.counter("test_counter");
+  c.add(3);
+  c.inc();
+  EXPECT_EQ(registry.counter_value("test_counter"), 4u);
+  EXPECT_EQ(registry.counter_value("never_registered"), 0u);
+}
+
+TEST(ObsCounter, ReRegistrationSharesTheMetric) {
+  Registry registry;
+  Counter a = registry.counter("shared");
+  Counter b = registry.counter("shared");
+  a.add(2);
+  b.add(5);
+  EXPECT_EQ(registry.counter_value("shared"), 7u);
+}
+
+TEST(ObsCounter, DefaultConstructedHandleNoOps) {
+  Counter c;
+  c.add(10);  // must not crash
+  Gauge g;
+  g.set(5);
+  g.add(1);
+  EXPECT_EQ(g.value(), 0);
+  Histogram h;
+  h.record(1.0);
+}
+
+TEST(ObsGauge, SetAddValue) {
+  Registry registry;
+  Gauge g = registry.gauge("depth");
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  const Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].name, "depth");
+  EXPECT_EQ(snap.gauges[0].value, 7);
+}
+
+// --- histograms ------------------------------------------------------------
+
+TEST(ObsHistogram, ExactStatsRideAlong) {
+  Registry registry;
+  Histogram h = registry.histogram("lat");
+  h.record(10.0);
+  h.record(100.0);
+  h.record(1000.0);
+  const HistogramSample s = registry.histogram_sample("lat");
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 1110.0);
+  EXPECT_DOUBLE_EQ(s.min, 10.0);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 370.0);
+}
+
+TEST(ObsHistogram, EmptySampleIsZero) {
+  Registry registry;
+  registry.histogram("empty");
+  const HistogramSample s = registry.histogram_sample("empty");
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(ObsHistogram, QuantileAccuracyWithinBucketWidth) {
+  Registry registry;
+  // 8 buckets/octave -> growth 2^(1/8) ~ 1.09, so estimates must land
+  // within ~10% of the true order statistic.
+  Histogram h = registry.histogram("uniform");
+  for (int i = 1; i <= 10000; ++i) h.record(static_cast<double>(i));
+  const HistogramSample s = registry.histogram_sample("uniform");
+  EXPECT_NEAR(s.quantile(0.50), 5000.0, 550.0);
+  EXPECT_NEAR(s.quantile(0.90), 9000.0, 950.0);
+  EXPECT_NEAR(s.quantile(0.99), 9900.0, 1050.0);
+  // The extremes are exact (clamped to min/max).
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 10000.0);
+}
+
+TEST(ObsHistogram, ValuesBelowLowestClampIntoBucketZero) {
+  Registry registry;
+  Histogram h = registry.histogram("clamp", HistogramOptions{10.0, 4, 32});
+  h.record(0.001);
+  h.record(-5.0);  // negative "latencies" are noise: clamped to 0, still counted
+  const HistogramSample s = registry.histogram_sample("clamp");
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  ASSERT_FALSE(s.buckets.empty());
+  EXPECT_EQ(s.buckets[0], 2u);
+}
+
+TEST(ObsHistogram, ValuesAboveRangeClampIntoLastBucket) {
+  Registry registry;
+  Histogram h = registry.histogram("top", HistogramOptions{1.0, 4, 8});
+  h.record(1.0e18);
+  const HistogramSample s = registry.histogram_sample("top");
+  ASSERT_EQ(s.buckets.size(), 8u);
+  EXPECT_EQ(s.buckets.back(), 1u);
+  EXPECT_DOUBLE_EQ(s.max, 1.0e18);
+}
+
+// --- thread sharding -------------------------------------------------------
+
+TEST(ObsRegistry, ConcurrentWritersAndScraperAgreeOnTotals) {
+  Registry registry;
+  Counter counter = registry.counter("hits");
+  Histogram histogram = registry.histogram("work_us");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+
+  std::atomic<bool> stop_scraping{false};
+  // Scraper runs concurrently with the writers: totals it sees must be
+  // monotone and never torn; the exact final total is checked after join.
+  std::thread scraper([&] {
+    std::uint64_t last = 0;
+    while (!stop_scraping.load()) {
+      const std::uint64_t now = registry.counter_value("hits");
+      EXPECT_GE(now, last);
+      last = now;
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.inc();
+        histogram.record(static_cast<double>(t * kPerThread + i + 1));
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop_scraping.store(true);
+  scraper.join();
+
+  EXPECT_EQ(registry.counter_value("hits"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const HistogramSample s = registry.histogram_sample("work_us");
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST(ObsRegistry, ExitedThreadsFoldIntoTheScrape) {
+  Registry registry;
+  Counter counter = registry.counter("folded");
+  for (int round = 0; round < 4; ++round) {
+    std::thread worker([&] { counter.add(25); });
+    worker.join();
+  }
+  EXPECT_EQ(registry.counter_value("folded"), 100u);
+}
+
+TEST(ObsRegistry, LateRegistrationRegrowsLiveShards) {
+  Registry registry;
+  Counter early = registry.counter("early");
+  std::atomic<int> phase{0};
+  std::thread worker([&] {
+    early.inc();  // sizes this thread's shard for one counter
+    phase.store(1);
+    while (phase.load() < 2) std::this_thread::yield();
+    // "late" was registered after the shard above was sized; the next
+    // write must regrow the shard rather than write out of bounds.
+    Counter late = registry.counter("late");
+    late.add(7);
+    early.inc();
+  });
+  while (phase.load() < 1) std::this_thread::yield();
+  registry.counter("late");
+  phase.store(2);
+  worker.join();
+  EXPECT_EQ(registry.counter_value("early"), 2u);
+  EXPECT_EQ(registry.counter_value("late"), 7u);
+}
+
+TEST(ObsRegistry, GlobalIsASingleton) {
+  Registry& a = Registry::global();
+  Registry& b = Registry::global();
+  EXPECT_EQ(&a, &b);
+}
+
+// --- prometheus text -------------------------------------------------------
+
+TEST(ObsPrometheus, TextContainsAllFamilies) {
+  Registry registry;
+  registry.counter("reqs_total").add(5);
+  registry.gauge("queue_depth").set(3);
+  Histogram h = registry.histogram("latency_us");
+  h.record(10.0);
+  h.record(20.0);
+
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("# TYPE reqs_total counter"), std::string::npos);
+  EXPECT_NE(text.find("reqs_total 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("queue_depth 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE latency_us summary"), std::string::npos);
+  EXPECT_NE(text.find("latency_us_count 2"), std::string::npos);
+  EXPECT_NE(text.find("latency_us_sum 30"), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.5\""), std::string::npos);
+  // Every line is either a comment or `name[{labels}] value`.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') continue;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+  }
+}
+
+#if RTDLS_TRACE_ENABLED
+
+// --- trace recorder --------------------------------------------------------
+
+// Minimal recursive-descent JSON well-formedness checker: enough to assert
+// the emitted trace parses, without a JSON library dependency.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') return ++pos_, true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') return ++pos_, true;
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') return ++pos_, true;
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') return ++pos_, true;
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* word) {
+    const std::size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+TEST(ObsTrace, EmitsWellFormedTraceEventJson) {
+  TraceRecorder& recorder = TraceRecorder::instance();
+  recorder.clear();
+  recorder.start();
+  {
+    RTDLS_TRACE_SCOPE("test.outer", "test");
+    { RTDLS_TRACE_SCOPE("test.inner", "test"); }
+    RTDLS_TRACE_INSTANT("test.mark", "test");
+  }
+  recorder.stop();
+  EXPECT_EQ(recorder.event_count(), 3u);
+
+  std::ostringstream out;
+  const std::size_t written = recorder.write_json(out);
+  EXPECT_EQ(written, 3u);
+  const std::string json = out.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test.outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test.inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"test\""), std::string::npos);
+  recorder.clear();
+}
+
+TEST(ObsTrace, DisarmedMacrosRecordNothing) {
+  TraceRecorder& recorder = TraceRecorder::instance();
+  recorder.clear();
+  ASSERT_FALSE(recorder.armed());
+  {
+    RTDLS_TRACE_SCOPE("test.ignored", "test");
+    RTDLS_TRACE_INSTANT("test.ignored", "test");
+  }
+  EXPECT_EQ(recorder.event_count(), 0u);
+}
+
+TEST(ObsTrace, RingWrapCountsDrops) {
+  TraceRecorder& recorder = TraceRecorder::instance();
+  recorder.clear();
+  // Ring capacity binds when a thread's buffer is created, so record from a
+  // fresh thread: its ring is guaranteed to be 16 events regardless of what
+  // earlier tests did to this thread's buffer.
+  recorder.start(/*ring_capacity=*/16);
+  std::thread worker([] {
+    for (int i = 0; i < 100; ++i) RTDLS_TRACE_INSTANT("test.spin", "test");
+  });
+  worker.join();
+  recorder.stop();
+  EXPECT_EQ(recorder.event_count(), 16u);
+  EXPECT_EQ(recorder.dropped(), 84u);
+
+  // The wrapped ring still writes valid JSON.
+  std::ostringstream out;
+  recorder.write_json(out);
+  EXPECT_TRUE(JsonChecker(out.str()).valid());
+  recorder.clear();
+  recorder.start(65536);  // restore the default ring size for later threads
+  recorder.stop();
+  recorder.clear();
+}
+
+TEST(ObsTrace, SpansFromMultipleThreadsCarryTheirTid) {
+  TraceRecorder& recorder = TraceRecorder::instance();
+  recorder.clear();
+  recorder.start();
+  std::thread worker([] { RTDLS_TRACE_SCOPE("test.worker", "test"); });
+  worker.join();
+  { RTDLS_TRACE_SCOPE("test.main", "test"); }
+  recorder.stop();
+  EXPECT_EQ(recorder.event_count(), 2u);
+
+  std::ostringstream out;
+  recorder.write_json(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // Two distinct tids: find the two "tid": values and compare.
+  const std::size_t first = json.find("\"tid\":");
+  const std::size_t second = json.find("\"tid\":", first + 1);
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  const std::string tid1 = json.substr(first + 6, json.find_first_of(",}", first) - first - 6);
+  const std::string tid2 =
+      json.substr(second + 6, json.find_first_of(",}", second) - second - 6);
+  EXPECT_NE(tid1, tid2);
+  recorder.clear();
+}
+
+#endif  // RTDLS_TRACE_ENABLED
+
+}  // namespace
+}  // namespace rtdls::obs

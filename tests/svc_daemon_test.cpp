@@ -482,6 +482,134 @@ TEST(SvcDaemon, GarbageBytesGetErrorReplyAndCloseDaemonSurvives) {
   ::unlink(socket_path.c_str());
 }
 
+TEST(SvcDaemon, ExtendedStatusCarriesUptimeQueueAndLatency) {
+  const std::string socket_path = test_socket("obs_status");
+  DaemonConfig config;
+  config.socket_path = socket_path;
+  config.shards = 2;
+  Daemon daemon(std::move(config));
+  daemon.start();
+  Client client(socket_path);
+
+  for (std::size_t i = 0; i < 6; ++i) {
+    AdmitRequest request;
+    request.shard = static_cast<std::uint32_t>(i % 2);
+    request.task.id = static_cast<cluster::TaskId>(i + 1);
+    request.task.arrival = static_cast<double>(i) * 1700.0;
+    request.task.sigma = 150.0;
+    request.task.rel_deadline = 5000.0;
+    client.admit(request);
+  }
+
+  const StatusReply status = client.status();
+  EXPECT_TRUE(status.extended);  // the client speaks v1.1
+  ASSERT_EQ(status.shards.size(), 2u);
+  ASSERT_EQ(status.shard_latency.size(), 2u);
+  // Per-shard latency: 3 admits landed on each shard; quantiles are
+  // ordered and bounded by the max.
+  for (const ShardLatency& latency : status.shard_latency) {
+    EXPECT_EQ(latency.count, 3u);
+    EXPECT_GT(latency.p50_us, 0.0);
+    EXPECT_LE(latency.p50_us, latency.p90_us);
+    EXPECT_LE(latency.p90_us, latency.p99_us);
+    EXPECT_LE(latency.p99_us, latency.max_us * 1.000001);
+  }
+  // With every request answered, nothing is queued.
+  EXPECT_EQ(status.queue_depth, 0u);
+
+  // Uptime advances between two status calls.
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  const StatusReply later = client.status();
+  EXPECT_GT(later.uptime_ms, status.uptime_ms);
+
+  daemon.stop();
+  ::unlink(socket_path.c_str());
+}
+
+TEST(SvcDaemon, LegacyV10ClientGetsV10Replies) {
+  const std::string socket_path = test_socket("obs_legacy");
+  DaemonConfig config;
+  config.socket_path = socket_path;
+  config.shards = 1;
+  Daemon daemon(std::move(config));
+  daemon.start();
+
+  RawConn conn(socket_path);
+  ASSERT_TRUE(conn.ok());
+  // A v1.0 status request must get a v1.0 frame back whose payload is the
+  // v1.0 StatusReply layout (no extended suffix a v1.0 decoder would choke
+  // on as trailing bytes).
+  conn.send_bytes(
+      encode_message(MsgType::kStatusRequest, 21, StatusRequest{}, kProtocolVersionV10));
+  Frame frame;
+  ASSERT_TRUE(conn.read_frame(frame));
+  EXPECT_EQ(MsgType::kStatusReply, frame.type);
+  EXPECT_EQ(kProtocolVersionV10, frame.version);
+  util::WireReader reader(frame.payload);
+  const StatusReply status = StatusReply::decode(reader);
+  EXPECT_TRUE(reader.done());
+  EXPECT_FALSE(status.extended);
+  EXPECT_EQ(status.shards.size(), 1u);
+
+  // Typed errors also come back at the requester's revision.
+  CommitRequest commit;
+  commit.shard = 0;
+  commit.task = 4242;  // never admitted
+  conn.send_bytes(
+      encode_message(MsgType::kCommitRequest, 22, commit, kProtocolVersionV10));
+  ASSERT_TRUE(conn.read_frame(frame));
+  EXPECT_EQ(MsgType::kErrorReply, frame.type);
+  EXPECT_EQ(kProtocolVersionV10, frame.version);
+  EXPECT_EQ(ErrorCode::kUnknownTask, decode_error(frame).code);
+
+  daemon.stop();
+  ::unlink(socket_path.c_str());
+}
+
+TEST(SvcDaemon, MetricsOpReturnsPrometheusText) {
+  const std::string socket_path = test_socket("obs_metrics");
+  DaemonConfig config;
+  config.socket_path = socket_path;
+  config.shards = 1;
+  Daemon daemon(std::move(config));
+  daemon.start();
+  Client client(socket_path);
+
+  AdmitRequest request;
+  request.shard = 0;
+  request.task.id = 1;
+  request.task.sigma = 150.0;
+  request.task.rel_deadline = 5000.0;
+  client.admit(request);
+
+  const MetricsReply metrics = client.metrics();
+  EXPECT_NE(metrics.text.find("rtdls_daemon_request_latency_us_count"), std::string::npos)
+      << metrics.text;
+  EXPECT_NE(metrics.text.find("rtdls_daemon_admits_total 1"), std::string::npos)
+      << metrics.text;
+  EXPECT_NE(metrics.text.find("rtdls_daemon_queue_depth"), std::string::npos);
+  EXPECT_NE(metrics.text.find("rtdls_shard0_request_latency_us"), std::string::npos);
+  EXPECT_NE(metrics.text.find("quantile=\"0.9\""), std::string::npos);
+
+  // Two daemons must not blend request metrics: a second daemon's scrape
+  // starts from zero even while the first is still running.
+  const std::string socket_b = test_socket("obs_metrics_b");
+  DaemonConfig config_b;
+  config_b.socket_path = socket_b;
+  config_b.shards = 1;
+  Daemon daemon_b(std::move(config_b));
+  daemon_b.start();
+  Client client_b(socket_b);
+  const MetricsReply fresh = client_b.metrics();
+  EXPECT_NE(fresh.text.find("rtdls_daemon_request_latency_us_count 0"), std::string::npos)
+      << fresh.text;
+  daemon_b.stop();
+  ::unlink(socket_b.c_str());
+
+  daemon.stop();
+  ::unlink(socket_path.c_str());
+}
+
 TEST(SvcDaemon, UnknownShardAndUnknownTaskAreTypedErrors) {
   const std::string socket_path = test_socket("errors");
   DaemonConfig config;

@@ -346,6 +346,123 @@ TEST(SvcProtocol, PayloadDecodersRejectTruncationAndTrailingBytes) {
   EXPECT_THROW((void)AdmitRequest::decode(reader), util::WireError);
 }
 
+TEST(SvcProtocol, StatusReplyExtendedSectionRoundTrips) {
+  StatusReply status;
+  status.build = "rtdls (test build)";
+  status.algorithm = "EDF-DLT";
+  status.node_count = 8;
+  status.workers = 2;
+  status.shards.resize(2);
+  status.shards[0].shard = 0;
+  status.shards[1].shard = 1;
+  status.extended = true;
+  status.uptime_ms = 123456;
+  status.queue_depth = 3;
+  ShardLatency latency;
+  latency.count = 500;
+  latency.p50_us = 12.5;
+  latency.p90_us = 80.25;
+  latency.p99_us = 410.0;
+  latency.max_us = 1999.875;
+  status.shard_latency.push_back(latency);
+  latency.count = 730;
+  status.shard_latency.push_back(latency);
+  expect_payload_round_trip(status);
+
+  // And decode() really sees the fields, not just matching bytes.
+  util::WireWriter writer;
+  status.encode(writer);
+  const std::vector<std::uint8_t> bytes = writer.take();
+  util::WireReader reader(bytes);
+  const StatusReply decoded = StatusReply::decode(reader);
+  EXPECT_TRUE(decoded.extended);
+  EXPECT_EQ(decoded.uptime_ms, 123456u);
+  EXPECT_EQ(decoded.queue_depth, 3u);
+  ASSERT_EQ(decoded.shard_latency.size(), 2u);
+  EXPECT_EQ(decoded.shard_latency[0].count, 500u);
+  EXPECT_DOUBLE_EQ(decoded.shard_latency[0].p90_us, 80.25);
+  EXPECT_EQ(decoded.shard_latency[1].count, 730u);
+}
+
+TEST(SvcProtocol, UnextendedStatusReplyIsTheV10Layout) {
+  // extended=false must encode the exact v1.0 byte layout (no trailing
+  // section), and decoding it must leave the v1.1 fields at their defaults -
+  // this is what a v1.0 client sees and what a v1.1 client reads from a
+  // v1.0 daemon.
+  StatusReply status;
+  status.build = "b";
+  status.shards.resize(1);
+  status.uptime_ms = 999;  // must NOT be encoded while extended=false
+  util::WireWriter writer;
+  status.encode(writer);
+  const std::vector<std::uint8_t> bytes = writer.take();
+
+  util::WireReader reader(bytes);
+  const StatusReply decoded = StatusReply::decode(reader);
+  EXPECT_FALSE(decoded.extended);
+  EXPECT_EQ(decoded.uptime_ms, 0u);
+  EXPECT_EQ(decoded.queue_depth, 0u);
+  EXPECT_TRUE(decoded.shard_latency.empty());
+}
+
+TEST(SvcProtocol, MetricsMessagesRoundTrip) {
+  expect_payload_round_trip(MetricsRequest{});
+  MetricsReply reply;
+  reply.text = "# TYPE rtdls_daemon_request_latency_us summary\n";
+  expect_payload_round_trip(reply);
+}
+
+TEST(SvcProtocol, DecoderAcceptsBothProtocolRevisions) {
+  // v1.0 frame: accepted, and the frame records which revision it carried
+  // (the server encodes its reply at the same revision).
+  {
+    const std::vector<std::uint8_t> bytes = encode_message(
+        MsgType::kStatusRequest, 11, StatusRequest{}, kProtocolVersionV10);
+    FrameDecoder decoder;
+    decoder.feed(bytes.data(), bytes.size());
+    Frame frame;
+    ASSERT_EQ(FrameDecoder::Status::kFrame, decoder.next(frame));
+    EXPECT_EQ(kProtocolVersionV10, frame.version);
+  }
+  // v1.1 frame (the default).
+  {
+    const std::vector<std::uint8_t> bytes =
+        encode_message(MsgType::kStatusRequest, 12, StatusRequest{});
+    FrameDecoder decoder;
+    decoder.feed(bytes.data(), bytes.size());
+    Frame frame;
+    ASSERT_EQ(FrameDecoder::Status::kFrame, decoder.next(frame));
+    EXPECT_EQ(kProtocolVersion, frame.version);
+  }
+  // A future revision this build does not know: error, not a guess.
+  {
+    const std::vector<std::uint8_t> bytes =
+        encode_message(MsgType::kStatusRequest, 13, StatusRequest{},
+                       static_cast<std::uint16_t>(kProtocolVersion + 1));
+    FrameDecoder decoder;
+    decoder.feed(bytes.data(), bytes.size());
+    Frame frame;
+    EXPECT_EQ(FrameDecoder::Status::kError, decoder.next(frame));
+  }
+}
+
+TEST(SvcProtocol, StatusReplyLatencyCountValidatedBeforeReserve) {
+  // Same defense as the shard count: an extended reply whose latency count
+  // implies more bytes than remain must throw from the length check.
+  StatusReply status;
+  status.extended = true;
+  util::WireWriter writer;
+  status.encode(writer);
+  std::vector<std::uint8_t> payload = writer.take();
+  // The trailing u32 is the (empty) shard_latency count; claim 2^30.
+  payload[payload.size() - 4] = 0x00;
+  payload[payload.size() - 3] = 0x00;
+  payload[payload.size() - 2] = 0x00;
+  payload[payload.size() - 1] = 0x40;
+  util::WireReader reader(payload);
+  EXPECT_THROW((void)StatusReply::decode(reader), util::WireError);
+}
+
 TEST(SvcProtocol, StatusReplyShardCountValidatedBeforeReserve) {
   // A StatusReply whose shard count implies more bytes than the payload
   // holds must throw from the length check, not allocate first.

@@ -23,6 +23,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -37,12 +38,14 @@
 #include "exp/registry.hpp"
 #include "exp/report.hpp"
 #include "exp/spec_io.hpp"
+#include "obs/trace.hpp"
 #include "sched/registry.hpp"
 #include "sim/simulator.hpp"
 #include "svc/client.hpp"
 #include "svc/server.hpp"
 #include "util/build_info.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 #include "util/strings.hpp"
 #include "workload/generator.hpp"
 #include "workload/trace.hpp"
@@ -94,6 +97,48 @@ sim::ReleasePolicy release_from_cli(const util::CliParser& cli) {
   return util::to_lower(cli.get("release").value_or("estimate")) == "actual"
              ? sim::ReleasePolicy::kActual
              : sim::ReleasePolicy::kEstimate;
+}
+
+// --- tracing ----------------------------------------------------------------
+
+void add_trace_option(util::CliParser& cli) {
+  cli.add_option({"trace-out",
+                  "write a Chrome trace-event JSON file (Perfetto-loadable) "
+                  "covering the run",
+                  "", false});
+}
+
+/// Arms the trace recorder when --trace-out was passed; returns the path.
+std::string arm_trace(const util::CliParser& cli) {
+  const std::string path = cli.get("trace-out").value_or("");
+#if RTDLS_TRACE_ENABLED
+  if (!path.empty()) obs::TraceRecorder::instance().start();
+#else
+  if (!path.empty()) {
+    throw std::invalid_argument(
+        "--trace-out: the trace recorder is compiled out of this build "
+        "(-DRTDLS_TRACE=OFF)");
+  }
+#endif
+  return path;
+}
+
+/// Flushes the armed recorder to `path` (no-op when empty); returns the
+/// process exit code contribution (1 on I/O failure).
+int write_trace(const std::string& path) {
+  if (path.empty()) return 0;
+#if RTDLS_TRACE_ENABLED
+  obs::TraceRecorder& recorder = obs::TraceRecorder::instance();
+  recorder.stop();
+  std::string error;
+  if (!recorder.write_json_file(path, &error)) {
+    std::fprintf(stderr, "trace: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "trace: wrote %s (%zu event(s), %zu dropped by ring wrap)\n",
+               path.c_str(), recorder.event_count(), recorder.dropped());
+#endif
+  return 0;
 }
 
 // --- signals ----------------------------------------------------------------
@@ -154,10 +199,12 @@ int cmd_simulate(int argc, const char* const* argv) {
                   "", true});
   cli.add_option({"algorithm", "algorithm name", "EDF-DLT", false});
   add_sim_config_options(cli);
+  add_trace_option(cli);
   if (!cli.parse(argc, argv) || cli.get_flag("help")) {
     std::fputs(cli.usage("rtdls_cli simulate").c_str(), stderr);
     return cli.get_flag("help") ? 0 : 1;
   }
+  const std::string trace_path = arm_trace(cli);
   const workload::WorkloadParams params = workload_from_cli(cli);
   std::vector<workload::Task> tasks;
   if (const auto trace = cli.get("trace"); trace && !trace->empty()) {
@@ -182,7 +229,7 @@ int cmd_simulate(int argc, const char* const* argv) {
       sim::simulate(config, algorithm, tasks, params.total_time);
   std::printf("--- %s over %zu tasks ---\n%s", algorithm.c_str(), tasks.size(),
               metrics.summary().c_str());
-  return 0;
+  return write_trace(trace_path);
 }
 
 int cmd_sweep(int argc, const char* const* argv) {
@@ -194,10 +241,12 @@ int cmd_sweep(int argc, const char* const* argv) {
   add_sim_config_options(cli);
   cli.add_option({"halt-on-theorem4", "abort on a Theorem-4 violation; 0 records it in the "
                   "theorem4_violations series instead (ablation-style runs)", "1", false});
+  add_trace_option(cli);
   if (!cli.parse(argc, argv) || cli.get_flag("help")) {
     std::fputs(cli.usage("rtdls_cli sweep").c_str(), stderr);
     return cli.get_flag("help") ? 0 : 1;
   }
+  const std::string trace_path = arm_trace(cli);
   exp::SweepSpec spec;
   spec.id = "cli_sweep";
   spec.title = "command-line sweep";
@@ -222,7 +271,7 @@ int cmd_sweep(int argc, const char* const* argv) {
   const std::string dir = cli.get("csv-dir").value();
   std::printf("csv: %s\ngnuplot: %s\n", exp::write_sweep_csv(dir, result).c_str(),
               exp::write_sweep_gnuplot(dir, result).c_str());
-  return 0;
+  return write_trace(trace_path);
 }
 
 void print_figure_ids(std::FILE* out) {
@@ -322,6 +371,7 @@ exp::CampaignOptions campaign_options(const util::CliParser& cli, util::ThreadPo
   exp::CampaignOptions options;
   options.pool = &pool;
   options.cell_timeout_sec = cli.get_double("cell-timeout-sec", 0.0);
+  options.heartbeat_path = cli.get("heartbeat").value_or("");
   install_signal_handlers();
   options.cancel = &g_interrupted;
   if (cli.get_flag("progress")) {
@@ -335,6 +385,11 @@ exp::CampaignOptions campaign_options(const util::CliParser& cli, util::ThreadPo
 }
 
 void add_retries_option(util::CliParser& cli) {
+  cli.add_option({"heartbeat",
+                  "truncate-rewrite a tiny CSV progress sidecar here after every "
+                  "completed cell (done/total/failed/last cell/elapsed); kept "
+                  "separate from --cells so shard files stay byte-identical",
+                  "", false});
   cli.add_option({"retries",
                   "re-run a failed cell up to R times, then record it in a "
                   "failed-cells report instead of aborting (default: abort)",
@@ -664,11 +719,18 @@ int cmd_daemon(int argc, const char* const* argv) {
                   "run the stateless Figure-2 test per admit instead of warm "
                   "incremental sessions",
                   "", true});
+  add_trace_option(cli);
   cli.add_option({"help", "show usage", "", true});
   if (!cli.parse(argc, argv) || cli.get_flag("help")) {
     std::fputs(cli.usage("rtdls_cli daemon").c_str(), stderr);
     return cli.get_flag("help") ? 0 : 1;
   }
+  // Daemon lines go through the leveled logger (RTDLS_LOG routes them); an
+  // operator who did not set a level still gets the startup banner.
+  if (std::getenv("RTDLS_LOG") == nullptr) {
+    util::Logger::instance().set_level(util::LogLevel::kInfo);
+  }
+  const std::string trace_path = arm_trace(cli);
 
   svc::DaemonConfig config;
   config.socket_path = socket_from_cli(cli);
@@ -691,27 +753,26 @@ int cmd_daemon(int argc, const char* const* argv) {
   install_signal_handlers();
   daemon.start();
   const svc::DaemonConfig& live = daemon.config();
-  std::printf("rtdlsd: %s on %s - %zu shard(s) x %zu nodes, %zu worker(s), %s sessions\n",
-              live.algorithm.c_str(), live.socket_path.c_str(), daemon.shard_count(),
-              live.params.node_count, live.workers,
-              live.incremental ? "incremental" : "stateless");
+  RTDLS_LOG(kInfo) << "rtdlsd: " << live.algorithm << " on " << live.socket_path << " - "
+                   << daemon.shard_count() << " shard(s) x " << live.params.node_count
+                   << " nodes, " << live.workers << " worker(s), "
+                   << (live.incremental ? "incremental" : "stateless") << " sessions";
   if (!live.restore_path.empty()) {
-    std::printf("rtdlsd: restored %zu shard(s) from %s\n", daemon.shard_count(),
-                live.restore_path.c_str());
+    RTDLS_LOG(kInfo) << "rtdlsd: restored " << daemon.shard_count() << " shard(s) from "
+                     << live.restore_path;
   }
-  std::printf("rtdlsd: %s\n", util::build_description().c_str());
-  std::fflush(stdout);
+  RTDLS_LOG(kInfo) << "rtdlsd: " << util::build_description();
 
   while (!daemon.stop_requested() && !g_interrupted.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   daemon.stop();  // joins workers and writes the final snapshot (if configured)
-  std::printf("rtdlsd: stopped - %s\n", daemon.counters().summary().c_str());
+  RTDLS_LOG(kInfo) << "rtdlsd: stopped - " << daemon.counters().summary();
   if (!live.snapshot_path.empty()) {
-    std::printf("rtdlsd: final snapshot at %s (restart with --restore %s to resume)\n",
-                live.snapshot_path.c_str(), live.snapshot_path.c_str());
+    RTDLS_LOG(kInfo) << "rtdlsd: final snapshot at " << live.snapshot_path
+                     << " (restart with --restore " << live.snapshot_path << " to resume)";
   }
-  return 0;
+  return write_trace(trace_path);
 }
 
 void add_client_options(util::CliParser& cli) {
@@ -818,6 +879,11 @@ int cmd_status(int argc, const char* const* argv) {
               static_cast<unsigned long long>(status.node_count),
               static_cast<unsigned long long>(status.workers));
   std::printf("service:   %s\n", status.counters.summary().c_str());
+  if (status.extended) {
+    std::printf("uptime:    %.3fs, queue depth %llu\n",
+                static_cast<double>(status.uptime_ms) / 1000.0,
+                static_cast<unsigned long long>(status.queue_depth));
+  }
   for (const svc::ShardStatus& shard : status.shards) {
     std::printf("shard %u: now=%.6g waiting=%llu admits=%llu (%llu accepted, %llu rejected) "
                 "committed=%llu cancelled=%llu session=%lluB (peak %lluB, dense %lluB)\n",
@@ -830,7 +896,29 @@ int cmd_status(int argc, const char* const* argv) {
                 static_cast<unsigned long long>(shard.session_bytes),
                 static_cast<unsigned long long>(shard.peak_session_bytes),
                 static_cast<unsigned long long>(shard.session_dense_bytes));
+    if (status.extended && shard.shard < status.shard_latency.size()) {
+      const svc::ShardLatency& latency = status.shard_latency[shard.shard];
+      if (latency.count > 0) {
+        std::printf("  latency: %llu request(s), p50=%.1fus p90=%.1fus p99=%.1fus "
+                    "max=%.1fus\n",
+                    static_cast<unsigned long long>(latency.count), latency.p50_us,
+                    latency.p90_us, latency.p99_us, latency.max_us);
+      }
+    }
   }
+  return 0;
+}
+
+int cmd_stats(int argc, const char* const* argv) {
+  util::CliParser cli;
+  add_client_options(cli);
+  if (!cli.parse(argc, argv) || cli.get_flag("help")) {
+    std::fputs(cli.usage("rtdls_cli stats").c_str(), stderr);
+    return cli.get_flag("help") ? 0 : 1;
+  }
+  svc::Client client = make_client(cli);
+  const svc::MetricsReply reply = client.metrics();
+  std::fputs(reply.text.c_str(), stdout);
   return 0;
 }
 
@@ -876,8 +964,9 @@ void print_usage() {
       "  figure       reproduce a paper figure / ablation by id\n"
       "  campaign     run/shard/merge multi-figure experiment plans\n"
       "  daemon       serve admission control over a unix socket (rtdlsd)\n"
-      "  admit | commit | cancel | status | snapshot | shutdown\n"
-      "               client requests against a running daemon (--socket)\n"
+      "  admit | commit | cancel | status | stats | snapshot | shutdown\n"
+      "               client requests against a running daemon (--socket);\n"
+      "               stats prints the daemon's Prometheus-style metrics\n"
       "  --version    print the build description (flags, sanitizers, SIMD)\n",
       stderr);
 }
@@ -907,6 +996,7 @@ int main(int argc, char** argv) {
     if (command == "commit") return cmd_commit(argc - 1, argv + 1);
     if (command == "cancel") return cmd_cancel(argc - 1, argv + 1);
     if (command == "status") return cmd_status(argc - 1, argv + 1);
+    if (command == "stats") return cmd_stats(argc - 1, argv + 1);
     if (command == "snapshot") return cmd_snapshot(argc - 1, argv + 1);
     if (command == "shutdown") return cmd_shutdown(argc - 1, argv + 1);
   } catch (const std::exception& error) {
