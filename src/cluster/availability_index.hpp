@@ -1,4 +1,4 @@
-// Sorted free-time index over a cluster's nodes.
+// Sorted free-time index over a cluster's nodes, with two storage backends.
 //
 // The Figure-2 admission test consumes the cluster's availability as the
 // sorted vector of node release times on every arrival; rebuilding that
@@ -8,25 +8,54 @@
 // (commit / early release), so snapshot reads degrade to an O(N) copy and
 // rank queries to an O(log N) binary search.
 //
+// Two backends maintain the same totally ordered multiset:
+//
+//  * kFlat - one contiguous sorted vector; update() is a binary search plus
+//    a memmove of everything between the old and new position. Unbeatable
+//    cache behavior up to a few thousand nodes, but the memmove makes every
+//    commit O(N): at N=10^5 a typical commit (free-now -> released-last)
+//    drags ~1.6 MB of entries, which is the wall the million-task replay
+//    target hits.
+//
+//  * kBucket - a bucketed timeline (a two-level B-tree, effectively): the
+//    sorted sequence is cut into fixed-fanout buckets, each a small sorted
+//    vector, with a directory of per-bucket minima for O(log #buckets)
+//    bucket location. update() becomes two bucket-local memmoves of at most
+//    ~128 entries plus an O(#buckets) directory shift when a bucket splits,
+//    merges or empties - O(log N + B) per commit instead of O(N). Rank /
+//    order-statistic queries (available_by, kth_free_time) go through a
+//    lazily rebuilt per-bucket prefix-sum (invalidated by update, rebuilt
+//    O(#buckets) on the next query), so query trains between commits pay
+//    the rebuild once.
+//
+// Both backends produce *bit-identical* query results - they represent the
+// same sequence, and every floor/tie-break rule below is shared - which the
+// flat-vs-bucket differential and schedule property tests pin down. The
+// bucket entries deliberately stay (free_at, node) without a cps column:
+// per-node speeds are constant, so the heterogeneous snapshot derives them
+// from the id column instead of fattening the entries both backends shift.
+//
 // Invariants (checked by consistent_with / the index tests):
-//  * entries() is strictly ordered by (free_at, node) - the node id breaks
-//    ties, so iteration order is deterministic and matches the admission
-//    path's historical stable_sort tie-breaking;
+//  * iteration order is strictly (free_at, node) - the node id breaks
+//    ties, so it is deterministic and matches the admission path's
+//    historical stable_sort tie-breaking;
 //  * there is exactly one entry per node id in [0, size());
 //  * every entry's free_at equals the owning Node's free_at() - the Node
 //    remains the source of truth, the index is a mirror the Cluster updates
-//    inside the same mutation that bumps its availability version.
+//    inside the same mutation that bumps its availability version;
+//  * (bucket) every bucket is non-empty, directory minima equal their
+//    bucket's first entry, and bucket boundaries preserve the global order.
 //
 // A Fenwick count over bucketed release times was considered for the
 // first-crossing queries and rejected: release times are unbounded
-// continuous doubles, so bucketing would either quantize (breaking the
-// bit-identical-schedules requirement) or need periodic rebuilds; on a
-// permanently sorted vector the same queries are exact O(log N) binary
-// searches (available_by / kth_free_time), and the n_min first crossing in
-// the partition rules gallops on the sorted state directly.
+// continuous doubles, so bucketing *values* would either quantize (breaking
+// the bit-identical-schedules requirement) or need periodic rebuilds. The
+// kBucket backend buckets *positions*, not values, so every query stays
+// exact.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "cluster/types.hpp"
@@ -34,30 +63,46 @@
 
 namespace rtdls::cluster {
 
+/// Resolves an index-backend choice to a concrete backend: an explicit
+/// choice wins; kAuto honors the RTDLS_INDEX environment variable
+/// ("flat" | "bucket", anything else throws std::invalid_argument), and
+/// falls back to a node-count heuristic - the flat memmove beats the bucket
+/// directory below a few thousand nodes, so small clusters stay flat.
+IndexBackend resolve_index_backend(IndexBackend choice, std::size_t node_count);
+
+/// Human-readable backend name ("auto" | "flat" | "bucket") for status
+/// output and bench reports.
+const char* index_backend_name(IndexBackend backend);
+
 class AvailabilityIndex {
  public:
-  /// One indexed node: its current release time and identity. Per-node
-  /// speeds deliberately do NOT ride along: they are constant, so the
-  /// heterogeneous snapshot derives them from the id column instead of
-  /// fattening the entries this index memmoves on every reposition.
+  /// One indexed node: its current release time and identity.
   struct Entry {
     Time free_at = 0.0;
     NodeId node = 0;
   };
 
   /// (Re)builds the index for `nodes` nodes, all free at time 0 (the
-  /// cluster's initial / post-reset state). Keeps allocations.
+  /// cluster's initial / post-reset state). Keeps allocations and the
+  /// currently selected backend.
   void reset(std::size_t nodes);
 
-  std::size_t size() const { return entries_.size(); }
+  /// Same, selecting the storage backend (must be resolved - kFlat or
+  /// kBucket; pass the result of resolve_index_backend).
+  void reset(std::size_t nodes, IndexBackend backend);
 
-  /// Entries sorted ascending by (free_at, node).
-  const std::vector<Entry>& entries() const { return entries_; }
+  IndexBackend backend() const { return backend_; }
+
+  std::size_t size() const { return size_; }
 
   /// Repositions `node` after its release time changed from `from` to `to`.
   /// `from` must be the node's currently indexed time (throws
   /// std::logic_error otherwise - a desynced index is a bug, not a state).
-  RTDLS_HOT void update(NodeId node, Time from, Time to);
+  /// Returns the reposition depth: how many entries were shifted to make
+  /// room (the flat backend's memmove length; bucket-local shifts for the
+  /// bucket backend). The cluster feeds it to the
+  /// `rtdls_index_commit_depth` histogram.
+  RTDLS_HOT std::size_t update(NodeId node, Time from, Time to);
 
   /// Number of nodes with free_at <= t: the paper's AN(t) ("available
   /// nodes by t") quantity. O(log N).
@@ -101,7 +146,56 @@ class AvailabilityIndex {
     return a.node < b.node;
   }
 
-  std::vector<Entry> entries_;  ///< sorted by (free_at, node)
+  // --- flat backend ---------------------------------------------------------
+  RTDLS_HOT std::size_t update_flat(NodeId node, Time from, Time to);
+
+  // --- bucket backend -------------------------------------------------------
+  RTDLS_HOT std::size_t update_bucket(NodeId node, Time from, Time to);
+  /// Directory position of the last bucket whose minimum is <= `key`
+  /// (npos when the key precedes every bucket).
+  RTDLS_HOT std::size_t locate_bucket(const Entry& key) const;
+  /// Rebuilds the per-bucket prefix-sum when an update invalidated it.
+  RTDLS_HOT void ensure_prefix() const;
+  /// Splits the oversized bucket at directory position `b` in two.
+  RTDLS_HOT void split_bucket(std::size_t b);
+  /// Removes the (empty) bucket at directory position `b`.
+  RTDLS_HOT void drop_bucket(std::size_t b);
+  /// Merges the undersized bucket at `b` into a neighbor when the combined
+  /// size stays below the split threshold.
+  RTDLS_HOT void maybe_merge(std::size_t b);
+  /// Inserts `moved` at its ordered position; returns entries shifted.
+  RTDLS_HOT std::size_t insert_bucket_entry(const Entry& moved);
+
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+  /// Bucket geometry: reset() fills buckets to kTargetFanout; update()
+  /// splits past kMaxFanout and merges neighbors whose combined size is at
+  /// most kMergeMax once one of them shrinks below kMinFanout. kMergeMax <
+  /// kMaxFanout keeps split/merge from ping-ponging on one hot boundary.
+  static constexpr std::size_t kTargetFanout = 64;
+  static constexpr std::size_t kMaxFanout = 128;
+  static constexpr std::size_t kMinFanout = 16;
+  static constexpr std::size_t kMergeMax = 96;
+
+  IndexBackend backend_ = IndexBackend::kFlat;
+  std::size_t size_ = 0;
+
+  /// kFlat storage: all entries, sorted by (free_at, node).
+  std::vector<Entry> entries_;
+
+  /// kBucket storage. Buckets live in stable `slots_` (never reordered, so
+  /// the hot path only ever grows members - the rtdls-hot-path-alloc
+  /// contract); `order_[b]` is the slot of the b-th bucket in timeline
+  /// order and `mins_[b]` mirrors that bucket's first entry for directory
+  /// binary searches. Emptied slots are recycled through `free_slots_`
+  /// keeping their capacity. `prefix_[b]` = entries in buckets [0, b),
+  /// rebuilt lazily (mutable) because rank queries want it but updates
+  /// would pay O(#buckets) each to keep it eager.
+  std::vector<std::vector<Entry>> slots_;
+  std::vector<std::uint32_t> order_;
+  std::vector<Entry> mins_;
+  std::vector<std::uint32_t> free_slots_;
+  mutable std::vector<std::size_t> prefix_;
+  mutable bool prefix_valid_ = false;
 };
 
 }  // namespace rtdls::cluster

@@ -3,7 +3,24 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace rtdls::cluster {
+
+namespace {
+
+/// Reposition-depth distribution across every index mutation: the direct
+/// observable of the flat backend's O(N) memmove wall (p99 grows with N)
+/// versus the bucket backend's bounded bucket-local shifts. Recorded here -
+/// not inside the RTDLS_HOT AvailabilityIndex::update - because histogram
+/// writes may grow a thread shard on first contact.
+obs::Histogram& commit_depth_histogram() {
+  static obs::Histogram histogram =
+      obs::Registry::global().histogram("rtdls_index_commit_depth");
+  return histogram;
+}
+
+}  // namespace
 
 Cluster::Cluster(ClusterParams params) : params_(std::move(params)) {
   if (!params_.valid()) throw std::invalid_argument("Cluster: invalid parameters");
@@ -11,7 +28,8 @@ Cluster::Cluster(ClusterParams params) : params_(std::move(params)) {
   for (std::size_t i = 0; i < params_.node_count; ++i) {
     nodes_.emplace_back(static_cast<NodeId>(i));
   }
-  index_.reset(params_.node_count);
+  index_.reset(params_.node_count,
+               resolve_index_backend(params_.index_backend, params_.node_count));
 }
 
 void Cluster::reset() {
@@ -62,7 +80,8 @@ void Cluster::commit(NodeId id, TaskId task, Time usable_from, Time start, Time 
   Node& node = nodes_.at(id);
   const Time before = node.free_at();
   node.commit(task, usable_from, start, end);
-  index_.update(id, before, node.free_at());
+  const std::size_t depth = index_.update(id, before, node.free_at());
+  commit_depth_histogram().record(static_cast<double>(depth));
   ++version_;
 }
 
@@ -70,7 +89,8 @@ void Cluster::release_early(NodeId id, Time at) {
   Node& node = nodes_.at(id);
   const Time before = node.free_at();
   node.release_early(at);
-  index_.update(id, before, node.free_at());
+  const std::size_t depth = index_.update(id, before, node.free_at());
+  commit_depth_histogram().record(static_cast<double>(depth));
   ++version_;
 }
 
@@ -79,7 +99,8 @@ void Cluster::restore_node(NodeId id, Time free_at, Time busy_time, Time idle_ga
   Node& node = nodes_.at(id);
   const Time before = node.free_at();
   node.restore(free_at, busy_time, idle_gap_time, commitments);
-  index_.update(id, before, node.free_at());
+  const std::size_t depth = index_.update(id, before, node.free_at());
+  commit_depth_histogram().record(static_cast<double>(depth));
   ++version_;
 }
 

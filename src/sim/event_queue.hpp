@@ -75,6 +75,15 @@ class EventQueue {
     next_seq_ = 0;
   }
 
+  /// Pre-grows the heap storage to hold `events` without reallocating.
+  /// The streamed replay loop calls this once per run so chunked arrival
+  /// refills never grow the heap mid-chunk (and across back-to-back sweep
+  /// cells the first run's high-water capacity is simply kept by clear()).
+  void reserve(std::size_t events) { heap_.reserve(events); }
+
+  /// Current storage capacity in events (tests pin the recycling contract).
+  std::size_t capacity() const { return heap_.capacity(); }
+
  private:
   struct Later {
     bool operator()(const Event<Payload>& a, const Event<Payload>& b) const {

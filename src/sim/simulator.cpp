@@ -57,7 +57,11 @@ SimMetrics ClusterSimulator::run(const std::vector<workload::Task>& tasks, Time 
                       })) {
     throw std::invalid_argument("ClusterSimulator::run: tasks not sorted by arrival");
   }
+  VectorTaskSource source(tasks);
+  return run_stream(source, horizon);
+}
 
+SimMetrics ClusterSimulator::run_stream(TaskSource& source, Time horizon) {
   // Reset per-run state in place (back-to-back sweep cells reuse all the
   // storage this simulator has grown).
   cluster_.reset();
@@ -82,25 +86,41 @@ SimMetrics ClusterSimulator::run(const std::vector<workload::Task>& tasks, Time 
   metrics_.horizon = horizon;
   metrics_.node_count = config_.params.node_count;
 
-  // Arrivals are merged straight from the (sorted) trace; the event heap
+  // Arrivals are merged straight from the (sorted) source; the event heap
   // only carries commit events. Ordering matches the EventPriority rule:
-  // at equal instants commitments run before arrivals.
+  // at equal instants commitments run before arrivals. The source's peeked
+  // pointer stays stable through any number of interleaved commit events
+  // (loading happens inside peek(), never pop() - see sim/task_source.hpp).
   RTDLS_TRACE_SCOPE("sim.run", "sim");
-  std::size_t next_arrival = 0;
-  while (next_arrival < tasks.size() || !queue_.empty()) {
-    const bool take_commit =
-        !queue_.empty() && (next_arrival >= tasks.size() ||
-                            queue_.top().time <= tasks[next_arrival].arrival());
+  source_ = &source;
+  queue_.reserve(64);
+  bool any_arrival = false;
+  Time last_arrival = 0.0;
+  const workload::Task* next = source.peek();
+  while (next != nullptr || !queue_.empty()) {
+    const bool take_commit = !queue_.empty() &&
+                             (next == nullptr || queue_.top().time <= next->arrival());
     if (take_commit) {
       const Event<CommitEvent> event = queue_.pop();
       now_ = event.time;
       handle_commit(event.payload.id, event.payload.version);
     } else {
-      const workload::Task& task = tasks[next_arrival++];
-      now_ = task.arrival();
-      handle_arrival(task);
+      // A vector source was pre-checked by run(); a streamed trace can only
+      // be validated as it flows.
+      if (any_arrival && next->arrival() < last_arrival) {
+        source_ = nullptr;
+        throw std::invalid_argument(
+            "ClusterSimulator::run_stream: arrivals decrease mid-stream");
+      }
+      any_arrival = true;
+      last_arrival = next->arrival();
+      now_ = next->arrival();
+      handle_arrival(*next);
+      source.pop();
+      next = source.peek();
     }
   }
+  source_ = nullptr;
 
   // Every adopted entry carries a commit event at its current version and
   // the loop above drains the queue, so nothing can still be waiting -
@@ -189,6 +209,9 @@ void ClusterSimulator::handle_arrival(const workload::Task& task) {
 
   ++metrics_.accepted;
   adopt_schedule(outcome.reused_prefix, outcome.schedule);
+  // The waiting entry (and possibly the admission session) now hold this
+  // task's pointer; pin its chunk until the commit retires it.
+  source_->on_task_admitted(&task);
 }
 
 void ClusterSimulator::adopt_schedule(std::size_t reused_prefix,
@@ -232,6 +255,10 @@ void ClusterSimulator::handle_commit(cluster::TaskId id, std::uint64_t version) 
   } else {
     controller_.invalidate();
   }
+  // Committed tasks are immutable and never re-enter the waiting queue:
+  // this pointer's last dereference was the session advance above, so a
+  // streaming source may now recycle its chunk.
+  source_->on_task_retired(entry.task);
 }
 
 bool ClusterSimulator::commit_task(Time now, const WaitingEntry& entry) {

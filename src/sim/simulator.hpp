@@ -33,6 +33,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
 #include "sim/schedule_log.hpp"
+#include "sim/task_source.hpp"
 #include "workload/task.hpp"
 
 namespace rtdls::sim {
@@ -89,8 +90,17 @@ class ClusterSimulator {
   /// Simulates `tasks` (must be sorted by arrival time; ids unique).
   /// `horizon` is the nominal TotalSimulationTime used for utilization
   /// accounting (arrivals beyond it should not be in `tasks`). May be
-  /// called repeatedly; per-run state is reset in place.
+  /// called repeatedly; per-run state is reset in place. Equivalent to
+  /// run_stream over a VectorTaskSource (it is exactly that).
   SimMetrics run(const std::vector<workload::Task>& tasks, Time horizon);
+
+  /// Same event loop, pulling arrivals from `source` instead of a
+  /// materialized vector - the bounded-memory replay path (pair with
+  /// StreamingTaskSource over a TraceReader). Arrivals must be
+  /// non-decreasing; a mid-stream decrease throws std::invalid_argument at
+  /// the offending arrival (a streamed trace cannot be pre-checked).
+  /// Schedules and metrics are bit-identical to run() on the same tasks.
+  SimMetrics run_stream(TaskSource& source, Time horizon);
 
  private:
   struct WaitingEntry {
@@ -117,6 +127,9 @@ class ClusterSimulator {
   SimulatorConfig config_;
   const sched::Algorithm* algorithm_;
   sched::AdmissionController controller_;
+  /// Arrival source of the in-flight run (admitted/retired notifications
+  /// let a streaming source bound chunk lifetimes). Only valid mid-run.
+  TaskSource* source_ = nullptr;
 
   // Per-run state (reset in place by run()).
   cluster::Cluster cluster_;

@@ -1,0 +1,80 @@
+#include "sim/task_source.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rtdls::sim {
+
+void TaskSource::on_task_admitted(const workload::Task*) {}
+void TaskSource::on_task_retired(const workload::Task*) {}
+
+const workload::Task* StreamingTaskSource::peek() {
+  if (!chunks_.empty() && cursor_ < chunks_.back().tasks.size()) {
+    return &chunks_.back().tasks[cursor_];
+  }
+  if (exhausted_) return nullptr;
+  // The cursor drained its chunk; that chunk stays parked in the deque
+  // until its admitted tasks retire, and the cursor moves to a fresh one.
+  // Loading happens here - never inside pop() - so the pointer returned by
+  // the previous peek() stayed valid through its whole arrival handling.
+  retire_drained_front();
+  Chunk next;
+  if (!pool_.empty()) {
+    next.tasks = std::move(pool_.back());
+    pool_.pop_back();
+  }
+  if (!reader_->next_chunk(next.tasks)) {
+    exhausted_ = true;
+    pool_.push_back(std::move(next.tasks));
+    return nullptr;
+  }
+  resident_ += next.tasks.size();
+  peak_resident_ = std::max(peak_resident_, resident_);
+  chunks_.push_back(std::move(next));
+  cursor_ = 0;
+  return &chunks_.back().tasks[0];
+}
+
+void StreamingTaskSource::pop() {
+  if (chunks_.empty() || cursor_ >= chunks_.back().tasks.size()) {
+    throw std::logic_error("StreamingTaskSource::pop: nothing peeked");
+  }
+  ++cursor_;
+}
+
+StreamingTaskSource::Chunk& StreamingTaskSource::chunk_of(const workload::Task* task) {
+  for (Chunk& chunk : chunks_) {
+    if (!chunk.tasks.empty() && task >= chunk.tasks.data() &&
+        task < chunk.tasks.data() + chunk.tasks.size()) {
+      return chunk;
+    }
+  }
+  throw std::logic_error("StreamingTaskSource: task does not belong to any live chunk");
+}
+
+void StreamingTaskSource::on_task_admitted(const workload::Task* task) {
+  ++chunk_of(task).outstanding;
+}
+
+void StreamingTaskSource::on_task_retired(const workload::Task* task) {
+  Chunk& chunk = chunk_of(task);
+  if (chunk.outstanding == 0) {
+    throw std::logic_error("StreamingTaskSource: retire without matching admit");
+  }
+  --chunk.outstanding;
+  retire_drained_front();
+}
+
+void StreamingTaskSource::retire_drained_front() {
+  // Only fully consumed chunks precede the cursor's chunk, so any front
+  // chunk with no outstanding admissions is dead; its vector keeps its
+  // capacity through the pool (chunk refills then allocate nothing).
+  while (chunks_.size() > 1 && chunks_.front().outstanding == 0) {
+    resident_ -= chunks_.front().tasks.size();
+    pool_.push_back(std::move(chunks_.front().tasks));
+    pool_.back().clear();
+    chunks_.pop_front();
+  }
+}
+
+}  // namespace rtdls::sim

@@ -38,6 +38,65 @@ namespace {
   throw std::runtime_error("load_trace: row " + std::to_string(row) + ": " + what);
 }
 
+void check_header(const std::vector<std::string>& row) {
+  if (row.size() != kColumns) {
+    throw std::runtime_error("load_trace: expected 5 header columns");
+  }
+  for (size_t c = 0; c < kColumns; ++c) {
+    if (row[c] != kHeader[c]) {
+      throw std::runtime_error("load_trace: unexpected header column '" + row[c] + "'");
+    }
+  }
+}
+
+/// True when `row` is the blank row a trailing newline parses into.
+bool blank_row(const std::vector<std::string>& row) {
+  return row.size() == 1 && row[0].empty();
+}
+
+/// Validates one data row and converts it to a Task; the single validator
+/// behind both load_trace and TraceReader, so the streamed and materialized
+/// paths accept byte-identical inputs and fail with identical row-numbered
+/// messages. `last_arrival` carries the cross-row sortedness state (skipped
+/// when the caller intends to sort afterwards).
+Task parse_trace_row(const std::vector<std::string>& row, std::size_t row_number,
+                     cluster::Time& last_arrival, bool enforce_sorted) {
+  if (row.size() != kColumns) row_fail(row_number, "wrong column count");
+  double fields[kColumns];
+  for (size_t c = 0; c < kColumns; ++c) {
+    if (!util::parse_double(row[c], fields[c]) || !std::isfinite(fields[c])) {
+      // !(x <= 0) range checks let NaN through; reject non-finite here.
+      row_fail(row_number, std::string(kHeader[c]) + ": bad value '" + row[c] + "'");
+    }
+  }
+  // id and user_nodes feed integer casts: require exact non-negative
+  // integers within double precision (a -1 id would otherwise cast to
+  // the kNoTask sentinel and silently corrupt task identity).
+  constexpr double kMaxExactInteger = 9007199254740992.0;  // 2^53
+  for (size_t c : {std::size_t{0}, std::size_t{4}}) {
+    if (fields[c] < 0.0 || fields[c] != std::floor(fields[c]) ||
+        fields[c] >= kMaxExactInteger) {
+      row_fail(row_number,
+               std::string(kHeader[c]) + " must be a non-negative integer, got " + row[c]);
+    }
+  }
+  if (fields[1] < 0.0) row_fail(row_number, "negative arrival " + row[1]);
+  if (!(fields[2] > 0.0)) row_fail(row_number, "sigma must be > 0, got " + row[2]);
+  if (!(fields[3] > 0.0)) row_fail(row_number, "deadline must be > 0, got " + row[3]);
+  if (enforce_sorted && fields[1] < last_arrival) {
+    row_fail(row_number, "arrival " + row[1] + " decreases (the simulator assumes a " +
+                             "sorted trace; pass sort_arrivals to reorder instead)");
+  }
+  last_arrival = fields[1];
+  Task task;
+  task.id = static_cast<cluster::TaskId>(fields[0]);
+  task.spec.arrival = fields[1];
+  task.spec.sigma = fields[2];
+  task.spec.rel_deadline = fields[3];
+  task.user_nodes = static_cast<std::size_t>(fields[4]);
+  return task;
+}
+
 }  // namespace
 
 std::vector<Task> load_trace(std::istream& in, bool sort_arrivals) {
@@ -45,55 +104,14 @@ std::vector<Task> load_trace(std::istream& in, bool sort_arrivals) {
   buffer << in.rdbuf();
   const auto rows = util::parse_csv(buffer.str());
   if (rows.empty()) throw std::runtime_error("load_trace: empty trace");
-  if (rows[0].size() != kColumns) {
-    throw std::runtime_error("load_trace: expected 5 header columns");
-  }
-  for (size_t c = 0; c < kColumns; ++c) {
-    if (rows[0][c] != kHeader[c]) {
-      throw std::runtime_error("load_trace: unexpected header column '" + rows[0][c] + "'");
-    }
-  }
+  check_header(rows[0]);
 
   std::vector<Task> tasks;
   tasks.reserve(rows.size() - 1);
-  Time last_arrival = 0.0;
+  cluster::Time last_arrival = 0.0;
   for (size_t r = 1; r < rows.size(); ++r) {
-    const auto& row = rows[r];
-    if (row.size() == 1 && row[0].empty()) continue;  // trailing blank line
-    if (row.size() != kColumns) row_fail(r, "wrong column count");
-    double fields[kColumns];
-    for (size_t c = 0; c < kColumns; ++c) {
-      if (!util::parse_double(row[c], fields[c]) || !std::isfinite(fields[c])) {
-        // !(x <= 0) range checks let NaN through; reject non-finite here.
-        row_fail(r, std::string(kHeader[c]) + ": bad value '" + row[c] + "'");
-      }
-    }
-    // id and user_nodes feed integer casts: require exact non-negative
-    // integers within double precision (a -1 id would otherwise cast to
-    // the kNoTask sentinel and silently corrupt task identity).
-    constexpr double kMaxExactInteger = 9007199254740992.0;  // 2^53
-    for (size_t c : {std::size_t{0}, std::size_t{4}}) {
-      if (fields[c] < 0.0 || fields[c] != std::floor(fields[c]) ||
-          fields[c] >= kMaxExactInteger) {
-        row_fail(r, std::string(kHeader[c]) + " must be a non-negative integer, got " +
-                        row[c]);
-      }
-    }
-    if (fields[1] < 0.0) row_fail(r, "negative arrival " + row[1]);
-    if (!(fields[2] > 0.0)) row_fail(r, "sigma must be > 0, got " + row[2]);
-    if (!(fields[3] > 0.0)) row_fail(r, "deadline must be > 0, got " + row[3]);
-    if (!sort_arrivals && fields[1] < last_arrival) {
-      row_fail(r, "arrival " + row[1] + " decreases (the simulator assumes a sorted " +
-                      "trace; pass sort_arrivals to reorder instead)");
-    }
-    last_arrival = fields[1];
-    Task task;
-    task.id = static_cast<cluster::TaskId>(fields[0]);
-    task.spec.arrival = fields[1];
-    task.spec.sigma = fields[2];
-    task.spec.rel_deadline = fields[3];
-    task.user_nodes = static_cast<std::size_t>(fields[4]);
-    tasks.push_back(task);
+    if (blank_row(rows[r])) continue;  // trailing blank line
+    tasks.push_back(parse_trace_row(rows[r], r, last_arrival, !sort_arrivals));
   }
   if (sort_arrivals) {
     // Stable: simultaneous arrivals keep their file order.
@@ -108,6 +126,44 @@ std::vector<Task> load_trace_file(const std::string& path, bool sort_arrivals) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("load_trace_file: cannot open " + path);
   return load_trace(in, sort_arrivals);
+}
+
+TraceReader::TraceReader(std::istream& in, Options options) : in_(&in), options_(options) {
+  if (options_.sort_arrivals) throw StreamedSortError();
+  if (options_.chunk_tasks == 0) {
+    throw std::invalid_argument("TraceReader: chunk_tasks must be > 0");
+  }
+  if (!std::getline(*in_, line_)) throw std::runtime_error("load_trace: empty trace");
+  if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+  const auto header = util::parse_csv(line_);
+  check_header(header.empty() ? std::vector<std::string>{} : header[0]);
+}
+
+TraceReader::TraceReader(const std::string& path, Options options)
+    : file_(path), in_(&file_), options_(options) {
+  if (!file_) throw std::runtime_error("load_trace_file: cannot open " + path);
+  if (options_.sort_arrivals) throw StreamedSortError();
+  if (options_.chunk_tasks == 0) {
+    throw std::invalid_argument("TraceReader: chunk_tasks must be > 0");
+  }
+  if (!std::getline(*in_, line_)) throw std::runtime_error("load_trace: empty trace");
+  if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+  const auto header = util::parse_csv(line_);
+  check_header(header.empty() ? std::vector<std::string>{} : header[0]);
+}
+
+bool TraceReader::next_chunk(std::vector<Task>& out) {
+  out.clear();
+  while (out.size() < options_.chunk_tasks && std::getline(*in_, line_)) {
+    ++row_;
+    if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+    if (line_.empty()) continue;  // blank line: consumes a row number, no task
+    const auto rows = util::parse_csv(line_);
+    if (rows.empty() || blank_row(rows[0])) continue;
+    out.push_back(parse_trace_row(rows[0], row_, last_arrival_, /*enforce_sorted=*/true));
+    ++tasks_read_;
+  }
+  return !out.empty();
 }
 
 }  // namespace rtdls::workload

@@ -1,9 +1,18 @@
 // Task-trace persistence: save a generated workload to CSV and load it back,
 // so experiments can be replayed bit-exactly (examples/trace_replay) and
 // regression traces can be checked into a repository.
+//
+// Two readers share one row validator:
+//  * load_trace materializes the whole file - convenient for tests and
+//    small replays, O(file) memory;
+//  * TraceReader streams the same format in bounded-size chunks for the
+//    million-task replay path (sim::StreamingTaskSource), O(chunk) memory,
+//    with identical per-row validation and absolute row numbers in errors.
 #pragma once
 
+#include <fstream>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -26,5 +35,65 @@ void save_trace_file(const std::string& path, const std::vector<Task>& tasks);
 /// kept in file order).
 std::vector<Task> load_trace(std::istream& in, bool sort_arrivals = false);
 std::vector<Task> load_trace_file(const std::string& path, bool sort_arrivals = false);
+
+/// Thrown when a streamed reader is asked to sort arrivals: sorting needs
+/// the full trace in memory, which is exactly what streaming avoids. Either
+/// drop the sort request or pre-sort the file through the in-memory path
+/// (load_trace + save_trace, or `rtdls_cli simulate --sort-arrivals`
+/// without --stream).
+class StreamedSortError : public std::invalid_argument {
+ public:
+  StreamedSortError()
+      : std::invalid_argument(
+            "sort-arrivals requires the full trace in memory and cannot be "
+            "combined with streamed ingestion; pre-sort the trace instead") {}
+};
+
+/// Bounded-memory chunked reader over the save_trace CSV format.
+///
+/// The header is validated at construction; next_chunk() then delivers up
+/// to Options::chunk_tasks validated tasks at a time, reusing the caller's
+/// vector capacity, so peak memory is O(chunk) regardless of trace length.
+/// Row validation is byte-identical to load_trace (same parser, same
+/// checks) and error messages carry the same absolute 1-based data-row
+/// number even when the offending row sits chunks deep in the file.
+/// Arrivals must be non-decreasing across the whole stream - a streamed
+/// reader cannot sort, so Options::sort_arrivals throws StreamedSortError
+/// at construction (see the class comment above).
+class TraceReader {
+ public:
+  struct Options {
+    /// Rows materialized per next_chunk call (the replay pipeline's peak
+    /// in-flight task storage, together with still-referenced old chunks).
+    std::size_t chunk_tasks = 65536;
+    /// Unsupported on streamed input; true throws StreamedSortError.
+    bool sort_arrivals = false;
+  };
+
+  /// Reads from a borrowed stream (must outlive the reader).
+  TraceReader(std::istream& in, Options options);
+  explicit TraceReader(std::istream& in) : TraceReader(in, Options{}) {}
+
+  /// Opens and owns a file stream. Throws std::runtime_error if the file
+  /// cannot be opened.
+  TraceReader(const std::string& path, Options options);
+  explicit TraceReader(const std::string& path) : TraceReader(path, Options{}) {}
+
+  /// Fills `out` (cleared first, capacity reused) with the next chunk.
+  /// Returns false - with `out` empty - once the trace is exhausted.
+  bool next_chunk(std::vector<Task>& out);
+
+  /// Data rows delivered so far (blank lines excluded).
+  std::size_t tasks_read() const { return tasks_read_; }
+
+ private:
+  std::ifstream file_;  ///< engaged by the path constructor
+  std::istream* in_;
+  Options options_;
+  std::size_t row_ = 0;         ///< physical data-row counter (1-based in errors)
+  std::size_t tasks_read_ = 0;
+  cluster::Time last_arrival_ = 0.0;
+  std::string line_;            ///< getline scratch, reused across rows
+};
 
 }  // namespace rtdls::workload

@@ -99,6 +99,21 @@ sim::ReleasePolicy release_from_cli(const util::CliParser& cli) {
              : sim::ReleasePolicy::kEstimate;
 }
 
+void add_index_option(util::CliParser& cli) {
+  cli.add_option({"index",
+                  "availability-index backend: auto|flat|bucket (auto honors "
+                  "RTDLS_INDEX, then picks by cluster size)",
+                  "auto", false});
+}
+
+cluster::IndexBackend index_backend_from_cli(const util::CliParser& cli) {
+  const std::string value = util::to_lower(cli.get("index").value_or("auto"));
+  if (value == "flat") return cluster::IndexBackend::kFlat;
+  if (value == "bucket") return cluster::IndexBackend::kBucket;
+  if (value.empty() || value == "auto") return cluster::IndexBackend::kAuto;
+  throw std::invalid_argument("--index: expected auto|flat|bucket, got '" + value + "'");
+}
+
 // --- tracing ----------------------------------------------------------------
 
 void add_trace_option(util::CliParser& cli) {
@@ -197,7 +212,13 @@ int cmd_simulate(int argc, const char* const* argv) {
   cli.add_option({"trace", "input trace CSV (else generated)", "", false});
   cli.add_option({"sort-arrivals", "sort an unsorted trace by arrival instead of rejecting",
                   "", true});
+  cli.add_option({"stream",
+                  "replay --trace in bounded-memory chunks (O(chunk) peak RSS; "
+                  "incompatible with --sort-arrivals, which needs the full trace)",
+                  "", true});
+  cli.add_option({"chunk-tasks", "tasks per streamed chunk (--stream)", "65536", false});
   cli.add_option({"algorithm", "algorithm name", "EDF-DLT", false});
+  add_index_option(cli);
   add_sim_config_options(cli);
   add_trace_option(cli);
   if (!cli.parse(argc, argv) || cli.get_flag("help")) {
@@ -206,15 +227,16 @@ int cmd_simulate(int argc, const char* const* argv) {
   }
   const std::string trace_path = arm_trace(cli);
   const workload::WorkloadParams params = workload_from_cli(cli);
-  std::vector<workload::Task> tasks;
-  if (const auto trace = cli.get("trace"); trace && !trace->empty()) {
-    tasks = workload::load_trace_file(*trace, cli.get_flag("sort-arrivals"));
-  } else {
-    tasks = workload::generate_workload(params);
+  const std::string trace_in = cli.get("trace").value_or("");
+  const bool stream = cli.get_flag("stream");
+  if (stream && trace_in.empty()) {
+    throw std::invalid_argument("--stream requires --trace (generated workloads are "
+                                "already in memory)");
   }
 
   sim::SimulatorConfig config;
   config.params = params.cluster;
+  config.params.index_backend = index_backend_from_cli(cli);
   config.release_policy = release_from_cli(cli);
   config.output_ratio = cli.get_double("output-ratio", 0.0);
   config.shared_link = cli.get_flag("shared-link");
@@ -225,9 +247,33 @@ int cmd_simulate(int argc, const char* const* argv) {
   }
 
   const std::string algorithm = cli.get("algorithm").value_or("EDF-DLT");
-  const sim::SimMetrics metrics =
-      sim::simulate(config, algorithm, tasks, params.total_time);
-  std::printf("--- %s over %zu tasks ---\n%s", algorithm.c_str(), tasks.size(),
+  sim::SimMetrics metrics;
+  std::size_t task_count = 0;
+  if (stream) {
+    workload::TraceReader::Options options;
+    options.chunk_tasks = static_cast<std::size_t>(cli.get_int("chunk-tasks", 65536));
+    // A streamed reader cannot sort; TraceReader rejects the combination
+    // with a typed StreamedSortError naming the workaround.
+    options.sort_arrivals = cli.get_flag("sort-arrivals");
+    workload::TraceReader reader(trace_in, options);
+    sim::StreamingTaskSource source(reader);
+    const sched::Algorithm algo = sched::make_algorithm(algorithm);
+    sim::ClusterSimulator simulator(config, algo);
+    metrics = simulator.run_stream(source, params.total_time);
+    task_count = reader.tasks_read();
+    std::fprintf(stderr, "stream: %zu tasks, peak %zu resident (%zu-task chunks)\n",
+                 task_count, source.peak_resident_tasks(), options.chunk_tasks);
+  } else {
+    std::vector<workload::Task> tasks;
+    if (!trace_in.empty()) {
+      tasks = workload::load_trace_file(trace_in, cli.get_flag("sort-arrivals"));
+    } else {
+      tasks = workload::generate_workload(params);
+    }
+    task_count = tasks.size();
+    metrics = sim::simulate(config, algorithm, tasks, params.total_time);
+  }
+  std::printf("--- %s over %zu tasks ---\n%s", algorithm.c_str(), task_count,
               metrics.summary().c_str());
   return write_trace(trace_path);
 }
@@ -704,6 +750,7 @@ int cmd_daemon(int argc, const char* const* argv) {
   cli.add_option({"het-profile",
                   "per-node speed profile key (same keys as `simulate --het-profile`)", "",
                   false});
+  add_index_option(cli);
   cli.add_option({"shards", "independent admission shards (one cluster each)", "4", false});
   cli.add_option({"workers", "connection worker threads", "4", false});
   cli.add_option({"deadline-ms", "default per-request wall-clock budget", "2000", false});
@@ -742,6 +789,7 @@ int cmd_daemon(int argc, const char* const* argv) {
     config.params.speed_profile = std::make_shared<const cluster::SpeedProfile>(
         cluster::parse_speed_profile(key, config.params.node_count, config.params.cps));
   }
+  config.params.index_backend = index_backend_from_cli(cli);
   config.shards = static_cast<std::size_t>(cli.get_int("shards", 4));
   config.workers = static_cast<std::size_t>(cli.get_int("workers", 4));
   config.default_deadline_ms = static_cast<std::uint32_t>(cli.get_int("deadline-ms", 2000));
@@ -756,7 +804,10 @@ int cmd_daemon(int argc, const char* const* argv) {
   RTDLS_LOG(kInfo) << "rtdlsd: " << live.algorithm << " on " << live.socket_path << " - "
                    << daemon.shard_count() << " shard(s) x " << live.params.node_count
                    << " nodes, " << live.workers << " worker(s), "
-                   << (live.incremental ? "incremental" : "stateless") << " sessions";
+                   << (live.incremental ? "incremental" : "stateless") << " sessions, "
+                   << cluster::index_backend_name(cluster::resolve_index_backend(
+                          live.params.index_backend, live.params.node_count))
+                   << " index";
   if (!live.restore_path.empty()) {
     RTDLS_LOG(kInfo) << "rtdlsd: restored " << daemon.shard_count() << " shard(s) from "
                      << live.restore_path;
